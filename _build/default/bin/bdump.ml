@@ -1,0 +1,131 @@
+(* bdump: inspect BELF files — the objdump/readelf analog.
+
+     bdump prog.x                     # sections + symbols summary
+     bdump -d prog.x                  # disassemble all functions
+     bdump -d --func main prog.x     # one function, with line info
+     bdump --relocs --fdes prog.x    # relocation and frame records *)
+
+open Cmdliner
+open Bolt_obj
+
+let dump_function exe (s : Types.symbol) =
+  let sec =
+    List.find
+      (fun (sec : Types.section) ->
+        s.sym_value >= sec.sec_addr && s.sym_value < sec.sec_addr + sec.sec_size)
+      exe.Objfile.sections
+  in
+  Printf.printf "\n%08x <%s>:  (%d bytes, %s)\n" s.sym_value s.sym_name s.sym_size
+    sec.sec_name;
+  let dbg = Objfile.dbg_for exe s.sym_name in
+  let line_at off =
+    match dbg with
+    | None -> None
+    | Some d ->
+        List.fold_left
+          (fun acc (o, f, l) -> if o <= off then Some (f, l) else acc)
+          None
+          (List.sort compare d.dbg_entries)
+  in
+  let pos = ref (s.sym_value - sec.sec_addr) in
+  let stop = !pos + s.sym_size in
+  let last_line = ref None in
+  while !pos < stop do
+    let off = !pos - (s.sym_value - sec.sec_addr) in
+    match Bolt_isa.Codec.decode sec.sec_data !pos with
+    | i, sz ->
+        let loc = line_at off in
+        let loc_str =
+          if loc <> !last_line then (
+            last_line := loc;
+            match loc with
+            | Some (f, l) -> Printf.sprintf "   # %s:%d" f l
+            | None -> "")
+          else ""
+        in
+        Printf.printf "  %6x:  %s%s\n" off (Bolt_isa.Insn.to_string i) loc_str;
+        pos := !pos + sz
+    | exception Bolt_isa.Codec.Decode_error _ ->
+        Printf.printf "  %6x:  <bad byte %02x>\n" off
+          (Char.code (Bytes.get sec.sec_data !pos));
+        incr pos
+  done
+
+let run path disas func relocs fdes lsdas =
+  let exe = Objfile.load path in
+  Printf.printf "%s: %s, entry %#x\n" path
+    (match exe.Objfile.kind with Objfile.Executable -> "executable" | Objfile.Object -> "relocatable")
+    exe.Objfile.entry;
+  Printf.printf "\nSections:\n";
+  List.iter
+    (fun (s : Types.section) ->
+      Printf.printf "  %-12s %-7s addr %#10x size %8d\n" s.sec_name
+        (match s.sec_kind with
+        | Types.Text -> "TEXT"
+        | Types.Rodata -> "RODATA"
+        | Types.Data -> "DATA"
+        | Types.Bss -> "BSS")
+        s.sec_addr s.sec_size)
+    exe.Objfile.sections;
+  let funcs = Objfile.function_symbols exe in
+  Printf.printf "\n%d functions, %d symbols, %d relocs, %d FDEs, %d LSDAs\n"
+    (List.length funcs)
+    (List.length exe.Objfile.symbols)
+    (List.length exe.Objfile.relocs)
+    (List.length exe.Objfile.fdes)
+    (List.length exe.Objfile.lsdas);
+  if relocs then begin
+    Printf.printf "\nRelocations:\n";
+    List.iter
+      (fun (r : Types.reloc) ->
+        Printf.printf "  %-10s+%-8x %-6s %s%+d\n" r.rel_section r.rel_offset
+          (match r.rel_kind with
+          | Types.Abs32 -> "ABS32"
+          | Types.Abs64 -> "ABS64"
+          | Types.Rel32 -> "REL32"
+          | Types.Rel8 -> "REL8")
+          r.rel_sym r.rel_addend)
+      exe.Objfile.relocs
+  end;
+  if fdes then begin
+    Printf.printf "\nFrame descriptors:\n";
+    List.iter
+      (fun (f : Types.fde) ->
+        Printf.printf "  %s @%#x (%d bytes): %d CFI ops\n" f.fde_func f.fde_addr
+          f.fde_size (List.length f.fde_cfi))
+      exe.Objfile.fdes
+  end;
+  if lsdas then begin
+    Printf.printf "\nException tables:\n";
+    List.iter
+      (fun (l : Types.lsda) ->
+        Printf.printf "  %s @%#x:\n" l.lsda_func l.lsda_fn_addr;
+        List.iter
+          (fun (e : Types.lsda_entry) ->
+            Printf.printf "    [%#x, +%d) -> pad %+d\n" e.lsda_start e.lsda_len e.lsda_pad)
+          l.lsda_entries)
+      exe.Objfile.lsdas
+  end;
+  if disas then begin
+    let selected =
+      match func with
+      | Some name -> List.filter (fun (s : Types.symbol) -> s.sym_name = name) funcs
+      | None -> funcs
+    in
+    List.iter (dump_function exe) selected
+  end;
+  0
+
+let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+let disas = Arg.(value & flag & info [ "d"; "disassemble" ])
+let func = Arg.(value & opt (some string) None & info [ "func" ] ~doc:"Only this function.")
+let relocs = Arg.(value & flag & info [ "relocs" ])
+let fdes = Arg.(value & flag & info [ "fdes" ])
+let lsdas = Arg.(value & flag & info [ "lsdas" ])
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bdump" ~doc:"inspect BELF objects and executables")
+    Term.(const run $ path $ disas $ func $ relocs $ fdes $ lsdas)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,101 @@
+(* bsim: run a BELF executable under the simulator, optionally recording
+   samples (the `perf record` analog).
+
+     bsim prog.x
+     bsim --record samples.bprf --event cycles --lbr prog.x
+     bsim --counters --heatmap heat.csv prog.x
+     bsim --input 1,2,3 prog.x                                  *)
+
+open Cmdliner
+module Machine = Bolt_sim.Machine
+
+let run exe_path record event period lbr precise counters_flag heat_csv input_str
+    dump_counters_sym =
+  let exe = Bolt_obj.Objfile.load exe_path in
+  let input =
+    match input_str with
+    | "" -> [||]
+    | s -> String.split_on_char ',' s |> List.map int_of_string |> Array.of_list
+  in
+  let sampling =
+    if record <> None then
+      Some
+        {
+          Machine.event =
+            (match event with
+            | "cycles" -> Machine.Ev_cycles
+            | "instructions" -> Machine.Ev_instructions
+            | "taken-branches" -> Machine.Ev_taken_branches
+            | e -> Fmt.failwith "unknown event %s" e);
+          period;
+          lbr;
+          precise;
+        }
+    else None
+  in
+  let o = Machine.run ?sampling ~heatmap:(heat_csv <> None) exe ~input in
+  List.iter (fun v -> Printf.printf "%d\n" v) o.Machine.output;
+  if o.Machine.uncaught_exception then Fmt.epr "uncaught exception@.";
+  (match (record, o.Machine.profile) with
+  | Some path, Some p ->
+      Bolt_profile.Samples.save path p;
+      Fmt.epr "recorded %d samples to %s@." p.Machine.rp_samples path
+  | _ -> ());
+  (match heat_csv with
+  | Some path ->
+      (match o.Machine.heat with
+      | Some h ->
+          let oc = open_out path in
+          Hashtbl.iter (fun addr c -> Printf.fprintf oc "%d,%d\n" addr c) h;
+          close_out oc
+      | None -> ())
+  | None -> ());
+  (match dump_counters_sym with
+  | Some spec -> (
+      (* SYMBOL:N -> dump N 64-bit words from the final memory *)
+      match String.split_on_char ':' spec with
+      | [ sym; n ] -> (
+          match Bolt_obj.Objfile.find_symbol exe sym with
+          | Some s ->
+              for i = 0 to int_of_string n - 1 do
+                Printf.printf "counter %d %d\n" i
+                  (Bolt_sim.Memory.read64 o.Machine.final_mem
+                     (s.Bolt_obj.Types.sym_value + (8 * i)))
+              done
+          | None -> Fmt.epr "no symbol %s@." sym)
+      | _ -> Fmt.epr "bad --dump-counters spec@.")
+  | None -> ());
+  if counters_flag then begin
+    let c = o.Machine.counters in
+    Fmt.epr "instructions      %d@." c.Machine.instructions;
+    Fmt.epr "cycles            %d@." (Machine.cycles c);
+    Fmt.epr "taken-branches    %d@." c.Machine.taken_branches;
+    Fmt.epr "branch-misses     %d@." c.Machine.branch_misses;
+    Fmt.epr "l1i-misses        %d@." c.Machine.l1i_misses;
+    Fmt.epr "l1d-misses        %d@." c.Machine.l1d_misses;
+    Fmt.epr "llc-misses        %d@." c.Machine.llc_misses;
+    Fmt.epr "itlb-misses       %d@." c.Machine.itlb_misses;
+    Fmt.epr "dtlb-misses       %d@." c.Machine.dtlb_misses;
+    Fmt.epr "throws            %d@." c.Machine.throws
+  end;
+  o.Machine.exit_code land 0xff
+
+let exe_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"EXE")
+let record = Arg.(value & opt (some string) None & info [ "record" ] ~doc:"Write raw samples here.")
+let event = Arg.(value & opt string "cycles" & info [ "event" ] ~doc:"cycles|instructions|taken-branches")
+let period = Arg.(value & opt int 4001 & info [ "period" ] ~doc:"Sampling period.")
+let lbr = Arg.(value & opt bool true & info [ "lbr" ] ~doc:"Record last-branch records.")
+let precise = Arg.(value & opt bool true & info [ "precise" ] ~doc:"PEBS-style precise IPs.")
+let counters = Arg.(value & flag & info [ "counters" ] ~doc:"Print performance counters.")
+let heat_csv = Arg.(value & opt (some string) None & info [ "heatmap" ] ~doc:"Write fetch heat CSV.")
+let input = Arg.(value & opt string "" & info [ "input" ] ~doc:"Comma-separated input tape.")
+let dump_counters = Arg.(value & opt (some string) None & info [ "dump-counters" ] ~doc:"SYMBOL:N memory dump.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bsim" ~doc:"BISA simulator with sampling profiler")
+    Term.(
+      const run $ exe_path $ record $ event $ period $ lbr $ precise $ counters
+      $ heat_csv $ input $ dump_counters)
+
+let () = exit (Cmd.eval' cmd)

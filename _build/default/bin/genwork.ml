@@ -1,0 +1,46 @@
+(* genwork: emit a synthetic workload's MiniC sources to a directory.
+
+     genwork --workload hhvm --out-dir /tmp/hhvm                *)
+
+open Cmdliner
+
+let run name out_dir iterations =
+  let params =
+    match List.assoc_opt name Bolt_workloads.Workloads.fb_workloads with
+    | Some p -> p
+    | None -> (
+        match name with
+        | "clang" -> Bolt_workloads.Workloads.clang_like
+        | "gcc" -> Bolt_workloads.Workloads.gcc_like
+        | _ -> Fmt.failwith "unknown workload %s" name)
+  in
+  let params =
+    match iterations with Some i -> { params with Bolt_workloads.Gen.iterations = i } | None -> params
+  in
+  let w = Bolt_workloads.Gen.gen params in
+  if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
+  List.iter
+    (fun (name, src) ->
+      let oc = open_out (Filename.concat out_dir (name ^ ".mc")) in
+      output_string oc src;
+      close_out oc)
+    w.Bolt_workloads.Gen.sources;
+  List.iteri
+    (fun i o ->
+      Bolt_obj.Objfile.save (Filename.concat out_dir (Printf.sprintf "asm%d.bo" i)) o)
+    w.Bolt_workloads.Gen.extra_objs;
+  Fmt.pr "wrote %d modules (+%d asm objects) to %s@."
+    (List.length w.Bolt_workloads.Gen.sources)
+    (List.length w.Bolt_workloads.Gen.extra_objs)
+    out_dir;
+  0
+
+let wname = Arg.(value & opt string "hhvm" & info [ "workload" ] ~doc:"hhvm|tao|proxygen|multifeed1|multifeed2|clang|gcc")
+let out_dir = Arg.(value & opt string "workload" & info [ "out-dir" ])
+let iters = Arg.(value & opt (some int) None & info [ "iterations" ])
+
+let cmd =
+  Cmd.v (Cmd.info "genwork" ~doc:"synthetic workload generator")
+    Term.(const run $ wname $ out_dir $ iters)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,112 @@
+(* minicc: the MiniC compiler driver.
+
+     minicc -o prog.x a.mc b.mc
+     minicc -O2 --lto --pgo-apply prof.edges -o prog.x a.mc
+     minicc --instrument --mapping prog.map -o prog.x a.mc   *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile srcs out opt lto pgo_apply instrument mapping_out emit_relocs
+    function_sections pic_jt icf order_file =
+  let sources =
+    List.map
+      (fun path ->
+        let name = Filename.remove_extension (Filename.basename path) in
+        (name, read_file path))
+      srcs
+  in
+  let pgo =
+    if instrument then Bolt_minic.Driver.Instrument
+    else
+      match pgo_apply with
+      | Some p -> Bolt_minic.Driver.Apply (Bolt_minic.Pgo.load_profile p)
+      | None -> Bolt_minic.Driver.No_pgo
+  in
+  let func_order =
+    Option.map
+      (fun p ->
+        let ic = open_in p in
+        let rec loop acc =
+          match input_line ic with
+          | l -> loop (l :: acc)
+          | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+        in
+        loop [])
+      order_file
+  in
+  let options =
+    {
+      Bolt_minic.Driver.default_options with
+      opt_level = opt;
+      lto;
+      pgo;
+      emit_relocs;
+      function_sections;
+      pic_jump_tables = pic_jt;
+      linker_icf = icf;
+      func_order;
+    }
+  in
+  match Bolt_minic.Driver.compile ~options sources with
+  | r ->
+      Bolt_obj.Objfile.save out r.exe;
+      (match (r.mapping, mapping_out) with
+      | Some m, Some path -> Bolt_minic.Pgo.save_mapping path m
+      | Some m, None -> Bolt_minic.Pgo.save_mapping (out ^ ".map") m
+      | None, _ -> ());
+      Fmt.pr "wrote %s (%d bytes of code, %d functions)@." out
+        (Bolt_obj.Objfile.text_size r.exe)
+        (List.length (Bolt_obj.Objfile.function_symbols r.exe));
+      0
+  | exception Bolt_minic.Parser.Parse_error (msg, line) ->
+      Fmt.epr "parse error at line %d: %s@." line msg;
+      1
+  | exception Bolt_minic.Sema.Sema_error (msg, pos) ->
+      Fmt.epr "error at %s:%d: %s@." pos.Bolt_minic.Ast.file pos.Bolt_minic.Ast.line msg;
+      1
+
+let srcs = Arg.(non_empty & pos_all file [] & info [] ~docv:"SOURCE")
+let out = Arg.(value & opt string "a.x" & info [ "o" ] ~docv:"OUT" ~doc:"Output executable.")
+let opt = Arg.(value & opt int 2 & info [ "O" ] ~doc:"Optimization level (0-2).")
+let lto = Arg.(value & flag & info [ "lto" ] ~doc:"Whole-program (link-time) optimization.")
+
+let pgo_apply =
+  Arg.(value & opt (some file) None & info [ "pgo-apply" ] ~doc:"Apply an edge profile.")
+
+let instrument =
+  Arg.(value & flag & info [ "instrument" ] ~doc:"Insert PGO edge counters.")
+
+let mapping_out =
+  Arg.(value & opt (some string) None & info [ "mapping" ] ~doc:"Counter mapping output.")
+
+let emit_relocs =
+  Arg.(value & opt bool true & info [ "emit-relocs" ] ~doc:"Keep relocations (BOLT relocations mode).")
+
+let function_sections =
+  Arg.(value & opt bool true & info [ "ffunction-sections" ] ~doc:"One section per function.")
+
+let pic_jt =
+  Arg.(value & opt bool true & info [ "pic-jump-tables" ] ~doc:"PIC jump tables.")
+
+let icf = Arg.(value & flag & info [ "licf" ] ~doc:"Linker identical-code folding.")
+
+let order_file =
+  Arg.(value & opt (some file) None & info [ "function-order" ] ~doc:"Link-time function order file.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "minicc" ~doc:"MiniC compiler targeting BELF/BISA")
+    Term.(
+      const compile $ srcs $ out $ opt $ lto $ pgo_apply $ instrument $ mapping_out
+      $ emit_relocs $ function_sections $ pic_jt $ icf $ order_file)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,110 @@
+(* obolt: the post-link optimizer CLI, mirroring the paper's llvm-bolt
+   invocation:
+
+     obolt prog.x -b prog.fdata -o prog.bolted.x \
+       -reorder-blocks=cache+ -reorder-functions=hfsort+ \
+       -split-functions=3 -split-all-cold -split-eh -icf=1 -dyno-stats  *)
+
+open Cmdliner
+
+let run exe_path fdata out reorder_blocks reorder_functions split_functions
+    split_all_cold split_eh icf icp inline_small plt sro frame_opts shrink sctc
+    strip_nops dyno_stats report_bad_layout use_relocs print_funcs =
+  let exe = Bolt_obj.Objfile.load exe_path in
+  let prof = Bolt_profile.Fdata.load fdata in
+  let opts =
+    {
+      Bolt_core.Opts.default with
+      reorder_blocks =
+        (match reorder_blocks with
+        | "none" -> Bolt_core.Opts.Rb_none
+        | "cache" -> Bolt_core.Opts.Rb_cache
+        | "cache+" -> Bolt_core.Opts.Rb_cache_plus
+        | s -> Fmt.failwith "unknown -reorder-blocks=%s" s);
+      reorder_functions =
+        (match reorder_functions with
+        | "none" -> Bolt_core.Opts.Rf_none
+        | "hfsort" -> Bolt_core.Opts.Rf_hfsort
+        | "hfsort+" -> Bolt_core.Opts.Rf_hfsort_plus
+        | "pettis-hansen" -> Bolt_core.Opts.Rf_pettis_hansen
+        | s -> Fmt.failwith "unknown -reorder-functions=%s" s);
+      split_functions =
+        (match split_functions with
+        | 0 -> Bolt_core.Opts.Split_none
+        | 1 | 2 -> Bolt_core.Opts.Split_large
+        | _ -> Bolt_core.Opts.Split_all);
+      split_all_cold;
+      split_eh;
+      icf;
+      icp;
+      inline_small;
+      plt;
+      simplify_ro_loads = sro;
+      frame_opts;
+      shrink_wrapping = shrink;
+      sctc;
+      strip_nops;
+      use_relocations = use_relocs;
+    }
+  in
+  let exe', report = Bolt_core.Bolt.optimize ~opts exe prof in
+  Bolt_obj.Objfile.save out exe';
+  Fmt.pr "wrote %s@." out;
+  if dyno_stats then Fmt.pr "%a@." Bolt_core.Bolt.pp_report report;
+  if report_bad_layout then begin
+    Fmt.pr "bad-layout findings (original layout):@.";
+    List.iter (Fmt.pr "  %a" Bolt_core.Report.pp_finding) report.Bolt_core.Bolt.r_bad_layout
+  end;
+  List.iter
+    (fun name ->
+      let ctx = Bolt_core.Context.create ~opts exe in
+      Bolt_core.Build.run ctx;
+      match Bolt_core.Context.func ctx name with
+      | Some fb -> Fmt.pr "%a@." Bolt_core.Bfunc.pp fb
+      | None -> Fmt.epr "no function %s@." name)
+    print_funcs;
+  0
+
+let exe_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"EXE")
+let fdata = Arg.(required & opt (some file) None & info [ "b" ] ~doc:"fdata profile.")
+let out = Arg.(value & opt string "bolted.x" & info [ "o" ] ~doc:"Output binary.")
+
+let reorder_blocks =
+  Arg.(value & opt string "cache+" & info [ "reorder-blocks" ] ~doc:"none|cache|cache+")
+
+let reorder_functions =
+  Arg.(value & opt string "hfsort+" & info [ "reorder-functions" ] ~doc:"none|hfsort|hfsort+|pettis-hansen")
+
+let split_functions =
+  Arg.(value & opt int 3 & info [ "split-functions" ] ~doc:"0=off 1/2=large 3=all")
+
+let split_all_cold = Arg.(value & opt bool true & info [ "split-all-cold" ])
+let split_eh = Arg.(value & opt bool true & info [ "split-eh" ])
+let icf = Arg.(value & opt bool true & info [ "icf" ])
+let icp = Arg.(value & opt bool true & info [ "icp" ])
+let inline_small = Arg.(value & opt bool true & info [ "inline-small" ])
+let plt = Arg.(value & opt bool true & info [ "plt" ])
+let sro = Arg.(value & opt bool true & info [ "simplify-ro-loads" ])
+let frame_opts = Arg.(value & opt bool true & info [ "frame-opts" ])
+let shrink = Arg.(value & opt bool true & info [ "shrink-wrapping" ])
+let sctc = Arg.(value & opt bool true & info [ "sctc" ])
+let strip_nops = Arg.(value & opt bool true & info [ "strip-nops" ])
+let dyno_stats = Arg.(value & flag & info [ "dyno-stats" ])
+let report_bad_layout = Arg.(value & flag & info [ "report-bad-layout" ])
+
+let use_relocs =
+  Arg.(value & opt (some bool) None & info [ "use-relocations" ] ~doc:"Force relocations mode on/off.")
+
+let print_funcs =
+  Arg.(value & opt_all string [] & info [ "print-cfg" ] ~docv:"FUNC" ~doc:"Dump a function's CFG.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "obolt" ~doc:"post-link binary optimizer (BOLT reproduction)")
+    Term.(
+      const run $ exe_path $ fdata $ out $ reorder_blocks $ reorder_functions
+      $ split_functions $ split_all_cold $ split_eh $ icf $ icp $ inline_small $ plt
+      $ sro $ frame_opts $ shrink $ sctc $ strip_nops $ dyno_stats $ report_bad_layout
+      $ use_relocs $ print_funcs)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,31 @@
+(* perf2bolt: aggregate raw samples against a binary's symbol table and
+   produce the fdata profile BOLT consumes.
+
+     perf2bolt -p samples.bprf -o prog.fdata prog.x            *)
+
+open Cmdliner
+
+let run exe_path samples_path out =
+  let exe = Bolt_obj.Objfile.load exe_path in
+  let raw = Bolt_profile.Samples.load samples_path in
+  let fdata = Bolt_profile.Perf2bolt.convert exe raw in
+  Bolt_profile.Fdata.save out fdata;
+  Fmt.pr "wrote %s: %d branch records, %d ranges, %d ip samples@." out
+    (List.length fdata.Bolt_profile.Fdata.branches)
+    (List.length fdata.Bolt_profile.Fdata.ranges)
+    (List.length fdata.Bolt_profile.Fdata.samples);
+  0
+
+let exe_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"EXE")
+
+let samples =
+  Arg.(required & opt (some file) None & info [ "p" ] ~docv:"SAMPLES" ~doc:"Raw samples.")
+
+let out = Arg.(value & opt string "out.fdata" & info [ "o" ] ~doc:"Output profile.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "perf2bolt" ~doc:"convert raw samples to an fdata profile")
+    Term.(const run $ exe_path $ samples $ out)
+
+let () = exit (Cmd.eval' cmd)

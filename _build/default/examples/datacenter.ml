@@ -1,0 +1,38 @@
+(* Data-center scenario (the paper's §6.1 flow on one workload):
+
+     dune exec examples/datacenter.exe [-- workload-name]
+
+   Builds an hhvm-like service binary with LTO, establishes the paper's
+   baseline (HFSort function ordering at link time, [25]), then applies
+   BOLT on top and reports the speedup and micro-architecture metric
+   improvements — the single-workload version of Figures 5 and 6. *)
+
+module E = Bolt_pipeline.Experiments
+module P = Bolt_pipeline.Pipeline
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "hhvm" in
+  let params =
+    match List.assoc_opt name Bolt_workloads.Workloads.fb_workloads with
+    | Some p -> p
+    | None -> Fmt.failwith "unknown workload %s" name
+  in
+  (* keep the example snappy *)
+  let params = { params with Bolt_workloads.Gen.iterations = 6_000 } in
+  Fmt.pr "building %s-like workload (%d functions over %d modules)...@." name
+    params.Bolt_workloads.Gen.funcs params.Bolt_workloads.Gen.modules;
+  let r = E.fb_flow ~lto:(name = "hhvm") ~name params in
+  Fmt.pr "@.BOLT on top of the HFSort%s baseline:@."
+    (if name = "hhvm" then "+LTO" else "");
+  Fmt.pr "  speedup: %.2f%% (paper reports %.1f%% for %s)@." r.E.fb_speedup
+    (try List.assoc name E.fig5_paper with Not_found -> 0.0)
+    name;
+  Fmt.pr "  behaviour identical: %b@." r.E.fb_behaviour_ok;
+  let d = r.E.fb_deltas in
+  Fmt.pr "  metric reductions:@.";
+  Fmt.pr "    branch misses  %6.1f%%@." d.P.d_branch_miss;
+  Fmt.pr "    i-cache misses %6.1f%%@." d.P.d_l1i_miss;
+  Fmt.pr "    i-TLB misses   %6.1f%%@." d.P.d_itlb_miss;
+  Fmt.pr "    LLC misses     %6.1f%%@." d.P.d_llc_miss;
+  Fmt.pr "    taken branches %6.1f%%@." d.P.d_taken_branches;
+  Fmt.pr "@.pass summary:@.%a" Bolt_core.Bolt.pp_report r.E.fb_report

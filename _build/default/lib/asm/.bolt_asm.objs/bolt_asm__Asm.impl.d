@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Array Bolt_isa Bolt_obj Buf Buffer Bytes Codec Fmt Hashtbl Insn List Objfile String Types

@@ -1,0 +1,504 @@
+(* The BISA assembler: structured instruction streams to relocatable
+   BELF objects.
+
+   Responsibilities mirroring a real assembler:
+
+   - branch relaxation: direct branches to labels within the same function
+     start in their 2-byte form and are widened to the 32-bit form only
+     when the displacement demands it (the fixpoint is monotone);
+   - relocation emission for anything that cannot be resolved locally:
+     calls and jumps to other functions (when each function gets its own
+     section), absolute references to globals and jump tables, and
+     PIC jump-table difference entries;
+   - deliberately resolving what a real compiler resolves internally:
+     with [u_function_sections = false] all functions of a unit share one
+     .text section and cross-function calls inside the unit are patched at
+     assembly time with NO relocation records, reproducing the invisible
+     local-call references the BOLT paper calls out;
+   - frame (CFI) and exception (LSDA) table generation from inline
+     annotations. *)
+
+open Bolt_isa
+open Bolt_obj
+open Types
+
+type aitem =
+  | A_label of string
+  | A_insn of Insn.t
+  | A_insn_lp of Insn.t * string (* instruction covered by a landing pad *)
+  | A_cfi of cfi_op
+  | A_align of int
+  | A_loc of string * int (* current source file/line for following insns *)
+
+type afunc = {
+  af_name : string;
+  af_global : bool;
+  af_align : int;
+  af_emit_fde : bool; (* hand-written assembly may omit frame info *)
+  af_body : aitem list;
+}
+
+type ditem =
+  | D_label of string * bool (* name, global *)
+  | D_quad of Insn.value
+  | D_quad_pic of string * int * string (* target sym, addend, base label *)
+  | D_space of int
+  | D_align of int
+
+type unit_ = {
+  u_funcs : afunc list;
+  u_rodata : ditem list;
+  u_data : ditem list;
+  u_bss : (string * int * bool) list; (* name, size, global *)
+  u_function_sections : bool;
+}
+
+let empty_unit =
+  { u_funcs = []; u_rodata = []; u_data = []; u_bss = []; u_function_sections = true }
+
+exception Asm_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Asm_error s)) fmt
+
+(* ---- per-function assembly ---- *)
+
+type fout = {
+  fo_bytes : Bytes.t;
+  fo_size : int;
+  fo_relocs : (int * reloc_kind * string * int * int) list;
+      (* field offset (fn-relative), kind, sym, addend, rel_end *)
+  fo_cfi : (int * cfi_op) list;
+  fo_lsda : lsda_entry list; (* pads resolved to local labels *)
+  fo_lsda_sym : (int * int * string) list; (* start, len, pad label *)
+  fo_dbg : (int * string * int) list;
+  fo_labels : (string * int) list; (* fn-local labels, for tests *)
+}
+
+(* Items with branch widths chosen; returns offsets of each item. *)
+let layout_function f =
+  let items = Array.of_list f.af_body in
+  let n = Array.length items in
+  (* Local label table: name -> item index. *)
+  let label_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | A_label l ->
+          if Hashtbl.mem label_idx l then err "duplicate label %s in %s" l f.af_name;
+          Hashtbl.add label_idx l i
+      | _ -> ())
+    items;
+  let is_local = Hashtbl.mem label_idx in
+  (* Width choice per item: true = wide.  Branches to non-local symbols are
+     always wide (they need a 32-bit relocation). *)
+  let wide = Array.make n false in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | A_insn insn | A_insn_lp (insn, _) -> (
+          match insn with
+          | Insn.Jmp (Sym (s, _), _) | Insn.Jcc (_, Sym (s, _), _) ->
+              if not (is_local s) then wide.(i) <- true
+          | Insn.Jmp (_, w) | Insn.Jcc (_, _, w) -> if w = Insn.W32 then wide.(i) <- true
+          | _ -> ())
+      | _ -> ())
+    items;
+  let widen insn w =
+    match insn with
+    | Insn.Jmp (v, _) -> Insn.Jmp (v, w)
+    | Insn.Jcc (c, v, _) -> Insn.Jcc (c, v, w)
+    | i -> i
+  in
+  let item_size off i it =
+    match it with
+    | A_label _ | A_cfi _ | A_loc _ -> 0
+    | A_align a ->
+        if a <= 1 then 0
+        else
+          let pad = (a - (off mod a)) mod a in
+          pad
+    | A_insn insn | A_insn_lp (insn, _) ->
+        Insn.size (widen insn (if wide.(i) then Insn.W32 else Insn.W8))
+  in
+  let offsets = Array.make (n + 1) 0 in
+  let compute_offsets () =
+    let off = ref 0 in
+    Array.iteri
+      (fun i it ->
+        offsets.(i) <- !off;
+        off := !off + item_size !off i it)
+      items;
+    offsets.(n) <- !off
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    compute_offsets ();
+    Array.iteri
+      (fun i it ->
+        match it with
+        | (A_insn insn | A_insn_lp (insn, _)) when not wide.(i) -> (
+            match insn with
+            | Insn.Jmp (Sym (s, a), _) | Insn.Jcc (_, Sym (s, a), _)
+              when is_local s ->
+                let ti = Hashtbl.find label_idx s in
+                let target = offsets.(ti) + a in
+                let end_of = offsets.(i) + item_size offsets.(i) i it in
+                let rel = target - end_of in
+                if not (Bolt_isa.Codec.fits_i8 rel) then (
+                  wide.(i) <- true;
+                  changed := true)
+            | _ -> ())
+        | _ -> ())
+      items
+  done;
+  compute_offsets ();
+  (items, offsets, wide, label_idx)
+
+(* [resolve_in_unit] maps a symbol defined elsewhere in the same section to
+   its offset (used when a unit is assembled without function sections). *)
+let assemble_function ?(resolve_in_unit = fun _ -> None) ~base f =
+  let items, offsets, wide, label_idx = layout_function f in
+  let n = Array.length items in
+  let size = offsets.(n) in
+  let bytes = Bytes.make size '\x02' (* single-byte nops *) in
+  let relocs = ref [] in
+  let cfi = ref [] in
+  let lsda = ref [] in
+  let dbg = ref [] in
+  let cur_loc = ref None in
+  let note_loc off =
+    match !cur_loc with
+    | None -> ()
+    | Some (f, l) -> (
+        match !dbg with
+        | (_, f', l') :: _ when f' = f && l' = l -> ()
+        | _ -> dbg := (off, f, l) :: !dbg)
+  in
+  let lsda_sym = ref [] in
+  let lsda_open = ref None (* (label, start) of the range being grown *) in
+  let close_lsda upto =
+    match !lsda_open with
+    | None -> ()
+    | Some (pad_label, start) ->
+        lsda_sym := (start, upto - start, pad_label) :: !lsda_sym;
+        (match Hashtbl.find_opt label_idx pad_label with
+        | Some i ->
+            lsda :=
+              {
+                lsda_start = start;
+                lsda_len = upto - start;
+                lsda_pad = offsets.(i);
+                lsda_action = 1;
+              }
+              :: !lsda
+        | None ->
+            (* pad lives outside this fragment; the caller resolves it *)
+            ());
+        lsda_open := None
+  in
+  let local_target s a =
+    match Hashtbl.find_opt label_idx s with
+    | Some i -> Some (offsets.(i) + a)
+    | None -> ( match resolve_in_unit s with Some o -> Some (o - base + a) | None -> None)
+  in
+  let emit_insn i insn =
+    let off = offsets.(i) in
+    let w = if wide.(i) then Insn.W32 else Insn.W8 in
+    let insn =
+      match insn with
+      | Insn.Jmp (v, _) -> Insn.Jmp (v, w)
+      | Insn.Jcc (c, v, _) -> Insn.Jcc (c, v, w)
+      | x -> x
+    in
+    let isize = Insn.size insn in
+    let end_of = off + isize in
+    (* Resolve or relocate the symbolic operand, if any. *)
+    let resolved =
+      match Codec.operand_kind insn with
+      | Codec.Op_none -> insn
+      | Codec.Op_rel (fo, fw) -> (
+          let v =
+            match insn with
+            | Insn.Jmp (v, _) | Insn.Jcc (_, v, _) | Insn.Call v | Insn.Lea_rel (_, v) -> v
+            | _ -> err "unexpected rel operand in %s" (Insn.to_string insn)
+          in
+          match v with
+          | Insn.Imm _ -> insn
+          | Insn.Sym (s, a) -> (
+              match local_target s a with
+              | Some t -> Insn.with_value insn (Insn.Imm (t - end_of))
+              | None ->
+                  let kind = if fw = 1 then Rel8 else Rel32 in
+                  relocs := (off + fo, kind, s, a, isize - fo) :: !relocs;
+                  Insn.with_value insn (Insn.Imm 0)))
+      | Codec.Op_abs (fo, fw) -> (
+          let v =
+            match insn with
+            | Insn.Mov_ri (_, v, _)
+            | Insn.Load_abs (_, v)
+            | Insn.Store_abs (v, _)
+            | Insn.Lea (_, v)
+            | Insn.Call_mem v
+            | Insn.Jmp_mem v
+            | Insn.Alu_ri (_, _, v) ->
+                v
+            | _ -> err "unexpected abs operand in %s" (Insn.to_string insn)
+          in
+          match v with
+          | Insn.Imm _ -> insn
+          | Insn.Sym (s, a) ->
+              let kind = if fw = 8 then Abs64 else Abs32 in
+              relocs := (off + fo, kind, s, a, 0) :: !relocs;
+              Insn.with_value insn (Insn.Imm 0))
+    in
+    ignore (Codec.encode_into bytes off resolved)
+  in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | A_label _ -> ()
+      | A_cfi op -> cfi := (offsets.(i), op) :: !cfi
+      | A_align _ ->
+          (* pad with single-byte nops: bytes are pre-filled with 0x02 *)
+          ()
+      | A_loc (f, l) -> cur_loc := Some (f, l)
+      | A_insn insn ->
+          close_lsda offsets.(i);
+          note_loc offsets.(i);
+          emit_insn i insn
+      | A_insn_lp (insn, pad) ->
+          (match !lsda_open with
+          | Some (p, _) when p = pad -> ()
+          | Some _ ->
+              close_lsda offsets.(i);
+              lsda_open := Some (pad, offsets.(i))
+          | None -> lsda_open := Some (pad, offsets.(i)));
+          note_loc offsets.(i);
+          emit_insn i insn)
+    items;
+  close_lsda size;
+  let labels =
+    Hashtbl.fold (fun l i acc -> (l, offsets.(i)) :: acc) label_idx []
+  in
+  {
+    fo_bytes = bytes;
+    fo_size = size;
+    fo_relocs = List.rev !relocs;
+    fo_cfi = List.rev !cfi;
+    fo_lsda = List.rev !lsda;
+    fo_lsda_sym = List.rev !lsda_sym;
+    fo_dbg = List.rev !dbg;
+    fo_labels = labels;
+  }
+
+(* ---- data sections ---- *)
+
+(* [resolve] maps a function-internal label (e.g. a jump-table target) to
+   (function symbol, offset) so data references can be expressed as
+   relocations against the function symbol with an addend — exactly how a
+   real assembler lowers .L labels away. *)
+let assemble_data ?(resolve = fun _ -> None) ~sec_name items =
+  let buf = Buffer.create 256 in
+  let relocs = ref [] in
+  let syms = ref [] in
+  List.iter
+    (fun it ->
+      let off = Buffer.length buf in
+      match it with
+      | D_label (name, global) -> syms := (name, off, global) :: !syms
+      | D_quad (Insn.Imm v) ->
+          let w = Buf.writer () in
+          Buf.i64 w v;
+          Buffer.add_string buf (Buf.contents w)
+      | D_quad (Insn.Sym (s, a)) ->
+          let s, a =
+            match resolve s with Some (fn, off') -> (fn, off' + a) | None -> (s, a)
+          in
+          relocs :=
+            {
+              rel_section = sec_name;
+              rel_offset = off;
+              rel_kind = Abs64;
+              rel_sym = s;
+              rel_addend = a;
+              rel_end = 0;
+              rel_pic_base = "";
+            }
+            :: !relocs;
+          Buffer.add_string buf (String.make 8 '\x00')
+      | D_quad_pic (s, a, base) ->
+          let s, a =
+            match resolve s with Some (fn, off') -> (fn, off' + a) | None -> (s, a)
+          in
+          relocs :=
+            {
+              rel_section = sec_name;
+              rel_offset = off;
+              rel_kind = Abs64;
+              rel_sym = s;
+              rel_addend = a;
+              rel_end = 0;
+              rel_pic_base = base;
+            }
+            :: !relocs;
+          Buffer.add_string buf (String.make 8 '\x00')
+      | D_space n -> Buffer.add_string buf (String.make n '\x00')
+      | D_align a ->
+          let pad = (a - (off mod a)) mod a in
+          Buffer.add_string buf (String.make pad '\x00'))
+    items;
+  (Bytes.of_string (Buffer.contents buf), List.rev !relocs, List.rev !syms)
+
+(* ---- whole unit ---- *)
+
+let assemble (u : unit_) : Objfile.t =
+  let sections = ref [] in
+  let fn_labels : (string, string * int) Hashtbl.t = Hashtbl.create 64 in
+  let symbols = ref [] in
+  let relocs = ref [] in
+  let fdes = ref [] in
+  let lsdas = ref [] in
+  let dbgs = ref [] in
+  let add_func_output ~sec ~base f (out : fout) =
+    List.iter
+      (fun (l, off) -> Hashtbl.replace fn_labels l (f.af_name, off))
+      out.fo_labels;
+    symbols :=
+      {
+        sym_name = f.af_name;
+        sym_kind = Func;
+        sym_bind = (if f.af_global then Global else Local);
+        sym_section = sec;
+        sym_value = base;
+        sym_size = out.fo_size;
+      }
+      :: !symbols;
+    List.iter
+      (fun (off, kind, s, a, rel_end) ->
+        relocs :=
+          {
+            rel_section = sec;
+            rel_offset = base + off;
+            rel_kind = kind;
+            rel_sym = s;
+            rel_addend = a;
+            rel_end;
+            rel_pic_base = "";
+          }
+          :: !relocs)
+      out.fo_relocs;
+    if f.af_emit_fde then
+      fdes :=
+        { fde_func = f.af_name; fde_addr = base; fde_size = out.fo_size; fde_cfi = out.fo_cfi }
+        :: !fdes;
+    if out.fo_lsda <> [] then
+      lsdas := { lsda_func = f.af_name; lsda_fn_addr = base; lsda_entries = out.fo_lsda } :: !lsdas;
+    if out.fo_dbg <> [] then
+      dbgs := { dbg_func = f.af_name; dbg_addr = base; dbg_entries = out.fo_dbg } :: !dbgs
+  in
+  if u.u_function_sections then
+    List.iter
+      (fun f ->
+        let out = assemble_function ~base:0 f in
+        let sec = ".text." ^ f.af_name in
+        sections :=
+          {
+            sec_name = sec;
+            sec_kind = Text;
+            sec_addr = 0;
+            sec_data = out.fo_bytes;
+            sec_size = out.fo_size;
+          }
+          :: !sections;
+        add_func_output ~sec ~base:0 f out)
+      u.u_funcs
+  else begin
+    (* Single .text: lay out functions sequentially, then resolve
+       cross-function references inside the unit without relocations. *)
+    let align a off = ((off + a - 1) / a) * a in
+    let bases = Hashtbl.create 16 in
+    let off = ref 0 in
+    List.iter
+      (fun f ->
+        off := align (max 1 f.af_align) !off;
+        Hashtbl.add bases f.af_name !off;
+        (* account for size via a dry-run layout *)
+        let _, offsets, _, _ = layout_function f in
+        off := !off + offsets.(Array.length offsets - 1))
+      u.u_funcs;
+    let total = !off in
+    let text = Bytes.make total '\x02' in
+    let resolve_in_unit s = Hashtbl.find_opt bases s in
+    List.iter
+      (fun f ->
+        let base = Hashtbl.find bases f.af_name in
+        let out = assemble_function ~resolve_in_unit ~base f in
+        Bytes.blit out.fo_bytes 0 text base out.fo_size;
+        add_func_output ~sec:".text" ~base f out)
+      u.u_funcs;
+    sections :=
+      [ { sec_name = ".text"; sec_kind = Text; sec_addr = 0; sec_data = text; sec_size = total } ]
+  end;
+  let add_data ~name ~kind items =
+    if items <> [] then begin
+      let resolve l = Hashtbl.find_opt fn_labels l in
+      let data, rs, syms = assemble_data ~resolve ~sec_name:name items in
+      sections :=
+        { sec_name = name; sec_kind = kind; sec_addr = 0; sec_data = data; sec_size = Bytes.length data }
+        :: !sections;
+      relocs := List.rev_append (List.rev rs) !relocs;
+      List.iter
+        (fun (s, off, global) ->
+          symbols :=
+            {
+              sym_name = s;
+              sym_kind = Object;
+              sym_bind = (if global then Global else Local);
+              sym_section = name;
+              sym_value = off;
+              sym_size = 0;
+            }
+            :: !symbols)
+        syms
+    end
+  in
+  add_data ~name:".rodata" ~kind:Rodata u.u_rodata;
+  add_data ~name:".data" ~kind:Data u.u_data;
+  if u.u_bss <> [] then begin
+    let off = ref 0 in
+    let syms =
+      List.map
+        (fun (name, size, global) ->
+          let o = !off in
+          off := !off + size;
+          (name, o, size, global))
+        u.u_bss
+    in
+    sections :=
+      { sec_name = ".bss"; sec_kind = Bss; sec_addr = 0; sec_data = Bytes.empty; sec_size = !off }
+      :: !sections;
+    List.iter
+      (fun (name, o, size, global) ->
+        symbols :=
+          {
+            sym_name = name;
+            sym_kind = Object;
+            sym_bind = (if global then Global else Local);
+            sym_section = ".bss";
+            sym_value = o;
+            sym_size = size;
+          }
+          :: !symbols)
+      syms
+  end;
+  {
+    Objfile.kind = Objfile.Object;
+    entry = 0;
+    sections = List.rev !sections;
+    symbols = List.rev !symbols;
+    relocs = List.rev !relocs;
+    fdes = List.rev !fdes;
+    lsdas = List.rev !lsdas;
+    dbgs = List.rev !dbgs;
+  }

@@ -1,0 +1,1 @@
+lib/core/bfunc.ml: Array Bolt_isa Bolt_obj Cond Fmt Hashtbl Insn List Printf String

@@ -1,0 +1,1 @@
+lib/core/bolt.ml: Bolt_obj Bolt_profile Build Context Dyno_stats Fmt Frame_opts Icf Icp Inline_small Layout_bbs List Match_profile Opts Passes_simple Reorder_funcs Report Rewrite

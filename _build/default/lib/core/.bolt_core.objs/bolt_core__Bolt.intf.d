@@ -1,0 +1,1 @@
+lib/core/bolt.mli: Bolt_obj Bolt_profile Dyno_stats Format Opts Report

@@ -1,0 +1,1 @@
+lib/core/build.ml: Array Bfunc Bolt_isa Bolt_obj Codec Context Hashtbl Insn List Objfile Option Opts Printf Types

@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Bfunc Bolt_isa Bolt_obj Buf Bytes Fmt Hashtbl List Objfile Opts Types

@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Bfunc Bolt_isa Hashtbl Insn List Reg

@@ -1,0 +1,1 @@
+lib/core/dyno_stats.ml: Bfunc Bolt_isa Context Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/emit.ml: Bfunc Bolt_asm Bolt_isa Bolt_obj Cond Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/core/frame_opts.ml: Bfunc Bolt_isa Bolt_obj Context Dataflow Hashtbl Insn List Reg

@@ -1,0 +1,1 @@
+lib/core/heatmap.ml: Array Buffer Fmt Hashtbl Printf

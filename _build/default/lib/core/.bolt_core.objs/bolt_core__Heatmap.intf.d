@@ -1,0 +1,1 @@
+lib/core/heatmap.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/core/icf.ml: Array Bfunc Bolt_isa Buffer Context Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/icp.ml: Bfunc Bolt_isa Bolt_profile Cond Context Hashtbl Insn List Opts

@@ -1,0 +1,1 @@
+lib/core/inline_small.ml: Bfunc Bolt_isa Context Hashtbl Insn List Opts Reg

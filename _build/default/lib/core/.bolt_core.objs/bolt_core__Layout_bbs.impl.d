@@ -1,0 +1,1 @@
+lib/core/layout_bbs.ml: Bfunc Context Hashtbl List Opts

@@ -1,0 +1,1 @@
+lib/core/match_profile.ml: Array Bfunc Bolt_profile Context Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/passes_simple.ml: Array Bfunc Bolt_isa Codec Context Hashtbl Insn List Reg

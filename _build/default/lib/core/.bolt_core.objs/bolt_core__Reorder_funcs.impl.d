@@ -1,0 +1,1 @@
+lib/core/reorder_funcs.ml: Bfunc Bolt_hfsort Bolt_isa Bolt_profile Context Hashtbl List Opts

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Bfunc Context Fmt List Printf

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Array Bfunc Bolt_asm Bolt_isa Bolt_obj Buf Bytes Char Context Emit Filename Hashtbl Layout List Objfile Opts String Types

@@ -1,0 +1,103 @@
+(* The BOLT driver: rewriting pipeline of Figure 3 with the optimization
+   sequence of Table 1.
+
+     1. strip-rep-ret     5. inline-small      9. reorder-bbs (+split)
+     2. icf               6. simplify-ro-loads 10. peepholes
+     3. icp               7. icf               11. uce
+     4. peepholes         8. plt               12. fixup-branches (emission)
+                                               13. reorder-functions
+                                               14. sctc
+                                               15. frame-opts
+                                               16. shrink-wrapping        *)
+
+type report = {
+  r_funcs : int;
+  r_simple : int;
+  r_icf_folded : int;
+  r_icf_bytes : int;
+  r_icp_promoted : int;
+  r_inlined : int;
+  r_frame_saves_removed : int;
+  r_shrink_wrapped : int;
+  r_profile_branches_matched : int;
+  r_profile_branches_unmatched : int;
+  r_dyno_before : Dyno_stats.t;
+  r_dyno_after : Dyno_stats.t;
+  r_text_before : int;
+  r_text_after : int;
+  r_hot_size : int;
+  r_cold_size : int;
+  r_bad_layout : Report.finding list;
+  r_log : string list;
+}
+
+let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
+    (prof : Bolt_profile.Fdata.t) : Bolt_obj.Objfile.t * report =
+  let ctx = Context.create ~opts exe in
+  (* Figure 3: discover functions, read debug info and profile,
+     disassemble, build CFGs *)
+  Build.run ctx;
+  let mstats = Match_profile.attach ctx prof in
+  Match_profile.finalize ctx ~lbr:prof.lbr ~trust_fallthrough:opts.trust_fallthrough;
+  let bad_layout = Report.bad_layout ctx ~top:20 in
+  let dyno_before = Dyno_stats.collect ctx in
+  (* Table 1 pipeline *)
+  if opts.strip_rep_ret then Passes_simple.strip_rep_ret ctx;
+  let icf_folded1, icf_bytes1 = if opts.icf then Icf.run ctx else (0, 0) in
+  let icp_promoted =
+    if opts.icp then Icp.run ctx (Icp.build_site_profile ctx prof) else 0
+  in
+  if opts.peepholes then Passes_simple.peepholes ctx;
+  let inlined = if opts.inline_small then Inline_small.run ctx else 0 in
+  if opts.simplify_ro_loads then Passes_simple.simplify_ro_loads ctx;
+  let icf_folded2, icf_bytes2 = if opts.icf then Icf.run ctx else (0, 0) in
+  if opts.plt then Passes_simple.plt ctx;
+  Layout_bbs.reorder ctx;
+  Layout_bbs.split ctx;
+  if opts.peepholes then Passes_simple.peepholes ctx;
+  if opts.uce then Passes_simple.uce ctx;
+  (* fixup-branches happens structurally at emission *)
+  ctx.Context.func_layout <- Some (Reorder_funcs.run ctx prof);
+  if opts.sctc then Passes_simple.sctc ctx;
+  let frames_removed = if opts.frame_opts then Frame_opts.frame_opts ctx else 0 in
+  let shrink_wrapped =
+    if opts.shrink_wrapping then Frame_opts.shrink_wrapping ctx else 0
+  in
+  let dyno_after = Dyno_stats.collect ctx in
+  (* emit, link, rewrite *)
+  let rw = Rewrite.run ctx in
+  let simple = List.length (Context.simple_funcs ctx) in
+  ( rw.Rewrite.out,
+    {
+      r_funcs = List.length ctx.Context.order;
+      r_simple = simple;
+      r_icf_folded = icf_folded1 + icf_folded2;
+      r_icf_bytes = icf_bytes1 + icf_bytes2;
+      r_icp_promoted = icp_promoted;
+      r_inlined = inlined;
+      r_frame_saves_removed = frames_removed;
+      r_shrink_wrapped = shrink_wrapped;
+      r_profile_branches_matched = mstats.Match_profile.matched_branches;
+      r_profile_branches_unmatched = mstats.Match_profile.unmatched_branches;
+      r_dyno_before = dyno_before;
+      r_dyno_after = dyno_after;
+      r_text_before = rw.Rewrite.text_size_before;
+      r_text_after = rw.Rewrite.text_size_after;
+      r_hot_size = rw.Rewrite.hot_size;
+      r_cold_size = rw.Rewrite.cold_size;
+      r_bad_layout = bad_layout;
+      r_log = List.rev ctx.Context.log;
+    } )
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "BOLT report:@.";
+  Fmt.pf ppf "  functions: %d (%d simple)@." r.r_funcs r.r_simple;
+  Fmt.pf ppf "  icf: %d folded (%d bytes)@." r.r_icf_folded r.r_icf_bytes;
+  Fmt.pf ppf "  icp: %d promoted, inline-small: %d, frame saves removed: %d, shrink-wrapped: %d@."
+    r.r_icp_promoted r.r_inlined r.r_frame_saves_removed r.r_shrink_wrapped;
+  Fmt.pf ppf "  profile: %d branch records matched, %d unmatched@."
+    r.r_profile_branches_matched r.r_profile_branches_unmatched;
+  Fmt.pf ppf "  text: %d -> %d bytes (cold %d)@." r.r_text_before r.r_text_after
+    r.r_cold_size;
+  Fmt.pf ppf "  dyno-stats (profile-weighted, before -> after):@.";
+  Dyno_stats.pp_comparison ppf ~before:r.r_dyno_before ~after:r.r_dyno_after

@@ -1,0 +1,50 @@
+(** The BOLT driver: Figure 3's rewriting pipeline with Table 1's
+    optimization sequence.
+
+    Typical use:
+    {[
+      let exe', report = Bolt.optimize ~opts:Opts.default exe profile in
+      Bolt_obj.Objfile.save "prog.bolt.x" exe'
+    ]} *)
+
+(** Summary of what one [optimize] run did: per-pass counters, profile
+    match quality, dyno-stats before/after (Table 2), code-size effects,
+    and the bad-layout findings collected on the {e original} layout
+    (Figure 10). *)
+type report = {
+  r_funcs : int;  (** functions discovered (symbol table + frame info) *)
+  r_simple : int;  (** functions with a fully reconstructed CFG *)
+  r_icf_folded : int;  (** identical functions folded (both ICF runs) *)
+  r_icf_bytes : int;  (** code bytes eliminated by ICF *)
+  r_icp_promoted : int;  (** indirect call sites promoted *)
+  r_inlined : int;  (** call sites inlined by inline-small *)
+  r_frame_saves_removed : int;  (** dead callee-saved spills removed *)
+  r_shrink_wrapped : int;  (** saves moved next to their cold uses *)
+  r_profile_branches_matched : int;
+  r_profile_branches_unmatched : int;
+  r_dyno_before : Dyno_stats.t;  (** profile-weighted stats, input layout *)
+  r_dyno_after : Dyno_stats.t;  (** same, final layout *)
+  r_text_before : int;  (** code bytes before rewriting *)
+  r_text_after : int;
+  r_hot_size : int;  (** bytes in the hot area (relocations mode) *)
+  r_cold_size : int;  (** bytes moved to the cold area *)
+  r_bad_layout : Report.finding list;  (** §6.3's interleaving report *)
+  r_log : string list;  (** one line per pass, in execution order *)
+}
+
+(** [optimize ~opts exe profile] rewrites the executable under the given
+    options and returns the new binary together with the report.  The
+    rewritten binary is behaviourally identical to the input by
+    construction; only its layout and instruction selection change.
+    Relocations mode (whole-binary function reordering) is used when the
+    input retains linker relocations, unless [opts.use_relocations]
+    overrides the choice. *)
+val optimize :
+  ?opts:Opts.t ->
+  Bolt_obj.Objfile.t ->
+  Bolt_profile.Fdata.t ->
+  Bolt_obj.Objfile.t * report
+
+(** Render the report in the style of BOLT's console output, including the
+    dyno-stats before/after table. *)
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,131 @@
+(* The binary context: the input executable, its parsed metadata, and the
+   set of binary functions under rewriting. *)
+
+open Bolt_obj
+
+type t = {
+  exe : Objfile.t;
+  opts : Opts.t;
+  funcs : (string, Bfunc.t) Hashtbl.t;
+  mutable order : string list; (* functions by original address *)
+  text : Types.section;
+  plt : Types.section option;
+  rodata : Types.section option;
+  got : Types.section option;
+  relocations_mode : bool;
+  (* sorted (addr, size, name) of code symbols for address resolution *)
+  sym_index : (int * int * string) array;
+  plt_target : (string, string) Hashtbl.t; (* stub symbol -> target function *)
+  mutable func_layout : (string list * string list) option; (* hot, cold order *)
+  mutable log : string list; (* pass log, newest first *)
+}
+
+let logf ctx fmt = Fmt.kstr (fun s -> ctx.log <- s :: ctx.log) fmt
+
+exception Bolt_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Bolt_error s)) fmt
+
+let section_value _ctx (sec : Types.section option) addr =
+  match sec with
+  | Some s when addr >= s.sec_addr && addr + 8 <= s.sec_addr + s.sec_size ->
+      let r = Buf.reader (Bytes.to_string s.sec_data) in
+      r.Buf.pos <- addr - s.sec_addr;
+      Some (Buf.r_i64 r)
+  | _ -> None
+
+let in_section (sec : Types.section option) addr =
+  match sec with
+  | Some s -> addr >= s.sec_addr && addr < s.sec_addr + s.sec_size
+  | None -> false
+
+(* Resolve a code address to (function name, offset). *)
+let resolve_code ctx addr =
+  let a = ctx.sym_index in
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let res = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let base, size, name = a.(mid) in
+    if addr < base then hi := mid - 1
+    else if addr >= base + size then lo := mid + 1
+    else begin
+      res := Some (name, addr - base);
+      lo := !hi + 1
+    end
+  done;
+  !res
+
+let create ~(opts : Opts.t) (exe : Objfile.t) : t =
+  let text =
+    match Objfile.find_section exe ".text" with
+    | Some s -> s
+    | None -> err "no .text section"
+  in
+  let plt = Objfile.find_section exe ".plt" in
+  let rodata = Objfile.find_section exe ".rodata" in
+  let got = Objfile.find_section exe ".got" in
+  let relocations_mode =
+    match opts.use_relocations with
+    | Some b -> b
+    | None -> exe.relocs <> []
+  in
+  let code_syms =
+    List.filter
+      (fun (s : Types.symbol) ->
+        s.sym_kind = Types.Func && (s.sym_section = ".text" || s.sym_section = ".plt"))
+      exe.symbols
+  in
+  let sym_index =
+    List.map (fun (s : Types.symbol) -> (s.sym_value, max 1 s.sym_size, s.sym_name)) code_syms
+    |> Array.of_list
+  in
+  Array.sort compare sym_index;
+  (* resolve PLT stubs through their GOT slots *)
+  let plt_target = Hashtbl.create 16 in
+  let ctx =
+    {
+      exe;
+      opts;
+      funcs = Hashtbl.create 256;
+      order = [];
+      text;
+      plt;
+      rodata;
+      got;
+      relocations_mode;
+      sym_index;
+      plt_target;
+      func_layout = None;
+      log = [];
+    }
+  in
+  (match plt with
+  | Some p ->
+      List.iter
+        (fun (s : Types.symbol) ->
+          if s.sym_section = ".plt" && s.sym_kind = Types.Func then
+            match Bolt_isa.Codec.decode p.sec_data (s.sym_value - p.sec_addr) with
+            | Bolt_isa.Insn.Jmp_mem (Bolt_isa.Insn.Imm slot), _ -> (
+                match section_value ctx ctx.got slot with
+                | Some target -> (
+                    match resolve_code ctx target with
+                    | Some (name, 0) -> Hashtbl.replace plt_target s.sym_name name
+                    | _ -> ())
+                | None -> ())
+            | _ | (exception _) -> ())
+        exe.symbols
+  | None -> ());
+  ctx
+
+let func ctx name = Hashtbl.find_opt ctx.funcs name
+
+let iter_funcs ctx g =
+  List.iter (fun name -> g (Hashtbl.find ctx.funcs name)) ctx.order
+
+let simple_funcs ctx =
+  List.filter_map
+    (fun name ->
+      let f = Hashtbl.find ctx.funcs name in
+      if f.Bfunc.simple && f.Bfunc.folded_into = None then Some f else None)
+    ctx.order

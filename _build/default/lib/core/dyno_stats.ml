@@ -1,0 +1,138 @@
+(* -dyno-stats: profile-weighted execution statistics of the current
+   layout, the source of the paper's Table 2.
+
+   All numbers are derived from the CFG annotations: a branch "executes"
+   its block's count; it is "taken" with the weight of its non-fall-through
+   edge; forward/backward is judged against the current block layout.
+   Instruction counts weight each block's length by its execution count. *)
+
+open Bfunc
+
+type t = {
+  mutable executed_forward_branches : int;
+  mutable taken_forward_branches : int;
+  mutable executed_backward_branches : int;
+  mutable taken_backward_branches : int;
+  mutable executed_unconditional : int;
+  mutable executed_instructions : int;
+  mutable total_branches : int;
+  mutable taken_branches : int;
+  mutable non_taken_conditional : int;
+  mutable taken_conditional : int;
+  mutable executed_calls : int;
+}
+
+let zero () =
+  {
+    executed_forward_branches = 0;
+    taken_forward_branches = 0;
+    executed_backward_branches = 0;
+    taken_backward_branches = 0;
+    executed_unconditional = 0;
+    executed_instructions = 0;
+    total_branches = 0;
+    taken_branches = 0;
+    non_taken_conditional = 0;
+    taken_conditional = 0;
+    executed_calls = 0;
+  }
+
+let collect ctx : t =
+  let st = zero () in
+  List.iter
+    (fun fb ->
+      let pos = Hashtbl.create 32 in
+      List.iteri (fun i l -> Hashtbl.replace pos l i) fb.layout;
+      let index l = try Hashtbl.find pos l with Not_found -> max_int in
+      List.iteri
+        (fun i l ->
+          let b = block fb l in
+          let n = b.ecount in
+          st.executed_instructions <-
+            st.executed_instructions + (n * List.length b.insns);
+          List.iter
+            (fun (ins : minsn) ->
+              if Bolt_isa.Insn.is_call ins.op then
+                st.executed_calls <- st.executed_calls + n)
+            b.insns;
+          let next =
+            if i + 1 < List.length fb.layout then List.nth fb.layout (i + 1) else ""
+          in
+          match b.term with
+          | T_cond (_, taken, fall) when taken <> fall ->
+              let tk = edge_count fb l taken in
+              let fl = edge_count fb l fall in
+              let executed = max n (tk + fl) in
+              (* emission picks the branch polarity from the layout: the
+                 emitted Jcc is TAKEN with the weight of whichever edge is
+                 NOT the layout successor *)
+              let jcc_target, jcc_taken, jcc_not_taken, extra_jmp =
+                if next = fall then (taken, tk, fl, 0)
+                else if next = taken then (fall, fl, tk, 0)
+                else (taken, tk, fl, fl) (* Jcc taken + trailing jmp fall *)
+              in
+              let forward = index jcc_target > i in
+              st.total_branches <- st.total_branches + executed;
+              st.taken_branches <- st.taken_branches + jcc_taken;
+              st.taken_conditional <- st.taken_conditional + jcc_taken;
+              st.non_taken_conditional <- st.non_taken_conditional + jcc_not_taken;
+              if forward then begin
+                st.executed_forward_branches <- st.executed_forward_branches + executed;
+                st.taken_forward_branches <- st.taken_forward_branches + jcc_taken
+              end
+              else begin
+                st.executed_backward_branches <- st.executed_backward_branches + executed;
+                st.taken_backward_branches <- st.taken_backward_branches + jcc_taken
+              end;
+              if extra_jmp > 0 then begin
+                st.executed_unconditional <- st.executed_unconditional + extra_jmp;
+                st.taken_branches <- st.taken_branches + extra_jmp;
+                st.total_branches <- st.total_branches + extra_jmp;
+                st.executed_instructions <- st.executed_instructions + extra_jmp
+              end
+          | T_jump t ->
+              if next <> t then begin
+                (* a real jmp instruction will be emitted *)
+                st.executed_unconditional <- st.executed_unconditional + n;
+                st.total_branches <- st.total_branches + n;
+                st.taken_branches <- st.taken_branches + n;
+                st.executed_instructions <- st.executed_instructions + n
+              end
+          | T_condtail (_, _, fall) ->
+              let tk = max 0 (n - edge_count fb l fall) in
+              st.total_branches <- st.total_branches + n;
+              st.taken_branches <- st.taken_branches + tk;
+              st.taken_conditional <- st.taken_conditional + tk;
+              st.non_taken_conditional <- st.non_taken_conditional + (n - tk)
+          | T_indirect _ ->
+              st.total_branches <- st.total_branches + n;
+              st.taken_branches <- st.taken_branches + n
+          | T_cond _ | T_stop -> ())
+        fb.layout)
+    (Context.simple_funcs ctx);
+  st
+
+let rows (t : t) =
+  [
+    ("executed forward branches", t.executed_forward_branches);
+    ("taken forward branches", t.taken_forward_branches);
+    ("executed backward branches", t.executed_backward_branches);
+    ("taken backward branches", t.taken_backward_branches);
+    ("executed unconditional branches", t.executed_unconditional);
+    ("executed instructions", t.executed_instructions);
+    ("total branches", t.total_branches);
+    ("taken branches", t.taken_branches);
+    ("non-taken conditional branches", t.non_taken_conditional);
+    ("taken conditional branches", t.taken_conditional);
+    ("executed calls", t.executed_calls);
+  ]
+
+let pct_delta before after =
+  if before = 0 then 0.0 else 100.0 *. float_of_int (after - before) /. float_of_int before
+
+(* BOLT-style before/after report. *)
+let pp_comparison ppf ~(before : t) ~(after : t) =
+  List.iter2
+    (fun (name, b) (_, a) ->
+      Fmt.pf ppf "  %-34s %12d -> %12d (%+.1f%%)@." name b a (pct_delta b a))
+    (rows before) (rows after)

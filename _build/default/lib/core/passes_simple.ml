@@ -1,0 +1,186 @@
+(* The small transformation passes of Table 1: strip-rep-ret, peepholes,
+   unreachable-code elimination, simplification of conditional tail calls,
+   read-only load simplification and PLT de-indirection. *)
+
+open Bolt_isa
+open Bfunc
+
+(* Pass 1: strip the legacy-AMD repz prefix from returns (2 bytes -> 1). *)
+let strip_rep_ret ctx =
+  let n = ref 0 in
+  List.iter
+    (fun fb ->
+      Hashtbl.iter
+        (fun _ b ->
+          List.iter
+            (fun (i : minsn) ->
+              if i.op = Insn.Repz_ret then begin
+                i.op <- Insn.Ret;
+                incr n
+              end)
+            b.insns)
+        fb.blocks)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "strip-rep-ret: %d returns stripped" !n
+
+(* Passes 4/10: peephole simplifications. *)
+let peepholes ctx =
+  let removed = ref 0 and mutated = ref 0 in
+  List.iter
+    (fun fb ->
+      Hashtbl.iter
+        (fun _ b ->
+          let keep =
+            List.filter
+              (fun (i : minsn) ->
+                match i.op with
+                | Insn.Mov_rr (d, s) when Reg.equal d s ->
+                    incr removed;
+                    false
+                | _ -> true)
+              b.insns
+          in
+          List.iter
+            (fun (i : minsn) ->
+              match i.op with
+              | Insn.Alu_ri (Insn.Cmp, r, Insn.Imm 0) ->
+                  (* cmp r, 0 (6 bytes) -> test r, r (2 bytes) *)
+                  i.op <- Insn.Alu_rr (Insn.Test, r, r);
+                  incr mutated
+              | _ -> ())
+            keep;
+          b.insns <- keep)
+        fb.blocks)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "peepholes: %d removed, %d shortened" !removed !mutated
+
+(* Pass 11: eliminate unreachable basic blocks. *)
+let uce ctx =
+  let n = ref 0 in
+  List.iter
+    (fun fb ->
+      let reach = Hashtbl.create 32 in
+      let rec go l =
+        if not (Hashtbl.mem reach l) then begin
+          Hashtbl.replace reach l ();
+          match block_opt fb l with
+          | Some b -> List.iter go (successors_eh fb b)
+          | None -> ()
+        end
+      in
+      go fb.entry;
+      let dead = ref [] in
+      Hashtbl.iter (fun l _ -> if not (Hashtbl.mem reach l) then dead := l :: !dead) fb.blocks;
+      List.iter
+        (fun l ->
+          Hashtbl.remove fb.blocks l;
+          incr n)
+        !dead;
+      fb.layout <- List.filter (Hashtbl.mem reach) fb.layout)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "uce: %d unreachable blocks removed" !n
+
+(* Pass 14: simplify conditional tail calls — a conditional branch to a
+   block that only forwards (an empty block jumping elsewhere, or a lone
+   direct tail call) is retargeted, removing a jump from the hot path. *)
+let sctc ctx =
+  let n = ref 0 in
+  List.iter
+    (fun fb ->
+      Hashtbl.iter
+        (fun l b ->
+          match b.term with
+          | T_cond (c, taken, fall) when taken <> fall -> (
+              match block_opt fb taken with
+              | Some tb when tb.insns = [] && not tb.is_lp -> (
+                  match tb.term with
+                  | T_jump t2 when t2 <> taken ->
+                      let cnt = edge_count fb l taken in
+                      b.term <- T_cond (c, t2, fall);
+                      add_edge_count fb l t2 cnt 0;
+                      incr n
+                  | _ -> ())
+              | Some tb when not tb.is_lp -> (
+                  (* a lone direct tail call: jcc straight to the callee *)
+                  match (tb.insns, tb.term) with
+                  | [ { op = Insn.Jmp (Insn.Sym (fn, 0), _); _ } ], T_stop ->
+                      b.term <- T_condtail (c, fn, fall);
+                      incr n
+                  | _ -> ())
+              | _ -> ())
+          | T_jump t -> (
+              match block_opt fb t with
+              | Some tb when tb.insns = [] && (not tb.is_lp) && t <> l -> (
+                  match tb.term with
+                  | T_jump t2 when t2 <> t ->
+                      let cnt = edge_count fb l t in
+                      b.term <- T_jump t2;
+                      add_edge_count fb l t2 cnt 0;
+                      incr n
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ())
+        fb.blocks)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "sctc: %d branches simplified" !n
+
+(* Pass 6: loads from statically-known read-only cells become immediate
+   moves, unless the new encoding would be larger (the paper's policy). *)
+let simplify_ro_loads ctx =
+  let n = ref 0 and aborted = ref 0 in
+  let jt_cells = Hashtbl.create 64 in
+  List.iter
+    (fun fb ->
+      Array.iter
+        (fun (jt : jt) ->
+          Array.iteri
+            (fun k _ -> Hashtbl.replace jt_cells (jt.jt_addr + (8 * k)) ())
+            jt.jt_targets)
+        fb.Bfunc.jts)
+    (Context.simple_funcs ctx);
+  List.iter
+    (fun fb ->
+      Hashtbl.iter
+        (fun _ b ->
+          List.iter
+            (fun (i : minsn) ->
+              match i.op with
+              | Insn.Load_abs (r, Insn.Imm a)
+                when Context.in_section ctx.Context.rodata a
+                     && not (Hashtbl.mem jt_cells a) -> (
+                  match Context.section_value ctx ctx.Context.rodata a with
+                  | Some v ->
+                      if Codec.fits_i32 v then begin
+                        (* same 6-byte encoding: a pure win *)
+                        i.op <- Insn.Mov_ri (r, Insn.Imm v, Insn.I32);
+                        incr n
+                      end
+                      else incr aborted (* movabs would be 10 > 6 bytes *)
+                  | None -> ())
+              | _ -> ())
+            b.insns)
+        fb.blocks)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "simplify-ro-loads: %d converted, %d aborted (size)" !n !aborted
+
+(* Pass 8: remove PLT indirection from calls whose stub target is known. *)
+let plt ctx =
+  let n = ref 0 in
+  List.iter
+    (fun fb ->
+      Hashtbl.iter
+        (fun _ b ->
+          List.iter
+            (fun (i : minsn) ->
+              match i.op with
+              | Insn.Call (Insn.Sym (s, 0)) -> (
+                  match Hashtbl.find_opt ctx.Context.plt_target s with
+                  | Some target ->
+                      i.op <- Insn.Call (Insn.Sym (target, 0));
+                      incr n
+                  | None -> ())
+              | _ -> ())
+            b.insns)
+        fb.blocks)
+    (Context.simple_funcs ctx);
+  Context.logf ctx "plt: %d calls de-indirected" !n

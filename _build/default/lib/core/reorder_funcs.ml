@@ -1,0 +1,99 @@
+(* Pass 13: reorder functions with HFSort (§5.3, [25]).
+
+   The weighted call graph comes from the LBR profile when available;
+   otherwise from the binary's direct calls weighted by IP samples near
+   each call site — which is §5.3's degraded-but-workable fallback that
+   cannot see indirect calls.
+
+   The result is a function order (hot first); with split-all-cold,
+   never-sampled functions are pushed to the cold area.  Non-simple
+   functions participate in the ordering (they can be moved as units in
+   relocations mode) but are never split. *)
+
+let direct_calls ctx =
+  let calls = ref [] in
+  Context.iter_funcs ctx (fun fb ->
+      let record off callee = calls := (fb.Bfunc.fb_name, off, callee) :: !calls in
+      if fb.Bfunc.simple then
+        Hashtbl.iter
+          (fun _ b ->
+            List.iter
+              (fun (i : Bfunc.minsn) ->
+                match i.Bfunc.op with
+                | Bolt_isa.Insn.Call (Bolt_isa.Insn.Sym (s, 0)) when i.Bfunc.m_off >= 0 ->
+                    record i.Bfunc.m_off
+                      (match Hashtbl.find_opt ctx.Context.plt_target s with
+                      | Some t -> t
+                      | None -> s)
+                | _ -> ())
+              b.Bfunc.insns)
+          fb.Bfunc.blocks
+      else
+        List.iter
+          (fun (i : Bfunc.minsn) ->
+            match i.Bfunc.op with
+            | Bolt_isa.Insn.Call (Bolt_isa.Insn.Sym (s, 0)) ->
+                record i.Bfunc.m_off
+                  (match Hashtbl.find_opt ctx.Context.plt_target s with
+                  | Some t -> t
+                  | None -> s)
+            | _ -> ())
+          fb.Bfunc.raw_insns);
+  !calls
+
+(* Returns (hot order, cold order). *)
+let run ctx (prof : Bolt_profile.Fdata.t) : string list * string list =
+  let opts = ctx.Context.opts in
+  let live =
+    List.filter
+      (fun n ->
+        match Context.func ctx n with
+        | Some f -> f.Bfunc.folded_into = None
+        | None -> false)
+      ctx.Context.order
+  in
+  let algo =
+    match opts.Opts.reorder_functions with
+    | Opts.Rf_none -> None
+    | Opts.Rf_hfsort -> Some Bolt_hfsort.Order.C3
+    | Opts.Rf_hfsort_plus -> Some Bolt_hfsort.Order.Hfsort_plus
+    | Opts.Rf_pettis_hansen -> Some Bolt_hfsort.Order.Pettis_hansen
+  in
+  match algo with
+  | None -> (live, [])
+  | Some algo ->
+      let funcs =
+        List.map
+          (fun n ->
+            let f = Hashtbl.find ctx.Context.funcs n in
+            (n, max 1 f.Bfunc.fb_size))
+          live
+      in
+      let g =
+        if prof.lbr then Bolt_hfsort.Callgraph.of_profile ~funcs prof
+        else
+          Bolt_hfsort.Callgraph.of_samples_and_calls ~funcs
+            ~direct_calls:(direct_calls ctx) prof
+      in
+      (* ICF may have folded some call targets: fold their samples in *)
+      let order = Bolt_hfsort.Order.order algo g ~original:live in
+      let order = List.filter (fun n -> List.mem n live) order in
+      let events = Bolt_profile.Fdata.func_events prof in
+      let is_sampled n =
+        match Hashtbl.find_opt events n with Some c -> c > 0 | None -> false
+      in
+      let hot, cold =
+        if opts.Opts.split_all_cold then
+          List.partition
+            (fun n ->
+              is_sampled n
+              ||
+              match Context.func ctx n with
+              | Some f -> f.Bfunc.exec_count > 0
+              | None -> false)
+            order
+        else (order, [])
+      in
+      Context.logf ctx "reorder-functions: %d hot, %d cold" (List.length hot)
+        (List.length cold);
+      (hot, cold)

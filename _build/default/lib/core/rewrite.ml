@@ -1,0 +1,497 @@
+(* Rewrite the binary file (last stage of Figure 3).
+
+   Relocations mode (§3.2): every function is re-emitted and the whole
+   .text is laid out afresh — hot functions first in HFSort order, then
+   unsampled functions, then PLT stubs, then all cold fragments.  Enabled
+   when the input keeps linker relocations (--emit-relocs).
+
+   In-place mode (§3.1, the original design): functions stay at their
+   original addresses; an optimized body that fits its old slot replaces
+   it, cold fragments overflow into a fresh code segment at a high
+   address, and anything that does not fit is left untouched.
+
+   Either way: jump-table cells in .rodata are rewritten to the blocks'
+   new addresses (PIC tables keep their difference encoding), GOT slots
+   that hold function addresses are re-pointed, the symbol table, frame
+   descriptors, exception tables and line tables are regenerated, and the
+   entry point is remapped. *)
+
+open Bolt_obj
+open Types
+open Bfunc
+
+type placed = {
+  p_frag : Emit.fragment;
+  mutable p_addr : int;
+}
+
+type result = {
+  out : Objfile.t;
+  hot_size : int;
+  cold_size : int;
+  text_size_before : int;
+  text_size_after : int;
+}
+
+let align a off = if a <= 1 then off else (off + a - 1) / a * a
+
+(* original PLT stub contents: stub symbol -> GOT slot address *)
+let plt_slots ctx =
+  let slots = Hashtbl.create 16 in
+  (match ctx.Context.plt with
+  | Some p ->
+      List.iter
+        (fun (s : symbol) ->
+          if s.sym_section = ".plt" && s.sym_kind = Func then
+            match Bolt_isa.Codec.decode p.sec_data (s.sym_value - p.sec_addr) with
+            | Bolt_isa.Insn.Jmp_mem (Bolt_isa.Insn.Imm slot), _ ->
+                Hashtbl.replace slots s.sym_name slot
+            | _ | (exception _) -> ())
+        ctx.Context.exe.symbols
+  | None -> ());
+  slots
+
+let canon_name ctx name =
+  let rec go n =
+    match Context.func ctx n with
+    | Some f -> ( match f.folded_into with Some s -> go s | None -> n)
+    | None -> n
+  in
+  go name
+
+let run ctx : result =
+  let exe = ctx.Context.exe in
+  let opts = ctx.Context.opts in
+  let text_size_before = exe.sections |> List.filter (fun s -> s.sec_kind = Text)
+                         |> List.fold_left (fun a s -> a + s.sec_size) 0 in
+  let live =
+    List.filter_map
+      (fun n ->
+        let f = Hashtbl.find ctx.Context.funcs n in
+        if f.folded_into = None then Some f else None)
+      ctx.Context.order
+  in
+
+  (* ---- function order ---- *)
+  let prof_order = ctx.Context.func_layout in
+  let hot_names, cold_names =
+    match prof_order with
+    | Some (h, c) -> (h, c)
+    | None -> (List.map (fun f -> f.fb_name) live, [])
+  in
+
+  (* ---- emit fragments ---- *)
+  let frags_of = Hashtbl.create 256 in
+  let reverted = Hashtbl.create 16 in
+  List.iter
+    (fun fb ->
+      let frags = if fb.simple then Emit.emit_simple fb else [ Emit.emit_raw fb ] in
+      Hashtbl.replace frags_of fb.fb_name frags)
+    live;
+
+  (* ---- placement ---- *)
+  let relmode = ctx.Context.relocations_mode in
+  let placements = ref [] in
+  let place frag addr = placements := { p_frag = frag; p_addr = addr } :: !placements in
+  let slots = plt_slots ctx in
+  let hot_end = ref 0 and cold_bytes = ref 0 in
+  if relmode then begin
+    let cursor = ref Layout.text_base in
+    let place_hot (frag : Emit.fragment) align_to =
+      cursor := align align_to !cursor;
+      place frag !cursor;
+      cursor := !cursor + frag.fr_out.Bolt_asm.Asm.fo_size
+    in
+    let by_name = Hashtbl.create 256 in
+    List.iter (fun fb -> Hashtbl.replace by_name fb.fb_name fb) live;
+    let ordered = hot_names @ List.filter (fun n -> not (List.mem n hot_names)) cold_names in
+    let rest =
+      List.filter (fun fb -> not (List.mem fb.fb_name ordered)) live
+      |> List.map (fun fb -> fb.fb_name)
+    in
+    (* hot fragments first, in order *)
+    List.iter
+      (fun n ->
+        match Hashtbl.find_opt frags_of n with
+        | Some (hot :: _) -> place_hot hot opts.Opts.align_functions
+        | _ -> ())
+      (ordered @ rest);
+    (* then PLT stubs *)
+    let stub_frags =
+      Hashtbl.fold
+        (fun stub slot acc ->
+          let insn = Bolt_isa.Insn.Jmp_mem (Bolt_isa.Insn.Imm slot) in
+          let af =
+            {
+              Bolt_asm.Asm.af_name = stub;
+              af_global = false;
+              af_align = 1;
+              af_emit_fde = false;
+              af_body = [ Bolt_asm.Asm.A_insn insn ];
+            }
+          in
+          let out = Bolt_asm.Asm.assemble_function ~base:0 af in
+          {
+            Emit.fr_name = stub;
+            fr_func = stub;
+            fr_out = out;
+            fr_labels = [];
+            fr_lsda_sym = [];
+            fr_has_fde = false;
+          }
+          :: acc)
+        slots []
+    in
+    List.iter (fun f -> place_hot f 16) stub_frags;
+    hot_end := !cursor;
+    (* finally, the cold area *)
+    List.iter
+      (fun n ->
+        match Hashtbl.find_opt frags_of n with
+        | Some (_ :: cold :: _) ->
+            place_hot cold 4;
+            cold_bytes := !cold_bytes + cold.Emit.fr_out.Bolt_asm.Asm.fo_size
+        | _ -> ())
+      (ordered @ rest)
+  end
+  else begin
+    (* in-place: hot fragment must fit the original slot *)
+    let cold_cursor = ref Layout.bolt_text_base in
+    List.iter
+      (fun fb ->
+        match Hashtbl.find_opt frags_of fb.fb_name with
+        | Some (hot :: rest) ->
+            let hot_size = hot.Emit.fr_out.Bolt_asm.Asm.fo_size in
+            if hot_size <= fb.fb_size then begin
+              place hot fb.fb_addr;
+              match rest with
+              | cold :: _ ->
+                  place cold !cold_cursor;
+                  cold_bytes := !cold_bytes + cold.Emit.fr_out.Bolt_asm.Asm.fo_size;
+                  cold_cursor :=
+                    align 4 (!cold_cursor + cold.Emit.fr_out.Bolt_asm.Asm.fo_size)
+              | [] -> ()
+            end
+            else
+              (* does not fit even after splitting: leave untouched *)
+              Hashtbl.replace reverted fb.fb_name ()
+        | _ -> ())
+      live;
+    hot_end := Layout.text_base + ctx.Context.text.sec_size
+  end;
+  let placements = List.rev !placements in
+
+  (* ---- global resolution maps ---- *)
+  let frag_addr = Hashtbl.create 256 in
+  let block_addr = Hashtbl.create 1024 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace frag_addr p.p_frag.Emit.fr_name p.p_addr;
+      List.iter
+        (fun (l, off) ->
+          Hashtbl.replace block_addr (p.p_frag.Emit.fr_func, l) (p.p_addr + off))
+        p.p_frag.Emit.fr_labels)
+    placements;
+  (* reverted / untouched functions keep original addresses *)
+  Hashtbl.iter
+    (fun n () ->
+      match Context.func ctx n with
+      | Some fb -> Hashtbl.replace frag_addr n fb.fb_addr
+      | None -> ())
+    reverted;
+  let resolve_sym s =
+    (* block cross-reference? *)
+    match String.index_opt s '/' with
+    | Some i ->
+        let fn = String.sub s 0 i and l = String.sub s (i + 1) (String.length s - i - 1) in
+        Hashtbl.find_opt block_addr (fn, l)
+    | None -> (
+        let s = canon_name ctx s in
+        match Hashtbl.find_opt frag_addr s with
+        | Some a -> Some a
+        | None -> (
+            (* data or untouched symbol: original address *)
+            match Objfile.find_symbol exe s with
+            | Some sym -> Some sym.sym_value
+            | None -> None))
+  in
+
+  (* ---- build the new text ---- *)
+  let write_frag text text_base_addr p =
+    let out = p.p_frag.Emit.fr_out in
+    let base_off = p.p_addr - text_base_addr in
+    Bytes.blit out.Bolt_asm.Asm.fo_bytes 0 text base_off out.Bolt_asm.Asm.fo_size;
+    List.iter
+      (fun (off, kind, sym, addend, rel_end) ->
+        let s =
+          match resolve_sym sym with
+          | Some a -> a
+          | None -> Context.err "rewrite: undefined symbol %s in %s" sym p.p_frag.Emit.fr_name
+        in
+        let v =
+          match kind with
+          | Abs32 | Abs64 -> s + addend
+          | Rel32 | Rel8 -> s + addend - (p.p_addr + off + rel_end)
+        in
+        let fo = base_off + off in
+        match kind with
+        | Abs64 ->
+            let w = Buf.writer () in
+            Buf.i64 w v;
+            Bytes.blit_string (Buf.contents w) 0 text fo 8
+        | Abs32 | Rel32 ->
+            Bytes.set text fo (Char.chr (v land 0xff));
+            Bytes.set text (fo + 1) (Char.chr ((v asr 8) land 0xff));
+            Bytes.set text (fo + 2) (Char.chr ((v asr 16) land 0xff));
+            Bytes.set text (fo + 3) (Char.chr ((v asr 24) land 0xff))
+        | Rel8 ->
+            if not (Bolt_isa.Codec.fits_i8 v) then
+              Context.err "rewrite: rel8 overflow in %s" p.p_frag.Emit.fr_name;
+            Bytes.set text fo (Char.chr (v land 0xff)))
+      out.Bolt_asm.Asm.fo_relocs
+  in
+
+  let sections = ref [] in
+  if relmode then begin
+    let text_size = !hot_end - Layout.text_base + !cold_bytes + 64 in
+    let total =
+      List.fold_left
+        (fun acc p ->
+          max acc (p.p_addr + p.p_frag.Emit.fr_out.Bolt_asm.Asm.fo_size - Layout.text_base))
+        0 placements
+    in
+    let size = max text_size total in
+    if Layout.text_base + size >= Layout.rodata_base then
+      Context.err "rewrite: text overflow";
+    let text = Bytes.make size '\x02' in
+    List.iter (fun p -> write_frag text Layout.text_base p) placements;
+    sections :=
+      [ { sec_name = ".text"; sec_kind = Text; sec_addr = Layout.text_base; sec_data = text; sec_size = size } ]
+  end
+  else begin
+    (* in-place: start from the original text bytes *)
+    let orig = ctx.Context.text in
+    let text = Bytes.copy orig.sec_data in
+    let in_text, in_cold =
+      List.partition (fun p -> p.p_addr < Layout.bolt_text_base) placements
+    in
+    (* clear each rewritten function's slot to nops first *)
+    List.iter
+      (fun p ->
+        match Context.func ctx p.p_frag.Emit.fr_func with
+        | Some fb when p.p_frag.Emit.fr_name = fb.fb_name ->
+            Bytes.fill text (fb.fb_addr - orig.sec_addr) fb.fb_size '\x02'
+        | _ -> ())
+      in_text;
+    List.iter (fun p -> write_frag text orig.sec_addr p) in_text;
+    let cold_size =
+      List.fold_left
+        (fun acc p ->
+          max acc (p.p_addr + p.p_frag.Emit.fr_out.Bolt_asm.Asm.fo_size - Layout.bolt_text_base))
+        0 in_cold
+    in
+    let cold = Bytes.make (max cold_size 0) '\x02' in
+    List.iter (fun p -> write_frag cold Layout.bolt_text_base p) in_cold;
+    sections :=
+      [ { orig with sec_data = text } ]
+      @ (match ctx.Context.plt with Some p -> [ p ] | None -> [])
+      @
+      if cold_size > 0 then
+        [ { sec_name = ".bolt.text"; sec_kind = Text; sec_addr = Layout.bolt_text_base; sec_data = cold; sec_size = cold_size } ]
+      else []
+  end;
+
+  (* ---- patch jump tables in .rodata ---- *)
+  let rodata =
+    match ctx.Context.rodata with
+    | Some ro ->
+        let data = Bytes.copy ro.sec_data in
+        List.iter
+          (fun fb ->
+            if fb.simple && not (Hashtbl.mem reverted fb.fb_name) then
+              Array.iter
+                (fun (jt : jt) ->
+                  Array.iteri
+                    (fun k l ->
+                      match Hashtbl.find_opt block_addr (fb.fb_name, l) with
+                      | Some a ->
+                          let v = if jt.jt_pic then a - jt.jt_addr else a in
+                          let w = Buf.writer () in
+                          Buf.i64 w v;
+                          Bytes.blit_string (Buf.contents w) 0 data
+                            (jt.jt_addr - ro.sec_addr + (8 * k))
+                            8
+                      | None -> ())
+                    jt.jt_targets)
+                fb.jts)
+          live;
+        Some { ro with sec_data = data }
+    | None -> None
+  in
+
+  (* ---- patch GOT and other data relocations against moved functions ---- *)
+  let got =
+    match ctx.Context.got with
+    | Some g when relmode ->
+        let data = Bytes.copy g.sec_data in
+        List.iter
+          (fun (r : reloc) ->
+            if r.rel_section = ".got" && r.rel_kind = Abs64 && r.rel_addend = 0 then
+              match resolve_sym r.rel_sym with
+              | Some a ->
+                  let w = Buf.writer () in
+                  Buf.i64 w a;
+                  Bytes.blit_string (Buf.contents w) 0 data r.rel_offset 8
+              | None -> ())
+          exe.relocs;
+        Some { g with sec_data = data }
+    | g -> g
+  in
+
+  (* ---- symbols ---- *)
+  let new_symbols =
+    List.filter_map
+      (fun (s : symbol) ->
+        if s.sym_kind = Func && s.sym_section = ".plt" && relmode then
+          (* stub moved into .text *)
+          match Hashtbl.find_opt frag_addr s.sym_name with
+          | Some a -> Some { s with sym_value = a; sym_section = ".text" }
+          | None -> None
+        else
+          match Context.func ctx s.sym_name with
+          | Some fb -> (
+              let target = canon_name ctx s.sym_name in
+              match Hashtbl.find_opt frag_addr target with
+              | Some a ->
+                  let size =
+                    match Hashtbl.find_opt frags_of target with
+                    | Some (hot :: _) when not (Hashtbl.mem reverted target) ->
+                        if relmode then hot.Emit.fr_out.Bolt_asm.Asm.fo_size
+                        else fb.fb_size
+                    | _ -> fb.fb_size
+                  in
+                  Some { s with sym_value = a; sym_size = size }
+              | None -> Some s)
+          | None -> Some s)
+      exe.symbols
+  in
+  let cold_symbols =
+    List.filter_map
+      (fun p ->
+        let n = p.p_frag.Emit.fr_name in
+        if Filename.check_suffix n ".cold" then
+          Some
+            {
+              sym_name = n;
+              sym_kind = Func;
+              sym_bind = Local;
+              sym_section = (if relmode then ".text" else ".bolt.text");
+              sym_value = p.p_addr;
+              sym_size = p.p_frag.Emit.fr_out.Bolt_asm.Asm.fo_size;
+            }
+        else None)
+      placements
+  in
+
+  (* ---- frame info, exception tables, line tables ---- *)
+  let fdes = ref [] and lsdas = ref [] and dbgs = ref [] in
+  List.iter
+    (fun p ->
+      let frag = p.p_frag in
+      let out = frag.Emit.fr_out in
+      let fb = Context.func ctx frag.Emit.fr_func in
+      match fb with
+      | Some fb when fb.simple && not (Hashtbl.mem reverted fb.fb_name) ->
+          if frag.Emit.fr_has_fde then
+            fdes :=
+              {
+                fde_func = frag.Emit.fr_name;
+                fde_addr = p.p_addr;
+                fde_size = out.Bolt_asm.Asm.fo_size;
+                fde_cfi = out.Bolt_asm.Asm.fo_cfi;
+              }
+              :: !fdes;
+          (if frag.Emit.fr_lsda_sym <> [] then
+             let entries =
+               List.filter_map
+                 (fun (start, len, pad) ->
+                   match Hashtbl.find_opt block_addr (fb.fb_name, pad) with
+                   | Some pad_addr ->
+                       Some
+                         {
+                           lsda_start = start;
+                           lsda_len = len;
+                           lsda_pad = pad_addr - p.p_addr;
+                           lsda_action = 1;
+                         }
+                   | None -> None)
+                 frag.Emit.fr_lsda_sym
+             in
+             if entries <> [] then
+               lsdas :=
+                 { lsda_func = frag.Emit.fr_name; lsda_fn_addr = p.p_addr; lsda_entries = entries }
+                 :: !lsdas);
+          if opts.Opts.update_debug_sections && out.Bolt_asm.Asm.fo_dbg <> [] then
+            dbgs :=
+              { dbg_func = frag.Emit.fr_name; dbg_addr = p.p_addr; dbg_entries = out.Bolt_asm.Asm.fo_dbg }
+              :: !dbgs
+      | Some fb ->
+          (* non-simple or reverted: original metadata rebased *)
+          if frag.Emit.fr_name = fb.fb_name then begin
+            (match Objfile.fde_for exe fb.fb_name with
+            | Some f -> fdes := { f with fde_addr = p.p_addr } :: !fdes
+            | None -> ());
+            (match Objfile.lsda_for exe fb.fb_name with
+            | Some l -> lsdas := { l with lsda_fn_addr = p.p_addr } :: !lsdas
+            | None -> ());
+            match Objfile.dbg_for exe fb.fb_name with
+            | Some d -> dbgs := { d with dbg_addr = p.p_addr } :: !dbgs
+            | None -> ()
+          end
+      | None -> ())
+    placements;
+  (* reverted functions keep their original records *)
+  Hashtbl.iter
+    (fun n () ->
+      (match Objfile.fde_for exe n with Some f -> fdes := f :: !fdes | None -> ());
+      (match Objfile.lsda_for exe n with Some l -> lsdas := l :: !lsdas | None -> ());
+      match Objfile.dbg_for exe n with Some d -> dbgs := d :: !dbgs | None -> ())
+    reverted;
+
+  let other_sections =
+    List.filter_map
+      (fun (s : section) ->
+        match s.sec_kind with
+        | Text -> None
+        | _ ->
+            if s.sec_name = ".rodata" then rodata
+            else if s.sec_name = ".got" then got
+            else Some s)
+      exe.sections
+  in
+  let entry =
+    match resolve_sym "main" with Some a -> a | None -> exe.entry
+  in
+  let out =
+    {
+      Objfile.kind = Objfile.Executable;
+      entry;
+      sections = !sections @ other_sections;
+      symbols = new_symbols @ cold_symbols;
+      relocs = [];
+      fdes = List.rev !fdes;
+      lsdas = List.rev !lsdas;
+      dbgs = List.rev !dbgs;
+    }
+  in
+  let text_size_after =
+    out.Objfile.sections |> List.filter (fun s -> s.sec_kind = Text)
+    |> List.fold_left (fun a s -> a + s.sec_size) 0
+  in
+  {
+    out;
+    hot_size = !hot_end - Layout.text_base;
+    cold_size = !cold_bytes;
+    text_size_before;
+    text_size_after;
+  }

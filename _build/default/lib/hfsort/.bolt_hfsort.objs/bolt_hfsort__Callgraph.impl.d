@@ -1,0 +1,1 @@
+lib/hfsort/callgraph.ml: Bolt_profile Hashtbl List

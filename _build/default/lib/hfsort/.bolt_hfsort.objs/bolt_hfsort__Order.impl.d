@@ -1,0 +1,1 @@
+lib/hfsort/order.ml: Array Callgraph Hashtbl List

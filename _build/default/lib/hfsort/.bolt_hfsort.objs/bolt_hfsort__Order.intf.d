@@ -1,0 +1,1 @@
+lib/hfsort/order.mli: Callgraph

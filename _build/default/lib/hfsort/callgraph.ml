@@ -1,0 +1,99 @@
+(* Weighted dynamic call graph for function reordering.
+
+   With LBR profiles, edge weights come straight from recorded call
+   branches (from one function into offset 0 of another).  Without LBRs
+   the paper's §5.3 fallback applies: walk the binary's direct calls and
+   weight each caller→callee edge by the samples observed in the caller's
+   enclosing code — indirect calls are invisible in that mode. *)
+
+type node = { n_name : string; n_size : int; mutable n_samples : int }
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  edges : (string * string, int ref) Hashtbl.t; (* caller, callee -> weight *)
+}
+
+let create () = { nodes = Hashtbl.create 256; edges = Hashtbl.create 1024 }
+
+let add_node g ~name ~size =
+  if not (Hashtbl.mem g.nodes name) then
+    Hashtbl.replace g.nodes name { n_name = name; n_size = size; n_samples = 0 }
+
+let node g name = Hashtbl.find_opt g.nodes name
+
+let add_samples g name c =
+  match Hashtbl.find_opt g.nodes name with
+  | Some n -> n.n_samples <- n.n_samples + c
+  | None -> ()
+
+let add_edge g caller callee w =
+  if w > 0 && Hashtbl.mem g.nodes caller && Hashtbl.mem g.nodes callee then
+    match Hashtbl.find_opt g.edges (caller, callee) with
+    | Some r -> r := !r + w
+    | None -> Hashtbl.add g.edges (caller, callee) (ref w)
+
+(* Incoming call weight per function. *)
+let in_weights g =
+  let h = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (_, callee) w ->
+      Hashtbl.replace h callee (!w + try Hashtbl.find h callee with Not_found -> 0))
+    g.edges;
+  h
+
+(* The hottest caller of each function. *)
+let hottest_caller g =
+  let best = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (caller, callee) w ->
+      if caller <> callee then
+        match Hashtbl.find_opt best callee with
+        | Some (_, bw) when bw >= !w -> ()
+        | _ -> Hashtbl.replace best callee (caller, !w))
+    g.edges;
+  best
+
+(* Build from an LBR profile: calls are branches landing at offset 0 of
+   another function. *)
+let of_profile ~(funcs : (string * int) list) (prof : Bolt_profile.Fdata.t) : t =
+  let g = create () in
+  List.iter (fun (name, size) -> add_node g ~name ~size) funcs;
+  let events = Bolt_profile.Fdata.func_events prof in
+  Hashtbl.iter (fun name c -> add_samples g name c) events;
+  List.iter
+    (fun (b : Bolt_profile.Fdata.branch) ->
+      if b.br_from_func <> b.br_to_func && b.br_to_off = 0 then
+        add_edge g b.br_from_func b.br_to_func b.br_count)
+    prof.branches;
+  g
+
+(* §5.3 fallback: no LBR.  [direct_calls] lists the binary's static call
+   sites as (caller, offset-in-caller, callee); each edge gets the IP
+   samples recorded near the call site (same function, any offset —
+   approximated by the caller's sample count scaled per site). *)
+let of_samples_and_calls ~(funcs : (string * int) list)
+    ~(direct_calls : (string * int * string) list) (prof : Bolt_profile.Fdata.t) : t =
+  let g = create () in
+  List.iter (fun (name, size) -> add_node g ~name ~size) funcs;
+  let events = Bolt_profile.Fdata.func_events prof in
+  Hashtbl.iter (fun name c -> add_samples g name c) events;
+  (* samples per (func, off) for call-site weighting *)
+  let site_w = Hashtbl.create 1024 in
+  List.iter
+    (fun (s : Bolt_profile.Fdata.sample) ->
+      Hashtbl.replace site_w (s.sm_func, s.sm_off)
+        (s.sm_count
+        + try Hashtbl.find site_w (s.sm_func, s.sm_off) with Not_found -> 0))
+    prof.samples;
+  List.iter
+    (fun (caller, off, callee) ->
+      (* weight: samples within a small window after the call site *)
+      let w = ref 0 in
+      for o = off to off + 16 do
+        match Hashtbl.find_opt site_w (caller, o) with
+        | Some c -> w := !w + c
+        | None -> ()
+      done;
+      add_edge g caller callee (max 1 !w))
+    direct_calls;
+  g

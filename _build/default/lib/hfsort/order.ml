@@ -1,0 +1,182 @@
+(* Function-ordering algorithms.
+
+   - [c3] is HFSort's call-chain clustering (Ottoni & Maher, CGO'17): hot
+     functions are appended to the cluster of their hottest caller as long
+     as the merged cluster stays within a page-budget and the callee is not
+     drastically colder than the cluster, then clusters are emitted by
+     density (samples per byte).
+   - [hfsort_plus] runs c3 and then greedily merges clusters by expected
+     i-TLB benefit — a simplified rendition of the hfsort+ refinement used
+     by BOLT's -reorder-functions=hfsort+.
+   - [pettis_hansen] is the classic PH "closest is best" cluster merge on
+     raw edge weights, the baseline HFSort was measured against. *)
+
+type algo = C3 | Hfsort_plus | Pettis_hansen
+
+let page_budget = 4096
+let merge_density_ratio = 8 (* callee may be at most 8x colder per byte *)
+
+type cluster = {
+  mutable members : string list; (* reversed *)
+  mutable c_size : int;
+  mutable c_samples : int;
+}
+
+let density c = if c.c_size = 0 then 0.0 else float_of_int c.c_samples /. float_of_int c.c_size
+
+let cluster_order clusters =
+  clusters
+  |> List.filter (fun c -> c.members <> [])
+  |> List.sort (fun a b -> compare (density b) (density a))
+  |> List.concat_map (fun c -> List.rev c.members)
+
+let c3_clusters (g : Callgraph.t) =
+  let nodes = Hashtbl.fold (fun _ n acc -> n :: acc) g.Callgraph.nodes [] in
+  let hot =
+    List.filter (fun n -> n.Callgraph.n_samples > 0) nodes
+    |> List.sort (fun a b ->
+           if a.Callgraph.n_samples <> b.Callgraph.n_samples then
+             compare b.Callgraph.n_samples a.Callgraph.n_samples
+           else compare a.Callgraph.n_name b.Callgraph.n_name)
+  in
+  let cluster_of : (string, cluster) Hashtbl.t = Hashtbl.create 256 in
+  let clusters = ref [] in
+  let fresh n =
+    let c =
+      { members = [ n.Callgraph.n_name ]; c_size = n.Callgraph.n_size; c_samples = n.n_samples }
+    in
+    Hashtbl.replace cluster_of n.n_name c;
+    clusters := c :: !clusters;
+    c
+  in
+  List.iter (fun n -> ignore (fresh n)) hot;
+  let best_caller = Callgraph.hottest_caller g in
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt best_caller n.Callgraph.n_name with
+      | None -> ()
+      | Some (caller, _w) -> (
+          match
+            (Hashtbl.find_opt cluster_of caller, Hashtbl.find_opt cluster_of n.n_name)
+          with
+          | Some cc, Some cf when cc != cf ->
+              let merged_size = cc.c_size + cf.c_size in
+              let callee_density =
+                if cf.c_size = 0 then 0.0
+                else float_of_int cf.c_samples /. float_of_int cf.c_size
+              in
+              if
+                merged_size <= page_budget
+                && callee_density *. float_of_int merge_density_ratio >= density cc
+              then begin
+                cc.members <- cf.members @ cc.members;
+                cc.c_size <- merged_size;
+                cc.c_samples <- cc.c_samples + cf.c_samples;
+                List.iter (fun m -> Hashtbl.replace cluster_of m cc) cf.members;
+                cf.members <- [];
+                cf.c_size <- 0;
+                cf.c_samples <- 0
+              end
+          | _ -> ()))
+    hot;
+  !clusters
+
+let c3 g = cluster_order (c3_clusters g)
+
+(* hfsort+ style refinement: keep merging cluster pairs with the highest
+   inter-cluster call weight normalised by merged size, while the merge
+   still fits a small multiple of the page budget. *)
+let hfsort_plus (g : Callgraph.t) =
+  let clusters = Array.of_list (List.filter (fun c -> c.members <> []) (c3_clusters g)) in
+  let n = Array.length clusters in
+  let idx_of = Hashtbl.create 256 in
+  Array.iteri
+    (fun i c -> List.iter (fun m -> Hashtbl.replace idx_of m i) c.members)
+    clusters;
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  (* inter-cluster weights *)
+  let w = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun (a, b) r ->
+      match (Hashtbl.find_opt idx_of a, Hashtbl.find_opt idx_of b) with
+      | Some ia, Some ib when ia <> ib ->
+          let key = (min ia ib, max ia ib) in
+          Hashtbl.replace w key (!r + try Hashtbl.find w key with Not_found -> 0)
+      | _ -> ())
+    g.Callgraph.edges;
+  let candidates =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) w []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  List.iter
+    (fun ((ia, ib), _) ->
+      let ra = find ia and rb = find ib in
+      if ra <> rb && clusters.(ra).c_size + clusters.(rb).c_size <= 4 * page_budget
+      then begin
+        let a, b = (clusters.(ra), clusters.(rb)) in
+        (* append the less dense cluster after the denser one *)
+        let hi, lo = if density a >= density b then (a, b) else (b, a) in
+        hi.members <- lo.members @ hi.members;
+        hi.c_size <- hi.c_size + lo.c_size;
+        hi.c_samples <- hi.c_samples + lo.c_samples;
+        lo.members <- [];
+        lo.c_size <- 0;
+        lo.c_samples <- 0;
+        let rhi = if hi == a then ra else rb in
+        parent.(ra) <- rhi;
+        parent.(rb) <- rhi
+      end)
+    candidates;
+  cluster_order (Array.to_list clusters)
+
+(* Classic Pettis-Hansen function ordering: merge the clusters joined by
+   the globally heaviest remaining edge. *)
+let pettis_hansen (g : Callgraph.t) =
+  let cluster_of = Hashtbl.create 256 in
+  let clusters = ref [] in
+  Hashtbl.iter
+    (fun _ n ->
+      if n.Callgraph.n_samples > 0 then begin
+        let c =
+          {
+            members = [ n.Callgraph.n_name ];
+            c_size = n.Callgraph.n_size;
+            c_samples = n.n_samples;
+          }
+        in
+        Hashtbl.replace cluster_of n.n_name c;
+        clusters := c :: !clusters
+      end)
+    g.Callgraph.nodes;
+  let edges =
+    Hashtbl.fold (fun (a, b) r acc -> if a <> b then ((a, b), !r) :: acc else acc) g.edges []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  List.iter
+    (fun ((a, b), _) ->
+      match (Hashtbl.find_opt cluster_of a, Hashtbl.find_opt cluster_of b) with
+      | Some ca, Some cb when ca != cb ->
+          ca.members <- cb.members @ ca.members;
+          ca.c_size <- ca.c_size + cb.c_size;
+          ca.c_samples <- ca.c_samples + cb.c_samples;
+          List.iter (fun m -> Hashtbl.replace cluster_of m ca) cb.members;
+          cb.members <- [];
+          cb.c_size <- 0;
+          cb.c_samples <- 0
+      | _ -> ())
+    edges;
+  cluster_order !clusters
+
+(* Full ordering: hot functions by the chosen algorithm, then everything
+   else in original order. *)
+let order algo (g : Callgraph.t) ~(original : string list) : string list =
+  let hot =
+    match algo with
+    | C3 -> c3 g
+    | Hfsort_plus -> hfsort_plus g
+    | Pettis_hansen -> pettis_hansen g
+  in
+  let placed = Hashtbl.create 256 in
+  List.iter (fun f -> Hashtbl.replace placed f ()) hot;
+  hot @ List.filter (fun f -> not (Hashtbl.mem placed f)) original

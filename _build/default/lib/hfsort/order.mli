@@ -1,0 +1,29 @@
+(** Function-ordering algorithms over a weighted dynamic call graph.
+
+    [C3] is HFSort's call-chain clustering (Ottoni & Maher, CGO'17): each
+    hot function is appended to the cluster of its hottest caller while
+    the merged cluster fits a page budget, then clusters are emitted in
+    decreasing density (samples per byte).  [Hfsort_plus] adds a greedy
+    cluster-merging refinement driven by inter-cluster call weight, the
+    spirit of BOLT's [-reorder-functions=hfsort+].  [Pettis_hansen] is the
+    classic "closest is best" baseline. *)
+
+type algo = C3 | Hfsort_plus | Pettis_hansen
+
+(** Bytes of hot code a C3 cluster may grow to before merging stops; one
+    simulated i-TLB page. *)
+val page_budget : int
+
+(** Order produced by plain C3 over the hot (sampled) functions only. *)
+val c3 : Callgraph.t -> string list
+
+(** C3 followed by the hfsort+ style cluster-merge refinement. *)
+val hfsort_plus : Callgraph.t -> string list
+
+(** Classic Pettis-Hansen function ordering. *)
+val pettis_hansen : Callgraph.t -> string list
+
+(** [order algo g ~original] is a complete permutation of [original]: the
+    algorithm's hot-function order first, then every remaining function in
+    its original position order. *)
+val order : algo -> Callgraph.t -> original:string list -> string list

@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Bytes Char Cond Insn Int64 Printf Reg

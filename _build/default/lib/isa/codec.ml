@@ -1,0 +1,256 @@
+(* Byte-accurate encoder/decoder for BISA instructions.
+
+   [encode] demands fully resolved operands ([Imm]); the assembler and the
+   binary rewriter resolve symbols (or leave a zero placeholder plus a
+   relocation) before coming here.  [decode] is total over well-formed
+   code and raises [Decode_error] otherwise; round-tripping preserves both
+   the instruction and its encoded size, which the rewriter depends on. *)
+
+open Insn
+
+exception Decode_error of int (* position *)
+exception Encoding_overflow of string
+
+let fits_i8 n = n >= -128 && n <= 127
+let fits_i32 n = n >= -0x8000_0000 && n <= 0x7fff_ffff
+
+let imm_exn what = function
+  | Imm n -> n
+  | Sym (s, _) ->
+      invalid_arg (Printf.sprintf "Codec.encode: unresolved symbol %s in %s" s what)
+
+let put8 b pos v = Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff))
+
+let put_i8 b pos v =
+  if not (fits_i8 v) then raise (Encoding_overflow "i8");
+  put8 b pos v
+
+let put_i32 b pos v =
+  if not (fits_i32 v) then raise (Encoding_overflow "i32");
+  put8 b pos v;
+  put8 b (pos + 1) (v asr 8);
+  put8 b (pos + 2) (v asr 16);
+  put8 b (pos + 3) (v asr 24)
+
+let put_i64 b pos v =
+  let v64 = Int64.of_int v in
+  for i = 0 to 7 do
+    put8 b (pos + i) (Int64.to_int (Int64.shift_right_logical v64 (8 * i)))
+  done
+
+let get8 b pos = Char.code (Bytes.get b pos)
+
+let get_i8 b pos =
+  let v = get8 b pos in
+  if v >= 128 then v - 256 else v
+
+let get_i32 b pos =
+  let lo = get8 b pos lor (get8 b (pos + 1) lsl 8) lor (get8 b (pos + 2) lsl 16) in
+  let hi = get8 b (pos + 3) in
+  let hi = if hi >= 128 then hi - 256 else hi in
+  (hi lsl 24) lor lo
+
+let get_i64 b pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get8 b (pos + i)))
+  done;
+  Int64.to_int !v
+
+let _ = get_i32 (* silence shadow warning pattern *)
+
+(* Encode [i] into [b] at [pos]; returns the number of bytes written. *)
+let encode_into b pos i =
+  let n = size i in
+  (match i with
+  | Halt -> put8 b pos 0x01
+  | Nop 1 -> put8 b pos 0x02
+  | Nop k ->
+      if k < 2 || k > 15 then invalid_arg "Codec.encode: nop size";
+      put8 b pos 0x03;
+      put8 b (pos + 1) k;
+      for j = 2 to k - 1 do
+        put8 b (pos + j) 0x90
+      done
+  | Ret -> put8 b pos 0x04
+  | Repz_ret ->
+      put8 b pos 0x05;
+      put8 b (pos + 1) 0x04
+  | Push r ->
+      put8 b pos 0x06;
+      put8 b (pos + 1) (Reg.to_int r)
+  | Pop r ->
+      put8 b pos 0x07;
+      put8 b (pos + 1) (Reg.to_int r)
+  | Mov_rr (d, s) ->
+      put8 b pos 0x08;
+      put8 b (pos + 1) ((Reg.to_int d lsl 4) lor Reg.to_int s)
+  | Mov_ri (d, v, I64) ->
+      put8 b pos 0x09;
+      put8 b (pos + 1) (Reg.to_int d);
+      put_i64 b (pos + 2) (imm_exn "movabs" v)
+  | Mov_ri (d, v, I32) ->
+      put8 b pos 0x0A;
+      put8 b (pos + 1) (Reg.to_int d);
+      put_i32 b (pos + 2) (imm_exn "mov" v)
+  | Load (d, base, off) ->
+      put8 b pos 0x0B;
+      put8 b (pos + 1) ((Reg.to_int d lsl 4) lor Reg.to_int base);
+      put_i32 b (pos + 2) off
+  | Store (base, off, s) ->
+      put8 b pos 0x0C;
+      put8 b (pos + 1) ((Reg.to_int s lsl 4) lor Reg.to_int base);
+      put_i32 b (pos + 2) off
+  | Load_abs (d, v) ->
+      put8 b pos 0x0D;
+      put8 b (pos + 1) (Reg.to_int d);
+      put_i32 b (pos + 2) (imm_exn "load_abs" v)
+  | Store_abs (v, s) ->
+      put8 b pos 0x0E;
+      put8 b (pos + 1) (Reg.to_int s);
+      put_i32 b (pos + 2) (imm_exn "store_abs" v)
+  | Lea (d, v) ->
+      put8 b pos 0x0F;
+      put8 b (pos + 1) (Reg.to_int d);
+      put_i32 b (pos + 2) (imm_exn "lea" v)
+  | Lea_rel (d, v) ->
+      put8 b pos 0x56;
+      put8 b (pos + 1) (Reg.to_int d);
+      put_i32 b (pos + 2) (imm_exn "lea_rel" v)
+  | Alu_rr (op, d, s) ->
+      put8 b pos (0x10 + alu_code op);
+      put8 b (pos + 1) ((Reg.to_int d lsl 4) lor Reg.to_int s)
+  | Alu_ri (op, d, v) ->
+      put8 b pos (0x20 + alu_code op);
+      put8 b (pos + 1) (Reg.to_int d);
+      put_i32 b (pos + 2) (imm_exn "alu_ri" v)
+  | Setcc (c, r) ->
+      put8 b pos 0x57;
+      put8 b (pos + 1) ((Cond.to_int c lsl 4) lor Reg.to_int r)
+  | Jmp (v, W8) ->
+      put8 b pos 0x30;
+      put_i8 b (pos + 1) (imm_exn "jmp8" v)
+  | Jmp (v, W32) ->
+      put8 b pos 0x31;
+      put_i32 b (pos + 1) (imm_exn "jmp" v)
+  | Jcc (c, v, W8) ->
+      put8 b pos (0x40 + Cond.to_int c);
+      put_i8 b (pos + 1) (imm_exn "jcc8" v)
+  | Jcc (c, v, W32) ->
+      put8 b pos (0x48 + Cond.to_int c);
+      put8 b (pos + 1) 0;
+      put_i32 b (pos + 2) (imm_exn "jcc" v)
+  | Call v ->
+      put8 b pos 0x50;
+      put_i32 b (pos + 1) (imm_exn "call" v)
+  | Call_ind r ->
+      put8 b pos 0x51;
+      put8 b (pos + 1) (Reg.to_int r)
+  | Call_mem v ->
+      put8 b pos 0x52;
+      put8 b (pos + 1) 0;
+      put_i32 b (pos + 2) (imm_exn "call_mem" v)
+  | Jmp_ind r ->
+      put8 b pos 0x53;
+      put8 b (pos + 1) (Reg.to_int r)
+  | Jmp_mem v ->
+      put8 b pos 0x54;
+      put8 b (pos + 1) 0;
+      put_i32 b (pos + 2) (imm_exn "jmp_mem" v)
+  | In_ r ->
+      put8 b pos 0x60;
+      put8 b (pos + 1) (Reg.to_int r)
+  | Out r ->
+      put8 b pos 0x61;
+      put8 b (pos + 1) (Reg.to_int r)
+  | Throw -> put8 b pos 0x62);
+  n
+
+let encode i =
+  let b = Bytes.make (size i) '\x00' in
+  ignore (encode_into b 0 i);
+  b
+
+(* Decode the instruction at [pos]; returns it with its encoded size. *)
+let decode b pos =
+  let opc = get8 b pos in
+  let reg1 () = Reg.of_int (get8 b (pos + 1) land 0x0f) in
+  let pair () =
+    let v = get8 b (pos + 1) in
+    (Reg.of_int (v lsr 4), Reg.of_int (v land 0x0f))
+  in
+  let i =
+    match opc with
+    | 0x01 -> Halt
+    | 0x02 -> Nop 1
+    | 0x03 ->
+        let k = get8 b (pos + 1) in
+        if k < 2 || k > 15 then raise (Decode_error pos);
+        Nop k
+    | 0x04 -> Ret
+    | 0x05 -> Repz_ret
+    | 0x06 -> Push (reg1 ())
+    | 0x07 -> Pop (reg1 ())
+    | 0x08 ->
+        let d, s = pair () in
+        Mov_rr (d, s)
+    | 0x09 -> Mov_ri (reg1 (), Imm (get_i64 b (pos + 2)), I64)
+    | 0x0A -> Mov_ri (reg1 (), Imm (get_i32 b (pos + 2)), I32)
+    | 0x0B ->
+        let d, base = pair () in
+        Load (d, base, get_i32 b (pos + 2))
+    | 0x0C ->
+        let s, base = pair () in
+        Store (base, get_i32 b (pos + 2), s)
+    | 0x0D -> Load_abs (reg1 (), Imm (get_i32 b (pos + 2)))
+    | 0x0E -> Store_abs (Imm (get_i32 b (pos + 2)), reg1 ())
+    | 0x0F -> Lea (reg1 (), Imm (get_i32 b (pos + 2)))
+    | 0x56 -> Lea_rel (reg1 (), Imm (get_i32 b (pos + 2)))
+    | op when op >= 0x10 && op <= 0x1B ->
+        let d, s = pair () in
+        Alu_rr (alu_of_code (op - 0x10), d, s)
+    | 0x57 ->
+        let v = get8 b (pos + 1) in
+        Setcc (Cond.of_int (v lsr 4), Reg.of_int (v land 0x0f))
+    | op when op >= 0x20 && op <= 0x2B ->
+        Alu_ri (alu_of_code (op - 0x20), reg1 (), Imm (get_i32 b (pos + 2)))
+    | 0x30 -> Jmp (Imm (get_i8 b (pos + 1)), W8)
+    | 0x31 -> Jmp (Imm (get_i32 b (pos + 1)), W32)
+    | op when op >= 0x40 && op <= 0x45 ->
+        Jcc (Cond.of_int (op - 0x40), Imm (get_i8 b (pos + 1)), W8)
+    | op when op >= 0x48 && op <= 0x4D ->
+        Jcc (Cond.of_int (op - 0x48), Imm (get_i32 b (pos + 2)), W32)
+    | 0x50 -> Call (Imm (get_i32 b (pos + 1)))
+    | 0x51 -> Call_ind (reg1 ())
+    | 0x52 -> Call_mem (Imm (get_i32 b (pos + 2)))
+    | 0x53 -> Jmp_ind (reg1 ())
+    | 0x54 -> Jmp_mem (Imm (get_i32 b (pos + 2)))
+    | 0x60 -> In_ (reg1 ())
+    | 0x61 -> Out (reg1 ())
+    | 0x62 -> Throw
+    | _ -> raise (Decode_error pos)
+  in
+  (i, size i)
+
+(* Location of the immediate operand inside the encoding, with its width in
+   bytes and its addressing kind.  Relocation plumbing in the assembler and
+   the rewriter is driven by this. *)
+
+type operand_kind =
+  | Op_none
+  | Op_abs of int * int (* byte offset within the encoding, width *)
+  | Op_rel of int * int (* pc-relative, measured from end of insn *)
+
+let operand_kind = function
+  | Mov_ri (_, _, I64) -> Op_abs (2, 8)
+  | Mov_ri (_, _, I32) -> Op_abs (2, 4)
+  | Load_abs _ | Store_abs _ | Lea _ -> Op_abs (2, 4)
+  | Call_mem _ | Jmp_mem _ -> Op_abs (2, 4)
+  | Lea_rel _ -> Op_rel (2, 4)
+  | Alu_ri _ -> Op_abs (2, 4)
+  | Jmp (_, W8) -> Op_rel (1, 1)
+  | Jmp (_, W32) -> Op_rel (1, 4)
+  | Jcc (_, _, W8) -> Op_rel (1, 1)
+  | Jcc (_, _, W32) -> Op_rel (2, 4)
+  | Call _ -> Op_rel (1, 4)
+  | _ -> Op_none

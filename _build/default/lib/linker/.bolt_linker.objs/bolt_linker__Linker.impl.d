@@ -1,0 +1,1 @@
+lib/linker/linker.ml: Array Bolt_isa Bolt_obj Buf Bytes Char Fmt Hashtbl Layout List Objfile String Types

@@ -1,0 +1,1 @@
+lib/minic/blocklayout.ml: Hashtbl Ir List Pgo

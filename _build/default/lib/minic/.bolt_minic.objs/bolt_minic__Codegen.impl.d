@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Blocklayout Bolt_asm Bolt_isa Bolt_obj Codec Cond Hashtbl Insn Ir List Option Pgo Printf Reg

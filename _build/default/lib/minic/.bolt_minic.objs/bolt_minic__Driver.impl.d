@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Bolt_asm Bolt_linker Bolt_obj Codegen Inline Ir Irpass List Lower Parser Pgo Sema

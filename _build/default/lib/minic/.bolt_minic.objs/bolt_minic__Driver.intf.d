@@ -1,0 +1,1 @@
+lib/minic/driver.mli: Bolt_linker Bolt_obj Inline Ir Pgo Sema

@@ -1,0 +1,1 @@
+lib/minic/inline.ml: Array Hashtbl Ir List Option Pgo

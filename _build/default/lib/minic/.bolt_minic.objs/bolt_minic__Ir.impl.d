@@ -1,0 +1,1 @@
+lib/minic/ir.ml: Array Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/minic/irpass.ml: Array Hashtbl Ir List

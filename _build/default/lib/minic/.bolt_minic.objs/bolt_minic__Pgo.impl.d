@@ -1,0 +1,1 @@
+lib/minic/pgo.ml: Array Hashtbl Ir List Printf String

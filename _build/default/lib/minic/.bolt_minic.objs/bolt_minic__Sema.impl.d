@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Array Ast Fmt Hashtbl List

@@ -1,0 +1,71 @@
+(* Compiler-side basic-block layout.
+
+   Without a profile the compiler uses reverse postorder, which keeps
+   loop bodies together and puts the static fall-through path first.
+   With a PGO profile it builds Pettis-Hansen-style chains over the
+   weighted edges.  Either way this is the layout BOLT later inspects and
+   — thanks to its more accurate binary-level profile — improves. *)
+
+open Ir
+
+(* Greedy bottom-up chaining on edge weights. *)
+let profiled_order (f : func) : label list =
+  let labels = List.map fst f.f_blocks in
+  let chain_of = Hashtbl.create 16 in
+  let chains = Hashtbl.create 16 in
+  List.iteri
+    (fun i l ->
+      Hashtbl.replace chain_of l i;
+      Hashtbl.replace chains i [ l ])
+    labels;
+  let edges =
+    Hashtbl.fold (fun (s, d) c acc -> ((s, d), c) :: acc) f.f_edge_counts []
+    |> List.filter (fun ((s, d), _) -> s <> d)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  List.iter
+    (fun ((s, d), _c) ->
+      match (Hashtbl.find_opt chain_of s, Hashtbl.find_opt chain_of d) with
+      | Some cs, Some cd when cs <> cd ->
+          let ls = Hashtbl.find chains cs in
+          let ld = Hashtbl.find chains cd in
+          (* merge only when s ends its chain and d heads its chain *)
+          if List.nth ls (List.length ls - 1) = s && List.hd ld = d && d <> f.f_entry
+          then begin
+            let merged = ls @ ld in
+            Hashtbl.replace chains cs merged;
+            Hashtbl.remove chains cd;
+            List.iter (fun l -> Hashtbl.replace chain_of l cs) ld
+          end
+      | _ -> ())
+    edges;
+  let w = Pgo.block_counts f in
+  let weight_of_chain ls =
+    List.fold_left (fun acc l -> acc + (try Hashtbl.find w l with Not_found -> 0)) 0 ls
+  in
+  let all = Hashtbl.fold (fun _ ls acc -> ls :: acc) chains [] in
+  let entry_chain, rest =
+    List.partition (fun ls -> List.mem f.f_entry ls) all
+  in
+  let rest = List.sort (fun a b -> compare (weight_of_chain b) (weight_of_chain a)) rest in
+  List.concat (entry_chain @ rest)
+
+let order (f : func) : label list =
+  let o = if Pgo.has_profile f then profiled_order f else rpo f in
+  (* make sure every block appears exactly once, entry first *)
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun l ->
+        if Hashtbl.mem seen l then false
+        else begin
+          Hashtbl.replace seen l ();
+          true
+        end)
+      o
+  in
+  let missing = List.filter (fun (l, _) -> not (Hashtbl.mem seen l)) f.f_blocks in
+  let uniq = uniq @ List.map fst missing in
+  match uniq with
+  | e :: _ when e = f.f_entry -> uniq
+  | _ -> f.f_entry :: List.filter (fun l -> l <> f.f_entry) uniq

@@ -1,0 +1,195 @@
+(* IR-level function inlining.
+
+   Crucially for the paper's Figure 2 story, the callee's edge profile is
+   an AGGREGATE over all of its call sites: when the same function is
+   inlined into several callers, every copy inherits the same (scaled)
+   branch ratios even if the per-call-site behaviour is completely
+   different.  BOLT, reading per-address samples from the final binary,
+   does not suffer this loss. *)
+
+open Ir
+
+let func_size (f : func) =
+  List.fold_left (fun acc (_, b) -> acc + 1 + List.length b.insns) 0 f.f_blocks
+
+let has_calls_to (f : func) name =
+  List.exists
+    (fun (_, b) ->
+      List.exists
+        (fun (i, _) -> match i with Icall (_, fn, _) -> fn = name | _ -> false)
+        b.insns)
+    f.f_blocks
+
+type decision_input = {
+  small_threshold : int; (* always inline below this size *)
+  hint_threshold : int; (* inline 'inline'-marked functions below this *)
+  hot_threshold : int; (* with profile: inline call sites at least this hot *)
+  hot_size_limit : int;
+}
+
+let default_decisions =
+  { small_threshold = 14; hint_threshold = 60; hot_threshold = 1000; hot_size_limit = 40 }
+
+(* Splice [callee] into [caller] at a given call.  [args] are caller temps.
+   Returns the label the caller should jump to and the continuation label
+   mapping applied. *)
+let splice caller callee ~args ~dst ~site_lp ~cont =
+  let lmap = Hashtbl.create 16 in
+  let tmap = Hashtbl.create 32 in
+  let map_label l =
+    match Hashtbl.find_opt lmap l with
+    | Some l' -> l'
+    | None ->
+        let l' = new_label caller in
+        Hashtbl.replace lmap l l';
+        l'
+  in
+  let map_temp t =
+    match Hashtbl.find_opt tmap t with
+    | Some t' -> t'
+    | None ->
+        let t' = new_temp caller in
+        Hashtbl.replace tmap t t';
+        t'
+  in
+  (* parameter binding block *)
+  let entry' = map_label callee.f_entry in
+  let bind = new_label caller in
+  let binds =
+    List.map2 (fun p a -> (Imov (map_temp p, a), callee.f_line)) callee.f_params args
+  in
+  add_block caller bind
+    { insns = binds; term = Tjmp entry'; term_line = callee.f_line; lp = site_lp };
+  List.iter
+    (fun (l, b) ->
+      let insns =
+        List.map
+          (fun (i, line) ->
+            let m = map_temp in
+            let i =
+              match i with
+              | Iconst (d, n) -> Iconst (m d, n)
+              | Imov (d, s) -> Imov (m d, m s)
+              | Ibin (op, d, a, b) -> Ibin (op, m d, m a, m b)
+              | Icmp (op, d, a, b) -> Icmp (op, m d, m a, m b)
+              | Iload_g (d, g) -> Iload_g (m d, g)
+              | Istore_g (g, v) -> Istore_g (g, m v)
+              | Iload_idx (d, g, ix) -> Iload_idx (m d, g, m ix)
+              | Istore_idx (g, ix, v) -> Istore_idx (g, m ix, m v)
+              | Iload_ro (d, g, ix) -> Iload_ro (m d, g, ix)
+              | Iaddr (d, s) -> Iaddr (m d, s)
+              | Icall (d, fn, xs) -> Icall (Option.map m d, fn, List.map m xs)
+              | Icall_ind (d, c, xs) -> Icall_ind (Option.map m d, m c, List.map m xs)
+              | Iin d -> Iin (m d)
+              | Iout v -> Iout (m v)
+              | Iprofcnt n -> Iprofcnt n
+              | Ilandingpad d -> Ilandingpad (m d)
+            in
+            (i, line))
+          b.insns
+      in
+      let term, extra =
+        match b.term with
+        | Tret (Some t) -> (
+            match dst with
+            | Some d -> (Tjmp cont, [ (Imov (d, map_temp t), b.term_line) ])
+            | None -> (Tjmp cont, []))
+        | Tret None -> (
+            match dst with
+            | Some d -> (Tjmp cont, [ (Iconst (d, 0), b.term_line) ])
+            | None -> (Tjmp cont, []))
+        | Tjmp l -> (Tjmp (map_label l), [])
+        | Tbr (c, a, b2, l1, l2) ->
+            (Tbr (c, map_temp a, map_temp b2, map_label l1, map_label l2), [])
+        | Tswitch (t, base, targets, d) ->
+            (Tswitch (map_temp t, base, Array.map map_label targets, map_label d), [])
+        | Tthrow t -> (Tthrow (map_temp t), [])
+      in
+      let lp =
+        match b.lp with Some l -> Some (map_label l) | None -> site_lp
+      in
+      add_block caller (map_label l)
+        { insns = insns @ extra; term; term_line = b.term_line; lp })
+    callee.f_blocks;
+  (* scale and import the callee's aggregate edge profile *)
+  (bind, lmap)
+
+let scale_profile caller callee lmap ~site_count =
+  let ec = Pgo.entry_count callee in
+  if ec > 0 && site_count > 0 then
+    Hashtbl.iter
+      (fun (s, d) c ->
+        match (Hashtbl.find_opt lmap s, Hashtbl.find_opt lmap d) with
+        | Some s', Some d' ->
+            let scaled = c * site_count / ec in
+            let prev =
+              try Hashtbl.find caller.f_edge_counts (s', d') with Not_found -> 0
+            in
+            Hashtbl.replace caller.f_edge_counts (s', d') (prev + scaled)
+        | _ -> ())
+      callee.f_edge_counts
+
+(* Inline eligible call sites across the program.  One pass, processing
+   functions bottom-up-ish (callees before callers by not re-visiting newly
+   spliced calls).  [cross_module] is false for non-LTO builds: a classic
+   compiler cannot see other translation units' bodies. *)
+let run ?(decisions = default_decisions) ?(cross_module = false) (p : program) =
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace by_name f.f_name f) p.p_funcs;
+  let inlined = ref 0 in
+  List.iter
+    (fun caller ->
+      let block_w = Pgo.block_counts caller in
+      let work = List.map fst caller.f_blocks in
+      List.iter
+        (fun l ->
+          match block_opt caller l with
+          | None -> ()
+          | Some b ->
+              (* at most one inline per block per pass keeps this simple *)
+              let rec find_site pre = function
+                | [] -> None
+                | ((Icall (dst, fn, args), line) as it) :: post -> (
+                    match Hashtbl.find_opt by_name fn with
+                    | Some callee
+                      when callee.f_name <> caller.f_name
+                           && (cross_module || callee.f_module = caller.f_module) -> (
+                        let size = func_size callee in
+                        let site_count =
+                          try Hashtbl.find block_w l with Not_found -> 0
+                        in
+                        let profitable =
+                          size <= decisions.small_threshold
+                          || (callee.f_inline && size <= decisions.hint_threshold)
+                          || (Pgo.has_profile caller
+                             && site_count >= decisions.hot_threshold
+                             && size <= decisions.hot_size_limit)
+                        in
+                        let recursive = has_calls_to callee callee.f_name in
+                        let has_lp =
+                          List.exists (fun (_, cb) -> cb.lp <> None) callee.f_blocks
+                        in
+                        ignore has_lp;
+                        if profitable && not recursive then
+                          Some (List.rev pre, dst, fn, args, line, post, site_count)
+                        else find_site (it :: pre) post)
+                    | _ -> find_site (it :: pre) post)
+                | it :: post -> find_site (it :: pre) post
+              in
+              (match find_site [] b.insns with
+              | None -> ()
+              | Some (pre, dst, fn, args, _line, post, site_count) ->
+                  let callee = Hashtbl.find by_name fn in
+                  let cont = new_label caller in
+                  add_block caller cont
+                    { insns = post; term = b.term; term_line = b.term_line; lp = b.lp };
+                  let bind, lmap =
+                    splice caller callee ~args ~dst ~site_lp:b.lp ~cont
+                  in
+                  b.insns <- pre;
+                  b.term <- Tjmp bind;
+                  scale_profile caller callee lmap ~site_count;
+                  incr inlined))
+        work)
+    p.p_funcs;
+  !inlined

@@ -1,0 +1,231 @@
+(* IR cleanup passes: unreachable-block elimination, straight-line block
+   merging, jump threading, local constant folding and dead-code
+   elimination.  These run before instrumentation and profile annotation
+   so both compiler runs (the instrumented one and the optimized one) see
+   the same canonical CFG, which is what makes profile labels line up. *)
+
+open Ir
+
+let remove_unreachable (f : func) =
+  let r = reachable f in
+  f.f_blocks <- List.filter (fun (l, _) -> Hashtbl.mem r l) f.f_blocks
+
+(* Retarget jumps to empty forwarding blocks. *)
+let thread_jumps (f : func) =
+  let forward = Hashtbl.create 8 in
+  List.iter
+    (fun (l, b) ->
+      match (b.insns, b.term) with
+      | [], Tjmp t when t <> l -> Hashtbl.replace forward l t
+      | _ -> ())
+    f.f_blocks;
+  let rec resolve seen l =
+    if List.mem l seen then l
+    else
+      match Hashtbl.find_opt forward l with
+      | Some t -> resolve (l :: seen) t
+      | None -> l
+  in
+  let r l = resolve [] l in
+  let changed = ref false in
+  List.iter
+    (fun (_, b) ->
+      let t' =
+        match b.term with
+        | Tjmp l -> Tjmp (r l)
+        | Tbr (c, a, x, l1, l2) -> Tbr (c, a, x, r l1, r l2)
+        | Tswitch (t, base, targets, d) ->
+            Tswitch (t, base, Array.map r targets, r d)
+        | t -> t
+      in
+      if t' <> b.term then begin
+        b.term <- t';
+        changed := true
+      end)
+    f.f_blocks;
+  !changed
+
+(* Merge [b] into [a] when a ends with an unconditional jump to b and b has
+   no other predecessors (and the same landing pad). *)
+let merge_straightline (f : func) =
+  let preds = predecessors f in
+  let changed = ref false in
+  List.iter
+    (fun (l, b) ->
+      match b.term with
+      (* the source block must still be live: an earlier merge in this same
+         pass may have already folded it into another block *)
+      | Tjmp t when t <> l && t <> f.f_entry && List.mem_assoc l f.f_blocks -> (
+          match Hashtbl.find_opt preds t with
+          | Some [ p ] when p = l -> (
+              match block_opt f t with
+              | Some tb
+                when tb.lp = b.lp
+                     && not
+                          (List.exists
+                             (fun (i, _) ->
+                               match i with Ilandingpad _ -> true | _ -> false)
+                             tb.insns) ->
+                  b.insns <- b.insns @ tb.insns;
+                  b.term <- tb.term;
+                  b.term_line <- tb.term_line;
+                  f.f_blocks <- List.filter (fun (l', _) -> l' <> t) f.f_blocks;
+                  changed := true
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    f.f_blocks;
+  !changed
+
+(* Local constant folding and copy propagation, one block at a time. *)
+let fold_block (b : block) =
+  let consts = Hashtbl.create 16 in
+  let copies = Hashtbl.create 16 in
+  let kill t =
+    Hashtbl.remove consts t;
+    Hashtbl.remove copies t;
+    (* any copy of t is stale now *)
+    let stale = Hashtbl.fold (fun k v acc -> if v = t then k :: acc else acc) copies [] in
+    List.iter (Hashtbl.remove copies) stale
+  in
+  let subst t = match Hashtbl.find_opt copies t with Some s -> s | None -> t in
+  let const_of t = Hashtbl.find_opt consts (subst t) in
+  let eval_bin op a b =
+    match op with
+    | Add -> a + b
+    | Sub -> a - b
+    | Mul -> a * b
+    | Div -> if b = 0 then 0 else a / b
+    | Mod -> if b = 0 then 0 else a mod b
+    | And -> a land b
+    | Or -> a lor b
+    | Xor -> a lxor b
+    | Shl -> a lsl (b land 63)
+    | Shr -> a asr (b land 63)
+  in
+  let eval_cmp op a b =
+    let r =
+      match op with
+      | Ceq -> a = b
+      | Cne -> a <> b
+      | Clt -> a < b
+      | Cle -> a <= b
+      | Cgt -> a > b
+      | Cge -> a >= b
+    in
+    if r then 1 else 0
+  in
+  let insns =
+    List.map
+      (fun (i, line) ->
+        let i =
+          match i with
+          | Imov (d, s) -> Imov (d, subst s)
+          | Ibin (op, d, a, b) -> Ibin (op, d, subst a, subst b)
+          | Icmp (op, d, a, b) -> Icmp (op, d, subst a, subst b)
+          | Iload_idx (d, g, ix) -> Iload_idx (d, g, subst ix)
+          | Istore_idx (g, ix, v) -> Istore_idx (g, subst ix, subst v)
+          | Istore_g (g, v) -> Istore_g (g, subst v)
+          | Iout v -> Iout (subst v)
+          | Icall (d, fn, args) -> Icall (d, fn, List.map subst args)
+          | Icall_ind (d, c, args) -> Icall_ind (d, subst c, List.map subst args)
+          | i -> i
+        in
+        let i =
+          match i with
+          | Ibin (op, d, a, b) -> (
+              match (const_of a, const_of b) with
+              | Some ca, Some cb -> Iconst (d, eval_bin op ca cb)
+              | _ -> i)
+          | Icmp (op, d, a, b) -> (
+              match (const_of a, const_of b) with
+              | Some ca, Some cb -> Iconst (d, eval_cmp op ca cb)
+              | _ -> i)
+          | i -> i
+        in
+        (match i with
+        | Iconst (d, n) ->
+            kill d;
+            Hashtbl.replace consts d n
+        | Imov (d, s) ->
+            kill d;
+            (match Hashtbl.find_opt consts s with
+            | Some n -> Hashtbl.replace consts d n
+            | None -> Hashtbl.replace copies d s)
+        | _ -> List.iter kill (defs_of i));
+        (i, line))
+      b.insns
+  in
+  b.insns <- insns;
+  (* fold a conditional branch whose operands are both constants *)
+  (match b.term with
+  | Tbr (op, a, bb, l1, l2) -> (
+      let a = subst a and bb = subst bb in
+      match (const_of a, const_of bb) with
+      | Some ca, Some cb -> b.term <- Tjmp (if eval_cmp op ca cb = 1 then l1 else l2)
+      | _ -> b.term <- Tbr (op, a, bb, l1, l2))
+  | Tswitch (t, base, targets, d) -> (
+      let t = subst t in
+      match const_of t with
+      | Some v ->
+          let idx = v - base in
+          b.term <-
+            Tjmp (if idx >= 0 && idx < Array.length targets then targets.(idx) else d)
+      | None -> b.term <- Tswitch (t, base, targets, d))
+  | Tret (Some t) -> b.term <- Tret (Some (subst t))
+  | Tthrow t -> b.term <- Tthrow (subst t)
+  | _ -> ())
+
+let is_pure = function
+  | Iconst _ | Imov _ | Ibin _ | Icmp _ | Iaddr _ | Iload_g _ | Iload_idx _ | Iload_ro _ ->
+      true
+  | _ -> false
+
+(* Remove pure instructions whose result is never used anywhere in the
+   function. *)
+let dce (f : func) =
+  let used = Hashtbl.create 64 in
+  let mark t = Hashtbl.replace used t () in
+  List.iter
+    (fun (_, b) ->
+      List.iter (fun (i, _) -> List.iter mark (uses_of i)) b.insns;
+      List.iter mark (term_uses b.term))
+    f.f_blocks;
+  List.iter mark f.f_params;
+  let changed = ref false in
+  List.iter
+    (fun (_, b) ->
+      let keep =
+        List.filter
+          (fun (i, _) ->
+            if is_pure i then
+              match defs_of i with
+              | [ d ] when not (Hashtbl.mem used d) ->
+                  changed := false || true;
+                  false
+              | _ -> true
+            else true)
+          b.insns
+      in
+      if List.length keep <> List.length b.insns then begin
+        b.insns <- keep;
+        changed := true
+      end)
+    f.f_blocks;
+  !changed
+
+(* Run the cleanup pipeline to a (bounded) fixpoint. *)
+let cleanup_func (f : func) =
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < 8 do
+    incr rounds;
+    List.iter (fun (_, b) -> fold_block b) f.f_blocks;
+    let c1 = thread_jumps f in
+    remove_unreachable f;
+    let c2 = merge_straightline f in
+    let c3 = dce f in
+    continue_ := c1 || c2 || c3
+  done
+
+let cleanup (p : program) = List.iter cleanup_func p.p_funcs

@@ -1,0 +1,397 @@
+(* AST to IR lowering.
+
+   Control flow is made explicit here: short-circuit operators become
+   branches, switches become dense [Tswitch] tables when profitable and
+   compare chains otherwise, and try/catch regions become landing-pad
+   attributes on the blocks they cover. *)
+
+open Ast
+
+type ctx = {
+  f : Ir.func;
+  genv : Sema.genv;
+  locals : (string, Ir.temp) Hashtbl.t;
+  mutable cur : Ir.label;
+  mutable cur_insns : (Ir.insn * int) list; (* reversed *)
+  mutable cur_lp : Ir.label option;
+  mutable loop_stack : (Ir.label * Ir.label) list; (* continue, break *)
+  mutable terminated : bool;
+}
+
+let start_block ctx l =
+  ctx.cur <- l;
+  ctx.cur_insns <- [];
+  ctx.terminated <- false
+
+let emit ctx ~line i = ctx.cur_insns <- (i, line) :: ctx.cur_insns
+
+let finish ctx ~line term =
+  if not ctx.terminated then begin
+    Ir.add_block ctx.f ctx.cur
+      {
+        Ir.insns = List.rev ctx.cur_insns;
+        term;
+        term_line = line;
+        lp = ctx.cur_lp;
+      };
+    ctx.terminated <- true
+  end
+
+let fresh_block ctx =
+  let l = Ir.new_label ctx.f in
+  l
+
+(* Dense-table heuristic: at least 4 cases and table no sparser than 3x. *)
+let switch_is_dense cases =
+  match cases with
+  | [] -> false
+  | _ ->
+      let vs = List.map fst cases in
+      let min_v = List.fold_left min (List.hd vs) vs in
+      let max_v = List.fold_left max (List.hd vs) vs in
+      let span = max_v - min_v + 1 in
+      List.length cases >= 4 && span <= 3 * List.length cases && span <= 512
+
+let is_global_scalar ctx v =
+  (not (Hashtbl.mem ctx.locals v))
+  && match Hashtbl.find_opt ctx.genv.Sema.globals v with
+     | Some Sema.Gscalar -> true
+     | _ -> false
+
+let rec lower_expr ctx ~line (e : expr) : Ir.temp =
+  match e with
+  | Eint n ->
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Iconst (t, n));
+      t
+  | Evar v -> (
+      match Hashtbl.find_opt ctx.locals v with
+      | Some t -> t
+      | None ->
+          let t = Ir.new_temp ctx.f in
+          emit ctx ~line (Ir.Iload_g (t, v));
+          t)
+  | Ebin ((Bland | Blor), _, _) | Enot _ -> lower_bool ctx ~line e
+  | Ebin (op, a, b) -> (
+      let cmp c =
+        let ta = lower_expr ctx ~line a in
+        let tb = lower_expr ctx ~line b in
+        let t = Ir.new_temp ctx.f in
+        emit ctx ~line (Ir.Icmp (c, t, ta, tb));
+        t
+      in
+      match op with
+      | Beq -> cmp Ir.Ceq
+      | Bne -> cmp Ir.Cne
+      | Blt -> cmp Ir.Clt
+      | Ble -> cmp Ir.Cle
+      | Bgt -> cmp Ir.Cgt
+      | Bge -> cmp Ir.Cge
+      | _ ->
+          let bop =
+            match op with
+            | Badd -> Ir.Add
+            | Bsub -> Ir.Sub
+            | Bmul -> Ir.Mul
+            | Bdiv -> Ir.Div
+            | Bmod -> Ir.Mod
+            | Band -> Ir.And
+            | Bor -> Ir.Or
+            | Bxor -> Ir.Xor
+            | Bshl -> Ir.Shl
+            | Bshr -> Ir.Shr
+            | _ -> assert false
+          in
+          let ta = lower_expr ctx ~line a in
+          let tb = lower_expr ctx ~line b in
+          let t = Ir.new_temp ctx.f in
+          emit ctx ~line (Ir.Ibin (bop, t, ta, tb));
+          t)
+  | Eneg a ->
+      let z = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Iconst (z, 0));
+      let ta = lower_expr ctx ~line a in
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Ibin (Ir.Sub, t, z, ta));
+      t
+  | Ecall (fn, args) ->
+      let ts = List.map (lower_expr ctx ~line) args in
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Icall (Some t, fn, ts));
+      t
+  | Ecall_ind (c, args) ->
+      let tc = lower_expr ctx ~line c in
+      let ts = List.map (lower_expr ctx ~line) args in
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Icall_ind (Some t, tc, ts));
+      t
+  | Eindex (a, Eint i)
+    when (match Hashtbl.find_opt ctx.genv.Sema.globals a with
+         | Some (Sema.Gconst arr) -> i >= 0 && i < Array.length arr
+         | _ -> false) ->
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Iload_ro (t, a, i));
+      t
+  | Eindex (a, i) ->
+      let ti = lower_expr ctx ~line i in
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Iload_idx (t, a, ti));
+      t
+  | Eaddr n ->
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Iaddr (t, n));
+      t
+  | Ein ->
+      let t = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Iin t);
+      t
+
+(* Booleans that need a 0/1 value: materialise through control flow. *)
+and lower_bool ctx ~line e =
+  let t = Ir.new_temp ctx.f in
+  let lt = fresh_block ctx in
+  let lf = fresh_block ctx in
+  let join = fresh_block ctx in
+  lower_cond ctx ~line e lt lf;
+  start_block ctx lt;
+  emit ctx ~line (Ir.Iconst (t, 1));
+  finish ctx ~line (Ir.Tjmp join);
+  start_block ctx lf;
+  emit ctx ~line (Ir.Iconst (t, 0));
+  finish ctx ~line (Ir.Tjmp join);
+  start_block ctx join;
+  t
+
+(* Lower [e] as a condition, branching to [lt] or [lf]. *)
+and lower_cond ctx ~line e lt lf =
+  match e with
+  | Ebin (Bland, a, b) ->
+      let mid = fresh_block ctx in
+      lower_cond ctx ~line a mid lf;
+      start_block ctx mid;
+      lower_cond ctx ~line b lt lf
+  | Ebin (Blor, a, b) ->
+      let mid = fresh_block ctx in
+      lower_cond ctx ~line a lt mid;
+      start_block ctx mid;
+      lower_cond ctx ~line b lt lf
+  | Enot a -> lower_cond ctx ~line a lf lt
+  | Ebin ((Beq | Bne | Blt | Ble | Bgt | Bge) as op, a, b) ->
+      let c =
+        match op with
+        | Beq -> Ir.Ceq
+        | Bne -> Ir.Cne
+        | Blt -> Ir.Clt
+        | Ble -> Ir.Cle
+        | Bgt -> Ir.Cgt
+        | Bge -> Ir.Cge
+        | _ -> assert false
+      in
+      let ta = lower_expr ctx ~line a in
+      let tb = lower_expr ctx ~line b in
+      finish ctx ~line (Ir.Tbr (c, ta, tb, lt, lf))
+  | _ ->
+      let t = lower_expr ctx ~line e in
+      let z = Ir.new_temp ctx.f in
+      emit ctx ~line (Ir.Iconst (z, 0));
+      finish ctx ~line (Ir.Tbr (Ir.Cne, t, z, lt, lf))
+
+let rec lower_stmts ctx ss = List.iter (lower_stmt ctx) ss
+
+and lower_stmt ctx (s : stmt) =
+  if ctx.terminated then ()
+  else
+    let line = s.pos.line in
+    match s.sk with
+    | Svar (v, e) ->
+        let te = lower_expr ctx ~line e in
+        let t = Ir.new_temp ctx.f in
+        emit ctx ~line (Ir.Imov (t, te));
+        Hashtbl.replace ctx.locals v t
+    | Sassign (v, e) ->
+        let te = lower_expr ctx ~line e in
+        if is_global_scalar ctx v then emit ctx ~line (Ir.Istore_g (v, te))
+        else begin
+          match Hashtbl.find_opt ctx.locals v with
+          | Some t -> emit ctx ~line (Ir.Imov (t, te))
+          | None -> emit ctx ~line (Ir.Istore_g (v, te))
+        end
+    | Sstore (a, i, e) ->
+        let ti = lower_expr ctx ~line i in
+        let te = lower_expr ctx ~line e in
+        emit ctx ~line (Ir.Istore_idx (a, ti, te))
+    | Sif (c, then_, else_) ->
+        let lt = fresh_block ctx in
+        let lf = fresh_block ctx in
+        let join = fresh_block ctx in
+        lower_cond ctx ~line c lt lf;
+        start_block ctx lt;
+        lower_stmts ctx then_;
+        finish ctx ~line (Ir.Tjmp join);
+        start_block ctx lf;
+        lower_stmts ctx else_;
+        finish ctx ~line (Ir.Tjmp join);
+        start_block ctx join
+    | Swhile (c, body) ->
+        let header = fresh_block ctx in
+        let lbody = fresh_block ctx in
+        let exit = fresh_block ctx in
+        finish ctx ~line (Ir.Tjmp header);
+        start_block ctx header;
+        lower_cond ctx ~line c lbody exit;
+        start_block ctx lbody;
+        ctx.loop_stack <- (header, exit) :: ctx.loop_stack;
+        lower_stmts ctx body;
+        ctx.loop_stack <- List.tl ctx.loop_stack;
+        finish ctx ~line (Ir.Tjmp header);
+        start_block ctx exit
+    | Sswitch (e, cases, default) ->
+        let te = lower_expr ctx ~line e in
+        let case_labels = List.map (fun (v, _) -> (v, fresh_block ctx)) cases in
+        let ldefault = fresh_block ctx in
+        let join = fresh_block ctx in
+        if switch_is_dense cases then begin
+          let vs = List.map fst cases in
+          let min_v = List.fold_left min (List.hd vs) vs in
+          let max_v = List.fold_left max (List.hd vs) vs in
+          let targets = Array.make (max_v - min_v + 1) ldefault in
+          List.iter (fun (v, l) -> targets.(v - min_v) <- l) case_labels;
+          finish ctx ~line (Ir.Tswitch (te, min_v, targets, ldefault))
+        end
+        else begin
+          (* compare chain *)
+          let rec chain = function
+            | [] -> finish ctx ~line (Ir.Tjmp ldefault)
+            | (v, l) :: rest ->
+                let tv = Ir.new_temp ctx.f in
+                emit ctx ~line (Ir.Iconst (tv, v));
+                let next = if rest = [] then ldefault else fresh_block ctx in
+                finish ctx ~line (Ir.Tbr (Ir.Ceq, te, tv, l, next));
+                if rest <> [] then begin
+                  start_block ctx next;
+                  chain rest
+                end
+          in
+          chain case_labels
+        end;
+        List.iter2
+          (fun (_, body) (_, l) ->
+            start_block ctx l;
+            lower_stmts ctx body;
+            finish ctx ~line (Ir.Tjmp join))
+          cases case_labels;
+        start_block ctx ldefault;
+        lower_stmts ctx default;
+        finish ctx ~line (Ir.Tjmp join);
+        start_block ctx join
+    | Sreturn None -> finish ctx ~line (Ir.Tret None)
+    | Sreturn (Some e) ->
+        let t = lower_expr ctx ~line e in
+        finish ctx ~line (Ir.Tret (Some t))
+    | Sexpr (Ecall (fn, args)) ->
+        let ts = List.map (lower_expr ctx ~line) args in
+        emit ctx ~line (Ir.Icall (None, fn, ts))
+    | Sexpr (Ecall_ind (c, args)) ->
+        let tc = lower_expr ctx ~line c in
+        let ts = List.map (lower_expr ctx ~line) args in
+        emit ctx ~line (Ir.Icall_ind (None, tc, ts))
+    | Sexpr e -> ignore (lower_expr ctx ~line e)
+    | Sout e ->
+        let t = lower_expr ctx ~line e in
+        emit ctx ~line (Ir.Iout t)
+    | Sthrow e ->
+        let t = lower_expr ctx ~line e in
+        finish ctx ~line (Ir.Tthrow t)
+    | Stry (body, v, handler) ->
+        let lbody = fresh_block ctx in
+        let lpad = fresh_block ctx in
+        let join = fresh_block ctx in
+        finish ctx ~line (Ir.Tjmp lbody);
+        let saved_lp = ctx.cur_lp in
+        (* body runs under the new landing pad *)
+        ctx.cur_lp <- Some lpad;
+        start_block ctx lbody;
+        lower_stmts ctx body;
+        finish ctx ~line (Ir.Tjmp join);
+        (* handler runs under the enclosing landing pad *)
+        ctx.cur_lp <- saved_lp;
+        start_block ctx lpad;
+        let tv = Ir.new_temp ctx.f in
+        emit ctx ~line (Ir.Ilandingpad tv);
+        Hashtbl.replace ctx.locals v tv;
+        lower_stmts ctx handler;
+        finish ctx ~line (Ir.Tjmp join);
+        start_block ctx join
+    | Sbreak -> (
+        match ctx.loop_stack with
+        | (_, brk) :: _ -> finish ctx ~line (Ir.Tjmp brk)
+        | [] -> assert false)
+    | Scontinue -> (
+        match ctx.loop_stack with
+        | (cont, _) :: _ -> finish ctx ~line (Ir.Tjmp cont)
+        | [] -> assert false)
+
+let lower_func genv ~module_name (fn : func) : Ir.func =
+  let f =
+    {
+      Ir.f_name = fn.fn_name;
+      f_module = module_name;
+      f_params = [];
+      f_entry = 0;
+      f_blocks = [];
+      f_ntemps = 0;
+      f_nlabels = 0;
+      f_line = fn.fn_pos.line;
+      f_file = fn.fn_pos.file;
+      f_inline = fn.fn_inline;
+      f_edge_counts = Hashtbl.create 8;
+    }
+  in
+  let ctx =
+    {
+      f;
+      genv;
+      locals = Hashtbl.create 16;
+      cur = 0;
+      cur_insns = [];
+      cur_lp = None;
+      loop_stack = [];
+      terminated = false;
+    }
+  in
+  let entry = Ir.new_label f in
+  let params =
+    List.map
+      (fun p ->
+        let t = Ir.new_temp f in
+        Hashtbl.replace ctx.locals p t;
+        t)
+      fn.fn_params
+  in
+  let f = { f with Ir.f_params = params; f_entry = entry } in
+  let ctx = { ctx with f } in
+  start_block ctx entry;
+  lower_stmts ctx fn.fn_body;
+  finish ctx ~line:fn.fn_pos.line (Ir.Tret None);
+  f
+
+(* Lower a set of modules into one IR program. *)
+let lower_program genv (modules : module_ list) : Ir.program =
+  let funcs = ref [] in
+  let globals = ref [] in
+  let module_of = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun d ->
+          match d with
+          | Dfunc fn ->
+              Hashtbl.replace module_of fn.fn_name m.m_name;
+              funcs := lower_func genv ~module_name:m.m_name fn :: !funcs
+          | Dextern _ -> ()
+          | Dglobal (n, v) -> globals := (n, Ir.Gscalar v) :: !globals
+          | Darray (n, sz) -> globals := (n, Ir.Garray sz) :: !globals
+          | Dconst (n, vs) -> globals := (n, Ir.Gconst (Array.of_list vs)) :: !globals)
+        m.m_decls)
+    modules;
+  { Ir.p_funcs = List.rev !funcs; p_globals = List.rev !globals; p_module_of = module_of }

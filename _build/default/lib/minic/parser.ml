@@ -1,0 +1,398 @@
+(* Recursive-descent parser for MiniC.
+
+   Expression parsing is precedence-climbing over the operator table
+   below; statements and declarations are straightforward LL(1). *)
+
+open Ast
+
+exception Parse_error of string * int
+
+let err lx fmt =
+  Fmt.kstr (fun s -> raise (Parse_error (s, Lexer.token_line lx))) fmt
+
+let pos lx file = { file; line = Lexer.token_line lx }
+
+let expect_punct lx p =
+  match Lexer.token lx with
+  | Lexer.PUNCT q when q = p -> Lexer.advance lx
+  | t -> err lx "expected %s, found %s" p (Lexer.token_desc t)
+
+let expect_kw lx k =
+  match Lexer.token lx with
+  | Lexer.KW q when q = k -> Lexer.advance lx
+  | t -> err lx "expected %s, found %s" k (Lexer.token_desc t)
+
+let accept_punct lx p =
+  match Lexer.token lx with
+  | Lexer.PUNCT q when q = p ->
+      Lexer.advance lx;
+      true
+  | _ -> false
+
+let accept_kw lx k =
+  match Lexer.token lx with
+  | Lexer.KW q when q = k ->
+      Lexer.advance lx;
+      true
+  | _ -> false
+
+let ident lx =
+  match Lexer.token lx with
+  | Lexer.IDENT s ->
+      Lexer.advance lx;
+      s
+  | t -> err lx "expected identifier, found %s" (Lexer.token_desc t)
+
+let int_lit lx =
+  match Lexer.token lx with
+  | Lexer.INT n ->
+      Lexer.advance lx;
+      n
+  | Lexer.PUNCT "-" -> (
+      Lexer.advance lx;
+      match Lexer.token lx with
+      | Lexer.INT n ->
+          Lexer.advance lx;
+          -n
+      | t -> err lx "expected integer, found %s" (Lexer.token_desc t))
+  | t -> err lx "expected integer, found %s" (Lexer.token_desc t)
+
+(* Binding powers; higher binds tighter. *)
+let binop_of_punct = function
+  | "||" -> Some (Blor, 1)
+  | "&&" -> Some (Bland, 2)
+  | "|" -> Some (Bor, 3)
+  | "^" -> Some (Bxor, 4)
+  | "&" -> Some (Band, 5)
+  | "==" -> Some (Beq, 6)
+  | "!=" -> Some (Bne, 6)
+  | "<" -> Some (Blt, 7)
+  | "<=" -> Some (Ble, 7)
+  | ">" -> Some (Bgt, 7)
+  | ">=" -> Some (Bge, 7)
+  | "<<" -> Some (Bshl, 8)
+  | ">>" -> Some (Bshr, 8)
+  | "+" -> Some (Badd, 9)
+  | "-" -> Some (Bsub, 9)
+  | "*" -> Some (Bmul, 10)
+  | "/" -> Some (Bdiv, 10)
+  | "%" -> Some (Bmod, 10)
+  | _ -> None
+
+let rec parse_expr lx = parse_bin lx 0
+
+and parse_bin lx min_bp =
+  let lhs = parse_unary lx in
+  let rec loop lhs =
+    match Lexer.token lx with
+    | Lexer.PUNCT p -> (
+        match binop_of_punct p with
+        | Some (op, bp) when bp >= min_bp ->
+            Lexer.advance lx;
+            let rhs = parse_bin lx (bp + 1) in
+            loop (Ebin (op, lhs, rhs))
+        | _ -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary lx =
+  match Lexer.token lx with
+  | Lexer.PUNCT "-" ->
+      Lexer.advance lx;
+      Eneg (parse_unary lx)
+  | Lexer.PUNCT "!" ->
+      Lexer.advance lx;
+      Enot (parse_unary lx)
+  | Lexer.PUNCT "&" ->
+      Lexer.advance lx;
+      Eaddr (ident lx)
+  | Lexer.PUNCT "*" ->
+      (* indirect call through a function pointer value *)
+      Lexer.advance lx;
+      let callee = parse_callee lx in
+      let args = parse_args lx in
+      Ecall_ind (callee, args)
+  | _ -> parse_primary lx
+
+(* The callee of an indirect call: a value, never a direct call itself —
+   the '(' that follows always belongs to the argument list. *)
+and parse_callee lx =
+  match Lexer.token lx with
+  | Lexer.IDENT name -> (
+      Lexer.advance lx;
+      match Lexer.token lx with
+      | Lexer.PUNCT "[" ->
+          Lexer.advance lx;
+          let idx = parse_expr lx in
+          expect_punct lx "]";
+          Eindex (name, idx)
+      | _ -> Evar name)
+  | Lexer.PUNCT "&" ->
+      Lexer.advance lx;
+      Eaddr (ident lx)
+  | Lexer.PUNCT "(" ->
+      Lexer.advance lx;
+      let e = parse_expr lx in
+      expect_punct lx ")";
+      e
+  | t -> err lx "expected callee, found %s" (Lexer.token_desc t)
+
+and parse_args lx =
+  expect_punct lx "(";
+  if accept_punct lx ")" then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr lx in
+      if accept_punct lx "," then loop (e :: acc)
+      else begin
+        expect_punct lx ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+and parse_primary lx =
+  match Lexer.token lx with
+  | Lexer.INT n ->
+      Lexer.advance lx;
+      Eint n
+  | Lexer.KW "in" ->
+      Lexer.advance lx;
+      expect_punct lx "(";
+      expect_punct lx ")";
+      Ein
+  | Lexer.IDENT name -> (
+      Lexer.advance lx;
+      match Lexer.token lx with
+      | Lexer.PUNCT "(" -> Ecall (name, parse_args lx)
+      | Lexer.PUNCT "[" ->
+          Lexer.advance lx;
+          let idx = parse_expr lx in
+          expect_punct lx "]";
+          Eindex (name, idx)
+      | _ -> Evar name)
+  | Lexer.PUNCT "(" ->
+      Lexer.advance lx;
+      let e = parse_expr lx in
+      expect_punct lx ")";
+      e
+  | t -> err lx "expected expression, found %s" (Lexer.token_desc t)
+
+let rec parse_stmt lx file =
+  let p = pos lx file in
+  let mk sk = { sk; pos = p } in
+  match Lexer.token lx with
+  | Lexer.KW "var" ->
+      Lexer.advance lx;
+      let name = ident lx in
+      expect_punct lx "=";
+      let e = parse_expr lx in
+      expect_punct lx ";";
+      mk (Svar (name, e))
+  | Lexer.KW "if" ->
+      Lexer.advance lx;
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      let then_ = parse_block lx file in
+      let else_ = if accept_kw lx "else" then parse_block lx file else [] in
+      mk (Sif (c, then_, else_))
+  | Lexer.KW "while" ->
+      Lexer.advance lx;
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      let body = parse_block lx file in
+      mk (Swhile (c, body))
+  | Lexer.KW "switch" ->
+      Lexer.advance lx;
+      expect_punct lx "(";
+      let e = parse_expr lx in
+      expect_punct lx ")";
+      expect_punct lx "{";
+      let cases = ref [] in
+      let default = ref [] in
+      let rec cases_loop () =
+        if accept_kw lx "case" then begin
+          let v = int_lit lx in
+          expect_punct lx ":";
+          let body = parse_block lx file in
+          cases := (v, body) :: !cases;
+          cases_loop ()
+        end
+        else if accept_kw lx "default" then begin
+          expect_punct lx ":";
+          default := parse_block lx file;
+          cases_loop ()
+        end
+        else expect_punct lx "}"
+      in
+      cases_loop ();
+      mk (Sswitch (e, List.rev !cases, !default))
+  | Lexer.KW "return" ->
+      Lexer.advance lx;
+      if accept_punct lx ";" then mk (Sreturn None)
+      else begin
+        let e = parse_expr lx in
+        expect_punct lx ";";
+        mk (Sreturn (Some e))
+      end
+  | Lexer.KW "out" ->
+      Lexer.advance lx;
+      let e = parse_expr lx in
+      expect_punct lx ";";
+      mk (Sout e)
+  | Lexer.KW "throw" ->
+      Lexer.advance lx;
+      let e = parse_expr lx in
+      expect_punct lx ";";
+      mk (Sthrow e)
+  | Lexer.KW "try" ->
+      Lexer.advance lx;
+      let body = parse_block lx file in
+      expect_kw lx "catch";
+      expect_punct lx "(";
+      let v = ident lx in
+      expect_punct lx ")";
+      let handler = parse_block lx file in
+      mk (Stry (body, v, handler))
+  | Lexer.KW "break" ->
+      Lexer.advance lx;
+      expect_punct lx ";";
+      mk Sbreak
+  | Lexer.KW "continue" ->
+      Lexer.advance lx;
+      expect_punct lx ";";
+      mk Scontinue
+  | Lexer.IDENT name -> (
+      Lexer.advance lx;
+      match Lexer.token lx with
+      | Lexer.PUNCT "=" ->
+          Lexer.advance lx;
+          let e = parse_expr lx in
+          expect_punct lx ";";
+          mk (Sassign (name, e))
+      | Lexer.PUNCT "[" ->
+          Lexer.advance lx;
+          let idx = parse_expr lx in
+          expect_punct lx "]";
+          if accept_punct lx "=" then begin
+            let e = parse_expr lx in
+            expect_punct lx ";";
+            mk (Sstore (name, idx, e))
+          end
+          else begin
+            (* expression statement starting with an index load *)
+            let e0 = Eindex (name, idx) in
+            let e = parse_rest_expr lx e0 in
+            expect_punct lx ";";
+            mk (Sexpr e)
+          end
+      | Lexer.PUNCT "(" ->
+          let e0 = Ecall (name, parse_args lx) in
+          let e = parse_rest_expr lx e0 in
+          expect_punct lx ";";
+          mk (Sexpr e)
+      | t -> err lx "unexpected %s after identifier" (Lexer.token_desc t))
+  | _ ->
+      let e = parse_expr lx in
+      expect_punct lx ";";
+      mk (Sexpr e)
+
+(* Continue parsing binary operators after a primary already consumed. *)
+and parse_rest_expr lx lhs =
+  let rec loop lhs =
+    match Lexer.token lx with
+    | Lexer.PUNCT p -> (
+        match binop_of_punct p with
+        | Some (op, bp) ->
+            Lexer.advance lx;
+            let rhs = parse_bin lx (bp + 1) in
+            loop (Ebin (op, lhs, rhs))
+        | None -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_block lx file =
+  expect_punct lx "{";
+  let rec loop acc =
+    if accept_punct lx "}" then List.rev acc
+    else loop (parse_stmt lx file :: acc)
+  in
+  loop []
+
+let parse_params lx =
+  expect_punct lx "(";
+  if accept_punct lx ")" then []
+  else begin
+    let rec loop acc =
+      let p = ident lx in
+      if accept_punct lx "," then loop (p :: acc)
+      else begin
+        expect_punct lx ")";
+        List.rev (p :: acc)
+      end
+    in
+    loop []
+  end
+
+let parse_decl lx file =
+  match Lexer.token lx with
+  | Lexer.KW "extern" ->
+      Lexer.advance lx;
+      expect_kw lx "fn";
+      let name = ident lx in
+      let params = parse_params lx in
+      expect_punct lx ";";
+      Dextern (name, List.length params)
+  | Lexer.KW "inline" | Lexer.KW "fn" ->
+      let inline = accept_kw lx "inline" in
+      expect_kw lx "fn";
+      let p = pos lx file in
+      let name = ident lx in
+      let params = parse_params lx in
+      let body = parse_block lx file in
+      Dfunc { fn_name = name; fn_params = params; fn_body = body; fn_inline = inline; fn_pos = p }
+  | Lexer.KW "global" ->
+      Lexer.advance lx;
+      let name = ident lx in
+      let v = if accept_punct lx "=" then int_lit lx else 0 in
+      expect_punct lx ";";
+      Dglobal (name, v)
+  | Lexer.KW "array" ->
+      Lexer.advance lx;
+      let name = ident lx in
+      expect_punct lx "[";
+      let n = int_lit lx in
+      expect_punct lx "]";
+      expect_punct lx ";";
+      Darray (name, n)
+  | Lexer.KW "const" ->
+      Lexer.advance lx;
+      let name = ident lx in
+      expect_punct lx "=";
+      expect_punct lx "{";
+      let rec loop acc =
+        let v = int_lit lx in
+        if accept_punct lx "," then loop (v :: acc)
+        else begin
+          expect_punct lx "}";
+          List.rev (v :: acc)
+        end
+      in
+      let vs = loop [] in
+      expect_punct lx ";";
+      Dconst (name, vs)
+  | t -> err lx "expected declaration, found %s" (Lexer.token_desc t)
+
+let parse_module ~name ~file src =
+  let lx = Lexer.create ~file src in
+  let rec loop acc =
+    match Lexer.token lx with
+    | Lexer.EOF -> List.rev acc
+    | _ -> loop (parse_decl lx file :: acc)
+  in
+  { m_name = name; m_decls = loop [] }

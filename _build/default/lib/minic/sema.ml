@@ -1,0 +1,172 @@
+(* Semantic checks for MiniC modules and programs.
+
+   MiniC is untyped (everything is a 64-bit integer), so the checker is
+   mostly about name resolution, arities and structural rules: at most four
+   parameters (the ABI passes arguments in registers), locals declared
+   before use, break/continue only inside loops, array stores only into
+   writable arrays. *)
+
+open Ast
+
+exception Sema_error of string * pos
+
+let err pos fmt = Fmt.kstr (fun s -> raise (Sema_error (s, pos))) fmt
+
+type gkind = Gscalar | Garray of int | Gconst of int array
+
+type genv = {
+  funcs : (string, int) Hashtbl.t; (* name -> arity, across the program *)
+  inline_funcs : (string, unit) Hashtbl.t;
+  globals : (string, gkind) Hashtbl.t;
+}
+
+let max_params = 4
+
+(* [externals] declares symbols defined outside MiniC (hand-written
+   assembly units linked in later), as (name, arity). *)
+let build_genv ?(externals = []) (modules : module_ list) =
+  let g =
+    { funcs = Hashtbl.create 64; inline_funcs = Hashtbl.create 16; globals = Hashtbl.create 64 }
+  in
+  List.iter (fun (n, a) -> Hashtbl.replace g.funcs n a) externals;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun d ->
+          match d with
+          | Dfunc f ->
+              if Hashtbl.mem g.funcs f.fn_name then
+                err f.fn_pos "duplicate function %s" f.fn_name;
+              if List.length f.fn_params > max_params then
+                err f.fn_pos "%s: more than %d parameters" f.fn_name max_params;
+              Hashtbl.replace g.funcs f.fn_name (List.length f.fn_params);
+              if f.fn_inline then Hashtbl.replace g.inline_funcs f.fn_name ()
+          | Dextern _ -> () (* recorded on a second pass; definition wins *)
+          | Dglobal (n, _) ->
+              if Hashtbl.mem g.globals n then err dummy_pos "duplicate global %s" n;
+              Hashtbl.replace g.globals n Gscalar
+          | Darray (n, sz) ->
+              if Hashtbl.mem g.globals n then err dummy_pos "duplicate global %s" n;
+              if sz <= 0 then err dummy_pos "array %s: bad size" n;
+              Hashtbl.replace g.globals n (Garray sz)
+          | Dconst (n, vs) ->
+              if Hashtbl.mem g.globals n then err dummy_pos "duplicate global %s" n;
+              Hashtbl.replace g.globals n (Gconst (Array.of_list vs)))
+        m.m_decls)
+    modules;
+  (* Externs must match a definition somewhere in the program. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (function
+          | Dextern (n, arity) -> (
+              match Hashtbl.find_opt g.funcs n with
+              | Some a when a = arity -> ()
+              | Some a -> err dummy_pos "extern %s: arity %d, defined with %d" n arity a
+              | None -> err dummy_pos "extern %s never defined" n)
+          | _ -> ())
+        m.m_decls)
+    modules;
+  g
+
+let check_func g (f : func) =
+  let locals = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem locals p then err f.fn_pos "%s: duplicate parameter %s" f.fn_name p;
+      Hashtbl.replace locals p ())
+    f.fn_params;
+  let rec expr pos e =
+    match e with
+    | Eint _ | Ein -> ()
+    | Evar v ->
+        if not (Hashtbl.mem locals v) then (
+          match Hashtbl.find_opt g.globals v with
+          | Some Gscalar -> ()
+          | Some _ -> err pos "%s is an array, not a scalar" v
+          | None -> err pos "unknown variable %s" v)
+    | Ebin (_, a, b) ->
+        expr pos a;
+        expr pos b
+    | Eneg a | Enot a -> expr pos a
+    | Ecall (fn, args) ->
+        (match Hashtbl.find_opt g.funcs fn with
+        | Some arity when arity = List.length args -> ()
+        | Some arity -> err pos "call %s: expected %d args, got %d" fn arity (List.length args)
+        | None -> err pos "unknown function %s" fn);
+        List.iter (expr pos) args
+    | Ecall_ind (c, args) ->
+        if List.length args > max_params then err pos "indirect call: too many args";
+        expr pos c;
+        List.iter (expr pos) args
+    | Eindex (a, i) ->
+        (match Hashtbl.find_opt g.globals a with
+        | Some (Garray _ | Gconst _) -> ()
+        | Some Gscalar -> err pos "%s is a scalar, not an array" a
+        | None -> err pos "unknown array %s" a);
+        expr pos i
+    | Eaddr n ->
+        if not (Hashtbl.mem g.funcs n || Hashtbl.mem g.globals n) then
+          err pos "unknown symbol &%s" n
+  in
+  let rec stmts ~in_loop ss = List.iter (stmt ~in_loop) ss
+  and stmt ~in_loop s =
+    match s.sk with
+    | Svar (v, e) ->
+        expr s.pos e;
+        Hashtbl.replace locals v ()
+    | Sassign (v, e) ->
+        expr s.pos e;
+        if not (Hashtbl.mem locals v) then (
+          match Hashtbl.find_opt g.globals v with
+          | Some Gscalar -> ()
+          | Some _ -> err s.pos "cannot assign to array %s" v
+          | None -> err s.pos "unknown variable %s" v)
+    | Sstore (a, i, e) ->
+        (match Hashtbl.find_opt g.globals a with
+        | Some (Garray _) -> ()
+        | Some (Gconst _) -> err s.pos "cannot store into const %s" a
+        | Some Gscalar -> err s.pos "%s is a scalar" a
+        | None -> err s.pos "unknown array %s" a);
+        expr s.pos i;
+        expr s.pos e
+    | Sif (c, t, e) ->
+        expr s.pos c;
+        stmts ~in_loop t;
+        stmts ~in_loop e
+    | Swhile (c, b) ->
+        expr s.pos c;
+        stmts ~in_loop:true b
+    | Sswitch (e, cases, default) ->
+        expr s.pos e;
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun (v, b) ->
+            if Hashtbl.mem seen v then err s.pos "duplicate case %d" v;
+            Hashtbl.replace seen v ();
+            stmts ~in_loop b)
+          cases;
+        stmts ~in_loop default
+    | Sreturn (Some e) -> expr s.pos e
+    | Sreturn None -> ()
+    | Sexpr e | Sout e | Sthrow e -> expr s.pos e
+    | Stry (b, v, h) ->
+        stmts ~in_loop b;
+        Hashtbl.replace locals v ();
+        stmts ~in_loop h
+    | Sbreak | Scontinue -> if not in_loop then err s.pos "break/continue outside loop"
+  in
+  stmts ~in_loop:false f.fn_body
+
+(* Checks the whole program; returns the global environment. *)
+let check ?(externals = []) (modules : module_ list) =
+  let g = build_genv ~externals modules in
+  List.iter
+    (fun m ->
+      List.iter (function Dfunc f -> check_func g f | _ -> ()) m.m_decls)
+    modules;
+  (match Hashtbl.find_opt g.funcs "main" with
+  | Some 0 -> ()
+  | Some _ -> err dummy_pos "main must take no parameters"
+  | None -> err dummy_pos "no main function");
+  g

@@ -1,0 +1,1 @@
+lib/obj/buf.ml: Buffer Bytes Char Int64 List String

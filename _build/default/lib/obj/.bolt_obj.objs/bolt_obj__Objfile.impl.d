@@ -1,0 +1,1 @@
+lib/obj/objfile.ml: Bolt_isa Buf Buffer List Printf String Types

@@ -1,0 +1,1 @@
+lib/obj/types.ml: Bolt_isa Buf Bytes List Printf

@@ -1,0 +1,85 @@
+(* Little binary writer/reader used by the BELF serializer and the profile
+   file formats.  Integers are little-endian; strings are length-prefixed. *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let u32 b v =
+  u8 b v;
+  u8 b (v lsr 8);
+  u8 b (v lsr 16);
+  u8 b (v lsr 24)
+
+let i64 b v =
+  let v64 = Int64.of_int v in
+  for i = 0 to 7 do
+    u8 b (Int64.to_int (Int64.shift_right_logical v64 (8 * i)) land 0xff)
+  done
+
+let str b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let bytes b by =
+  u32 b (Bytes.length by);
+  Buffer.add_bytes b by
+
+let list b f xs =
+  u32 b (List.length xs);
+  List.iter (f b) xs
+
+let contents = Buffer.contents
+
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let reader data = { data; pos = 0 }
+
+let need r n =
+  if r.pos + n > String.length r.data then raise (Corrupt "truncated input")
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r =
+  let a = r_u8 r in
+  let b = r_u8 r in
+  let c = r_u8 r in
+  let d = r_u8 r in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let r_i64 r =
+  let v = ref 0L in
+  need r 8;
+  for i = 7 downto 0 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code r.data.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.to_int !v
+
+let r_str r =
+  let n = r_u32 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_bytes r =
+  let n = r_u32 r in
+  need r n;
+  let b = Bytes.of_string (String.sub r.data r.pos n) in
+  r.pos <- r.pos + n;
+  b
+
+let r_list r f =
+  let n = r_u32 r in
+  List.init n (fun _ -> f r)

@@ -1,0 +1,1 @@
+lib/pipeline/experiments.ml: Bolt_core Bolt_hfsort Bolt_linker Bolt_minic Bolt_obj Bolt_profile Bolt_sim Bolt_workloads Hashtbl List Pipeline

@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.mli: Bolt_core Bolt_hfsort Bolt_minic Bolt_obj Bolt_profile Bolt_sim

@@ -1,0 +1,79 @@
+(** End-to-end experiment driver: the tool flow of Figure 1.
+
+    {[
+      let b = Pipeline.compile [ ("m", source) ] in
+      let prof, _ = Pipeline.profile b ~input in
+      let b', report = Pipeline.bolt b prof in
+      let base = Pipeline.run b ~input and opt = Pipeline.run b' ~input in
+      assert (Pipeline.same_behaviour base opt);
+      Pipeline.speedup ~baseline:base ~optimized:opt
+    ]} *)
+
+module Machine = Bolt_sim.Machine
+
+(** A built executable together with the compiler options that produced it
+    (profiling re-runs need the same options). *)
+type build = { exe : Bolt_obj.Objfile.t; cc : Bolt_minic.Driver.options }
+
+val compile : ?cc:Bolt_minic.Driver.options -> (string * string) list -> build
+
+(** LBR sampling on cycles, the paper's [-e cycles:u -j any,u]. *)
+val default_sampling : Machine.sample_cfg
+
+(** Run under the sampling profiler and aggregate to an fdata profile. *)
+val profile :
+  ?sampling:Machine.sample_cfg ->
+  ?config:Machine.config ->
+  build ->
+  input:int array ->
+  Bolt_profile.Fdata.t * Machine.outcome
+
+(** Apply BOLT, returning the rewritten build and its report. *)
+val bolt :
+  ?opts:Bolt_core.Opts.t ->
+  build ->
+  Bolt_profile.Fdata.t ->
+  build * Bolt_core.Bolt.report
+
+val run :
+  ?config:Machine.config -> ?heatmap:bool -> build -> input:int array -> Machine.outcome
+
+(** Instrumentation-based compiler PGO: build with edge counters, run on
+    the training input, and return the edge profile for
+    {!Bolt_minic.Driver.Apply}. *)
+val pgo_profile :
+  ?externals:(string * int) list ->
+  ?extra_objs:Bolt_obj.Objfile.t list ->
+  cc:Bolt_minic.Driver.options ->
+  (string * string) list ->
+  input:int array ->
+  (string * int * int * int) list
+
+(** Profile a binary and compute an HFSort function order for relinking —
+    the paper's data-center baseline. *)
+val hfsort_order :
+  ?algo:Bolt_hfsort.Order.algo -> build -> input:int array -> string list
+
+(** Percentage speedup of [optimized] over [baseline] (cycle ratio). *)
+val speedup : baseline:Machine.outcome -> optimized:Machine.outcome -> float
+
+(** [miss_reduction ~before ~after] in percent; 0 when [before] is 0. *)
+val miss_reduction : before:int -> after:int -> float
+
+type metric_deltas = {
+  d_cycles : float;  (** CPU-time reduction, % *)
+  d_instructions : float;
+  d_branch_miss : float;
+  d_l1i_miss : float;
+  d_l1d_miss : float;
+  d_llc_miss : float;
+  d_itlb_miss : float;
+  d_dtlb_miss : float;
+  d_taken_branches : float;
+}
+
+val deltas : baseline:Machine.outcome -> optimized:Machine.outcome -> metric_deltas
+
+(** The repository's central invariant: same output tape, exit code and
+    exception behaviour. *)
+val same_behaviour : Machine.outcome -> Machine.outcome -> bool

@@ -1,0 +1,1 @@
+lib/profile/fdata.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/profile/fdata.mli: Hashtbl

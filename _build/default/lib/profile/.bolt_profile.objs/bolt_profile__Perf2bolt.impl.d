@@ -1,0 +1,1 @@
+lib/profile/perf2bolt.ml: Array Bolt_obj Bolt_sim Fdata Hashtbl List Objfile Types

@@ -1,0 +1,1 @@
+lib/profile/samples.ml: Bolt_obj Bolt_sim Buffer Hashtbl String

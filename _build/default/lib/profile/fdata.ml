@@ -1,0 +1,113 @@
+(* BOLT's profile format (the fdata/YAML analog): function-relative branch
+   records, fall-through ranges and plain IP samples.
+
+   Produced by [Perf2bolt] from raw simulator samples; consumed by the
+   rewriter's profile matcher.  Text format, one record per line:
+
+     B <from_func> <from_off> <to_func> <to_off> <count> <mispreds>
+     F <func> <start_off> <end_off> <count>        (LBR fall-through range)
+     S <func> <off> <count>                        (non-LBR IP sample)
+
+   Function names never contain spaces by construction. *)
+
+type branch = {
+  br_from_func : string;
+  br_from_off : int;
+  br_to_func : string;
+  br_to_off : int;
+  br_count : int;
+  br_mispreds : int;
+}
+
+type range = { rg_func : string; rg_start : int; rg_end : int; rg_count : int }
+
+type sample = { sm_func : string; sm_off : int; sm_count : int }
+
+type t = {
+  lbr : bool;
+  branches : branch list;
+  ranges : range list;
+  samples : sample list;
+  total_samples : int;
+}
+
+let empty = { lbr = true; branches = []; ranges = []; samples = []; total_samples = 0 }
+
+(* Aggregate count of events attributed to a function, used for function
+   hotness by the reorder-functions pass. *)
+let func_events t =
+  let h = Hashtbl.create 64 in
+  let add f c = Hashtbl.replace h f (c + try Hashtbl.find h f with Not_found -> 0) in
+  List.iter (fun b -> add b.br_from_func b.br_count) t.branches;
+  List.iter (fun r -> add r.rg_func r.rg_count) t.ranges;
+  List.iter (fun s -> add s.sm_func s.sm_count) t.samples;
+  h
+
+let save path t =
+  let oc = open_out path in
+  Printf.fprintf oc "mode %s\n" (if t.lbr then "lbr" else "sample");
+  List.iter
+    (fun b ->
+      Printf.fprintf oc "B %s %d %s %d %d %d\n" b.br_from_func b.br_from_off
+        b.br_to_func b.br_to_off b.br_count b.br_mispreds)
+    t.branches;
+  List.iter
+    (fun r -> Printf.fprintf oc "F %s %d %d %d\n" r.rg_func r.rg_start r.rg_end r.rg_count)
+    t.ranges;
+  List.iter
+    (fun s -> Printf.fprintf oc "S %s %d %d\n" s.sm_func s.sm_off s.sm_count)
+    t.samples;
+  close_out oc
+
+exception Bad_format of string
+
+let load path =
+  let ic = open_in path in
+  let branches = ref [] in
+  let ranges = ref [] in
+  let samples = ref [] in
+  let lbr = ref true in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.split_on_char ' ' line with
+       | [ "mode"; m ] -> lbr := m = "lbr"
+       | [ "B"; ff; fo; tf; to_; c; m ] ->
+           branches :=
+             {
+               br_from_func = ff;
+               br_from_off = int_of_string fo;
+               br_to_func = tf;
+               br_to_off = int_of_string to_;
+               br_count = int_of_string c;
+               br_mispreds = int_of_string m;
+             }
+             :: !branches
+       | [ "F"; f; s; e; c ] ->
+           ranges :=
+             {
+               rg_func = f;
+               rg_start = int_of_string s;
+               rg_end = int_of_string e;
+               rg_count = int_of_string c;
+             }
+             :: !ranges
+       | [ "S"; f; o; c ] ->
+           samples :=
+             { sm_func = f; sm_off = int_of_string o; sm_count = int_of_string c }
+             :: !samples
+       | [] | [ "" ] -> ()
+       | _ -> raise (Bad_format line)
+     done
+   with End_of_file -> close_in ic);
+  let total =
+    List.fold_left (fun a (b : branch) -> a + b.br_count) 0 !branches
+    + List.fold_left (fun a s -> a + s.sm_count) 0 !samples
+  in
+  {
+    lbr = !lbr;
+    branches = List.rev !branches;
+    ranges = List.rev !ranges;
+    samples = List.rev !samples;
+    total_samples = total;
+  }

@@ -1,0 +1,43 @@
+(** BOLT's profile format (the fdata/YAML analog): function-relative
+    branch records, LBR fall-through ranges and plain IP samples.
+
+    Text format, one record per line:
+    {v
+    mode lbr|sample
+    B <from_func> <from_off> <to_func> <to_off> <count> <mispreds>
+    F <func> <start_off> <end_off> <count>
+    S <func> <off> <count>
+    v} *)
+
+type branch = {
+  br_from_func : string;
+  br_from_off : int;
+  br_to_func : string;
+  br_to_off : int;  (** 0 means the target's entry: a call or tail transfer *)
+  br_count : int;
+  br_mispreds : int;
+}
+
+type range = { rg_func : string; rg_start : int; rg_end : int; rg_count : int }
+
+type sample = { sm_func : string; sm_off : int; sm_count : int }
+
+type t = {
+  lbr : bool;  (** false: only [samples] are meaningful (§5's non-LBR mode) *)
+  branches : branch list;
+  ranges : range list;
+  samples : sample list;
+  total_samples : int;
+}
+
+val empty : t
+
+(** Aggregate event count attributed to each function — the hotness the
+    reorder-functions pass sorts by. *)
+val func_events : t -> (string, int) Hashtbl.t
+
+val save : string -> t -> unit
+
+exception Bad_format of string
+
+val load : string -> t

@@ -1,0 +1,76 @@
+(* perf2bolt: convert raw simulator samples (absolute addresses) into the
+   function-relative fdata profile, using the executable's symbol table.
+
+   Mirrors the real tool: branch records whose endpoints fall outside any
+   known function are dropped; fall-through ranges are only kept when both
+   ends land in the same function. *)
+
+open Bolt_obj
+
+let convert (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fdata.t =
+  let funcs =
+    Objfile.function_symbols exe
+    |> List.map (fun (s : Types.symbol) -> (s.sym_value, s.sym_value + s.sym_size, s.sym_name))
+    |> Array.of_list
+  in
+  Array.sort compare funcs;
+  let resolve addr =
+    let lo = ref 0 and hi = ref (Array.length funcs - 1) in
+    let res = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let a, b, name = funcs.(mid) in
+      if addr < a then hi := mid - 1
+      else if addr >= b then lo := mid + 1
+      else begin
+        res := Some (name, addr - a);
+        lo := !hi + 1
+      end
+    done;
+    !res
+  in
+  let branches = ref [] in
+  Hashtbl.iter
+    (fun (f, t) (cnt, mis) ->
+      match (resolve f, resolve t) with
+      | Some (ff, fo), Some (tf, to_) ->
+          branches :=
+            {
+              Fdata.br_from_func = ff;
+              br_from_off = fo;
+              br_to_func = tf;
+              br_to_off = to_;
+              br_count = !cnt;
+              br_mispreds = !mis;
+            }
+            :: !branches
+      | _ -> ())
+    raw.rp_branches;
+  let ranges = ref [] in
+  Hashtbl.iter
+    (fun (s, e) cnt ->
+      match (resolve s, resolve e) with
+      | Some (f1, o1), Some (f2, o2) when f1 = f2 && o2 >= o1 ->
+          ranges :=
+            { Fdata.rg_func = f1; rg_start = o1; rg_end = o2; rg_count = !cnt } :: !ranges
+      | _ -> ())
+    raw.rp_traces;
+  let samples = ref [] in
+  Hashtbl.iter
+    (fun ip cnt ->
+      match resolve ip with
+      | Some (f, o) ->
+          samples := { Fdata.sm_func = f; sm_off = o; sm_count = !cnt } :: !samples
+      | None -> ())
+    raw.rp_ips;
+  let total =
+    List.fold_left (fun a (b : Fdata.branch) -> a + b.br_count) 0 !branches
+    + List.fold_left (fun a (s : Fdata.sample) -> a + s.sm_count) 0 !samples
+  in
+  {
+    Fdata.lbr = raw.rp_lbr;
+    branches = List.rev !branches;
+    ranges = List.rev !ranges;
+    samples = List.rev !samples;
+    total_samples = total;
+  }

@@ -1,0 +1,72 @@
+(* On-disk format for raw sample aggregates — the perf.data analog that
+   `bsim --record` writes and `perf2bolt` consumes. *)
+
+module Machine = Bolt_sim.Machine
+
+let magic = "BPRF"
+
+let save path (p : Machine.raw_profile) =
+  let b = Bolt_obj.Buf.writer () in
+  Buffer.add_string b magic;
+  Bolt_obj.Buf.u8 b (if p.rp_lbr then 1 else 0);
+  Bolt_obj.Buf.i64 b p.rp_samples;
+  Bolt_obj.Buf.u32 b (Hashtbl.length p.rp_branches);
+  Hashtbl.iter
+    (fun (f, t) (c, m) ->
+      Bolt_obj.Buf.i64 b f;
+      Bolt_obj.Buf.i64 b t;
+      Bolt_obj.Buf.i64 b !c;
+      Bolt_obj.Buf.i64 b !m)
+    p.rp_branches;
+  Bolt_obj.Buf.u32 b (Hashtbl.length p.rp_traces);
+  Hashtbl.iter
+    (fun (s, e) c ->
+      Bolt_obj.Buf.i64 b s;
+      Bolt_obj.Buf.i64 b e;
+      Bolt_obj.Buf.i64 b !c)
+    p.rp_traces;
+  Bolt_obj.Buf.u32 b (Hashtbl.length p.rp_ips);
+  Hashtbl.iter
+    (fun ip c ->
+      Bolt_obj.Buf.i64 b ip;
+      Bolt_obj.Buf.i64 b !c)
+    p.rp_ips;
+  let oc = open_out_bin path in
+  output_string oc (Bolt_obj.Buf.contents b);
+  close_out oc
+
+let load path : Machine.raw_profile =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let r = Bolt_obj.Buf.reader s in
+  Bolt_obj.Buf.need r 4;
+  if String.sub s 0 4 <> magic then raise (Bolt_obj.Buf.Corrupt "bad sample magic");
+  r.Bolt_obj.Buf.pos <- 4;
+  let lbr = Bolt_obj.Buf.r_u8 r = 1 in
+  let samples = Bolt_obj.Buf.r_i64 r in
+  let p = Machine.new_raw_profile lbr in
+  p.rp_samples <- samples;
+  let nb = Bolt_obj.Buf.r_u32 r in
+  for _ = 1 to nb do
+    let f = Bolt_obj.Buf.r_i64 r in
+    let t = Bolt_obj.Buf.r_i64 r in
+    let c = Bolt_obj.Buf.r_i64 r in
+    let m = Bolt_obj.Buf.r_i64 r in
+    Hashtbl.replace p.rp_branches (f, t) (ref c, ref m)
+  done;
+  let nt = Bolt_obj.Buf.r_u32 r in
+  for _ = 1 to nt do
+    let a = Bolt_obj.Buf.r_i64 r in
+    let e = Bolt_obj.Buf.r_i64 r in
+    let c = Bolt_obj.Buf.r_i64 r in
+    Hashtbl.replace p.rp_traces (a, e) (ref c)
+  done;
+  let ni = Bolt_obj.Buf.r_u32 r in
+  for _ = 1 to ni do
+    let ip = Bolt_obj.Buf.r_i64 r in
+    let c = Bolt_obj.Buf.r_i64 r in
+    Hashtbl.replace p.rp_ips ip (ref c)
+  done;
+  p

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Bolt_isa Bolt_obj Bpred Cache Codec Cond Hashtbl Insn Layout List Memory Objfile Option Printf Reg Sys Types

@@ -1,0 +1,68 @@
+(* Set-associative cache and TLB models with LRU replacement.
+
+   Only hit/miss behaviour is modelled — the timing cost of a miss is
+   charged by the machine's cycle model.  The same structure serves as a
+   TLB by using page-sized "lines". *)
+
+type t = {
+  sets : int;
+  assoc : int;
+  line_bits : int;
+  tags : int array; (* sets * assoc, -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~size ~line ~assoc =
+  let line_bits =
+    let rec lb n acc = if n <= 1 then acc else lb (n / 2) (acc + 1) in
+    lb line 0
+  in
+  let sets = max 1 (size / (line * assoc)) in
+  {
+    sets;
+    assoc;
+    line_bits;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    tick = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+(* Returns true on hit.  A miss installs the line. *)
+let access c addr =
+  c.accesses <- c.accesses + 1;
+  c.tick <- c.tick + 1;
+  let line = addr lsr c.line_bits in
+  let set = line mod c.sets in
+  let base = set * c.assoc in
+  let rec find i =
+    if i >= c.assoc then -1
+    else if c.tags.(base + i) = line then i
+    else find (i + 1)
+  in
+  let hit = find 0 in
+  if hit >= 0 then begin
+    c.stamps.(base + hit) <- c.tick;
+    true
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for i = 1 to c.assoc - 1 do
+      if c.stamps.(base + i) < c.stamps.(base + !victim) then victim := i
+    done;
+    c.tags.(base + !victim) <- line;
+    c.stamps.(base + !victim) <- c.tick;
+    false
+  end
+
+let reset c =
+  Array.fill c.tags 0 (Array.length c.tags) (-1);
+  c.accesses <- 0;
+  c.misses <- 0;
+  c.tick <- 0

@@ -1,0 +1,97 @@
+(** Functional + timing simulator for BELF executables — the stand-in for
+    the paper's Intel testbed, including its profiling hardware (an LBR
+    ring of the last 32 taken branches, and event-based sampling). *)
+
+(** Cache/TLB geometry and the quarter-cycle cost model. *)
+type config = {
+  l1i_size : int;
+  l1d_size : int;
+  l2_size : int;
+  llc_size : int;
+  line : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  page : int;
+  q_base : int;  (** quarter-cycles per retired instruction *)
+  q_taken : int;  (** taken-branch fetch bubble *)
+  q_mispredict : int;
+  q_l1_miss : int;
+  q_l2_miss : int;
+  q_llc_miss : int;
+  q_tlb_miss : int;
+}
+
+val default_config : config
+
+type event = Ev_cycles | Ev_instructions | Ev_taken_branches
+
+type sample_cfg = {
+  event : event;
+  period : int;
+  lbr : bool;  (** capture the last-branch-record stack with each sample *)
+  precise : bool;  (** PEBS-style: no skid *)
+}
+
+type counters = {
+  mutable instructions : int;
+  mutable qcycles : int;
+  mutable branches : int;
+  mutable cond_branches : int;
+  mutable cond_taken : int;
+  mutable taken_branches : int;
+  mutable calls : int;
+  mutable branch_misses : int;
+  mutable l1i_accesses : int;
+  mutable l1i_misses : int;
+  mutable l1d_accesses : int;
+  mutable l1d_misses : int;
+  mutable l2_misses : int;
+  mutable llc_misses : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  mutable throws : int;
+}
+
+val new_counters : unit -> counters
+
+(** Whole cycles (the model accounts in quarter-cycles). *)
+val cycles : counters -> int
+
+(** Raw sample aggregates — the perf.data analog. *)
+type raw_profile = {
+  rp_branches : (int * int, int ref * int ref) Hashtbl.t;
+      (** (from, to) -> taken count, mispredict count *)
+  rp_traces : (int * int, int ref) Hashtbl.t;
+      (** sequential ranges between consecutive LBR entries *)
+  rp_ips : (int, int ref) Hashtbl.t;  (** plain IP samples (non-LBR mode) *)
+  rp_lbr : bool;
+  mutable rp_samples : int;
+}
+
+val new_raw_profile : bool -> raw_profile
+
+exception Sim_error of string
+
+type outcome = {
+  exit_code : int;
+  output : int list;  (** the program's output tape *)
+  counters : counters;
+  profile : raw_profile option;
+  heat : (int, int) Hashtbl.t option;  (** line address -> fetches *)
+  uncaught_exception : bool;
+  final_mem : Memory.t;  (** post-run memory, e.g. to dump PGO counters *)
+}
+
+(** [run exe ~input] executes the program until it returns from [main],
+    halts, fails to catch an exception, or exhausts [fuel] instructions
+    (then raising {!Sim_error}).  [sampling] enables the profiler;
+    [heatmap] collects the per-line fetch histogram of Figure 9.
+    Deterministic: equal inputs give equal outcomes. *)
+val run :
+  ?config:config ->
+  ?sampling:sample_cfg ->
+  ?heatmap:bool ->
+  ?fuel:int ->
+  Bolt_obj.Objfile.t ->
+  input:int array ->
+  outcome

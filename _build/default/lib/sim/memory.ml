@@ -1,0 +1,53 @@
+(* Sparse paged memory for the simulator.
+
+   Pages are allocated lazily; words are little-endian.  The aligned
+   8-byte fast path covers almost all traffic (stack and array cells are
+   8-aligned); the byte loop handles the rest, including cross-page
+   accesses. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 256 }
+
+let page m a =
+  let key = a lsr page_bits in
+  match Hashtbl.find_opt m.pages key with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\x00' in
+      Hashtbl.add m.pages key p;
+      p
+
+let read8 m a = Char.code (Bytes.unsafe_get (page m a) (a land (page_size - 1)))
+
+let write8 m a v =
+  Bytes.unsafe_set (page m a) (a land (page_size - 1)) (Char.unsafe_chr (v land 0xff))
+
+let read64 m a =
+  let off = a land (page_size - 1) in
+  if a land 7 = 0 && off <= page_size - 8 then
+    Int64.to_int (Bytes.get_int64_le (page m a) off)
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read8 m (a + i)))
+    done;
+    Int64.to_int !v
+  end
+
+let write64 m a v =
+  let off = a land (page_size - 1) in
+  if a land 7 = 0 && off <= page_size - 8 then
+    Bytes.set_int64_le (page m a) off (Int64.of_int v)
+  else begin
+    let v64 = Int64.of_int v in
+    for i = 0 to 7 do
+      write8 m (a + i) (Int64.to_int (Int64.shift_right_logical v64 (8 * i)))
+    done
+  end
+
+let load_bytes m addr (b : Bytes.t) =
+  Bytes.iteri (fun i c -> write8 m (addr + i) (Char.code c)) b

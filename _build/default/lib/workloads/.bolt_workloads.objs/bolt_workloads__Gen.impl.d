@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Bolt_asm Bolt_isa Bolt_obj Buffer Cond Fmt Fun Hashtbl Insn List Printf Reg Rng String

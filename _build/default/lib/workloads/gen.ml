@@ -1,0 +1,488 @@
+(* Synthetic workload generator.
+
+   Emits MiniC programs with the characteristics the paper attributes to
+   data-center binaries, which are exactly the properties BOLT exploits:
+
+   - thousands of functions spread over many modules, with a heavily
+     skewed (zipf-ish) dynamic call profile, so the hot working set is
+     scattered across a large text segment (I-cache / I-TLB pressure);
+   - biased branches whose hot path CONTRADICTS the static layout (the
+     hot code sits in the `else`), so profile-driven block reordering has
+     something to fix;
+   - switches with a dominant case (jump tables, skewed);
+   - indirect calls with a dominant target (ICP material);
+   - rarely-executed error paths with exceptions (cold code + EH);
+   - families of identical functions, plain ones (linker ICF folds them)
+     and switch-bearing ones (only BOLT's ICF folds them);
+   - tiny leaf helpers (inline-small material);
+   - a few hand-written assembly dispatchers with indirect tail calls and
+     no frame information — the functions BOLT must conservatively leave
+     non-simple (§3.3, §6.4).
+
+   Everything is derived from an explicit seed. *)
+
+type params = {
+  seed : int;
+  modules : int;
+  funcs : int; (* generated compute functions *)
+  layers : int;
+  hot_per_mille : int; (* hot fraction of each layer, in 1/1000 *)
+  avg_children : int;
+  work_ops : int; (* arithmetic ops per function body *)
+  switch_per_mille : int;
+  indirect_per_mille : int;
+  eh_per_mille : int;
+  loop_per_mille : int;
+  mem_per_mille : int; (* array-traffic statements: D-side dilution *)
+  array_size : int; (* per-module scratch array length *)
+  dup_plain_families : int;
+  dup_plain_copies : int;
+  dup_switch_families : int;
+  dup_switch_copies : int;
+  leaf_helpers : int;
+  asm_dispatchers : int;
+  top_funcs : int; (* how many top-layer functions main dispatches over *)
+  iterations : int; (* main loop iterations (server mode) *)
+  input_driven : bool; (* compiler mode: main consumes the input tape *)
+}
+
+let default =
+  {
+    seed = 1;
+    modules = 24;
+    funcs = 1200;
+    layers = 6;
+    hot_per_mille = 250;
+    avg_children = 3;
+    work_ops = 6;
+    switch_per_mille = 250;
+    indirect_per_mille = 150;
+    eh_per_mille = 120;
+    loop_per_mille = 300;
+    mem_per_mille = 250;
+    array_size = 512;
+    dup_plain_families = 6;
+    dup_plain_copies = 4;
+    dup_switch_families = 6;
+    dup_switch_copies = 4;
+    leaf_helpers = 24;
+    asm_dispatchers = 3;
+    top_funcs = 12;
+    iterations = 30_000;
+    input_driven = false;
+  }
+
+type t = {
+  sources : (string * string) list;
+  externals : (string * int) list; (* hand-written assembly functions *)
+  extra_objs : Bolt_obj.Objfile.t list;
+  input : int array;
+  params : params;
+}
+
+(* ---- function plan ---- *)
+
+type fplan = {
+  fp_name : string;
+  fp_layer : int;
+  fp_hot : bool;
+  fp_module : int;
+  fp_children : string list; (* direct-call children *)
+  fp_ind_children : (string * string) option; (* dominant, rare *)
+  fp_body_seed : int;
+}
+
+let gen (p : params) : t =
+  let rng = Rng.create p.seed in
+  let fname i = Printf.sprintf "f%d" i in
+  let layer_of i = i * p.layers / p.funcs in
+  let hot = Array.init p.funcs (fun _ -> Rng.int rng 1000 < p.hot_per_mille) in
+  (* layer 0 functions are leaves; make the top layer all hot so main has
+     hot entry points *)
+  let nlayer l = List.length (List.filter (fun i -> layer_of i = l) (List.init p.funcs Fun.id)) in
+  ignore nlayer;
+  Array.iteri (fun i _ -> if layer_of i = p.layers - 1 && i land 3 <> 0 then hot.(i) <- true) hot;
+  let leaf_name i = Printf.sprintf "leaf%d" i in
+  let candidates_below layer want_hot =
+    let out = ref [] in
+    for i = 0 to p.funcs - 1 do
+      if layer_of i < layer && hot.(i) = want_hot then out := i :: !out
+    done;
+    !out
+  in
+  let plans =
+    Array.init p.funcs (fun i ->
+        let layer = layer_of i in
+        let nkids = if layer = 0 then 0 else 1 + Rng.int rng (2 * p.avg_children) in
+        let pool_hot = candidates_below layer true in
+        let pool_cold = candidates_below layer false in
+        let pick_child () =
+          let want_hot =
+            if hot.(i) then Rng.bool rng 9 10 else Rng.bool rng 1 2
+          in
+          let pool = if want_hot && pool_hot <> [] then pool_hot else pool_cold in
+          match pool with
+          | [] -> if Rng.bool rng 1 2 then Some (leaf_name (Rng.int rng p.leaf_helpers)) else None
+          | _ -> Some (fname (Rng.pick_list rng pool))
+        in
+        let children =
+          List.init nkids (fun _ -> pick_child ()) |> List.filter_map Fun.id
+        in
+        let children =
+          if layer > 0 && Rng.bool rng 1 3 then
+            leaf_name (Rng.int rng p.leaf_helpers) :: children
+          else children
+        in
+        let ind =
+          if layer > 0 && Rng.int rng 1000 < p.indirect_per_mille then
+            match (pool_hot, pool_cold) with
+            | h :: _, c :: _ -> Some (fname h, fname c)
+            | h :: h2 :: _, [] -> Some (fname h, fname h2)
+            | _ -> None
+          else None
+        in
+        {
+          fp_name = fname i;
+          fp_layer = layer;
+          fp_hot = hot.(i);
+          fp_module = i mod p.modules;
+          fp_children = children;
+          fp_ind_children = ind;
+          fp_body_seed = Rng.next rng;
+        })
+  in
+
+  (* ---- body synthesis ---- *)
+  let arr_name m = Printf.sprintf "gbuf%d" m in
+  let body_of (fp : fplan) =
+    let r = Rng.create fp.fp_body_seed in
+    let b = Buffer.create 512 in
+    let line fmt = Fmt.kstr (fun s -> Buffer.add_string b ("  " ^ s ^ "\n")) fmt in
+    Buffer.add_string b (Printf.sprintf "fn %s(x, d) {\n" fp.fp_name);
+    line "var a = x + %d;" (Rng.int r 1000);
+    (* arithmetic mix *)
+    for _ = 1 to 1 + Rng.int r p.work_ops do
+      match Rng.int r 6 with
+      | 0 -> line "a = a * %d + %d;" (1 + Rng.int r 7) (Rng.int r 97)
+      | 1 -> line "a = a ^ (a >> %d);" (1 + Rng.int r 5)
+      | 2 -> line "a = (a & 65535) + (a >> 4);"
+      | 3 -> line "a = a + (x << %d);" (Rng.int r 3)
+      | 4 -> line "a = a %% %d + d;" (17 + Rng.int r 80)
+      | _ -> line "a = a | %d;" (1 + Rng.int r 15)
+    done;
+    (* array traffic: data-side work like a real service mixes in.
+       indices are masked, not mod'ed: [a] may be negative and a negative
+       remainder would index outside the array *)
+    if Rng.int r 1000 < p.mem_per_mille then begin
+      let arr = arr_name fp.fp_module in
+      let mask = p.array_size - 1 in
+      line "%s[a & %d] = a + %d;" arr mask (Rng.int r 100);
+      line "a = a + %s[(a * %d) & %d];" arr (3 + Rng.int r 11) mask;
+      if Rng.bool r 1 2 then
+        line "a = a + %s[(x + %d) & %d];" arr (Rng.int r 50) mask
+    end;
+    (* bounded loop *)
+    if Rng.int r 1000 < p.loop_per_mille then begin
+      line "var j = 0;";
+      line "while (j < (x %% %d) + 1) {" (2 + Rng.int r 4);
+      line "  a = a + j * %d;" (1 + Rng.int r 9);
+      line "  j = j + 1;";
+      line "}"
+    end;
+    (* skewed branch contradicting static layout: hot path in else *)
+    let cold_call =
+      match List.filter (fun c -> c.[0] = 'f') fp.fp_children with
+      | c :: _ when not fp.fp_hot || Rng.bool r 1 2 -> Printf.sprintf "a = a + %s(a, d + 1);" c
+      | _ -> "a = a * 3 + 1;"
+    in
+    if Rng.bool r 6 10 then begin
+      (* our compiler's static layout makes the ELSE branch the
+         fall-through, so a branch whose hot path sits in the THEN arm
+         contradicts the static layout (profile-driven reordering fixes
+         it); hot-in-else already matches it *)
+      if Rng.bool r 7 10 then begin
+        (* contradicts the static layout *)
+        line "if (a %% 64 >= %d) {" (1 + Rng.int r 5);
+        line "  a = a + %d;" (1 + Rng.int r 31);
+        line "} else {";
+        line "  %s" cold_call;
+        line "  a = a ^ 255;";
+        line "}"
+      end
+      else begin
+        (* static layout already right *)
+        line "if (a %% 64 < %d) {" (1 + Rng.int r 5);
+        line "  %s" cold_call;
+        line "} else {";
+        line "  a = a + %d;" (1 + Rng.int r 31);
+        line "}"
+      end
+    end;
+    (* switch with a dominant case *)
+    if Rng.int r 1000 < p.switch_per_mille then begin
+      let ncases = 5 + Rng.int r 6 in
+      let dominant = Rng.int r ncases in
+      line "var s = a %% %d;" ncases;
+      line "if (a %% 16 < 13) { s = %d; }" dominant;
+      line "switch (s) {";
+      for c = 0 to ncases - 1 do
+        match Rng.int r 3 with
+        | 0 -> line "  case %d: { a = a + %d; }" c (Rng.int r 100)
+        | 1 -> line "  case %d: { a = a ^ %d; }" c (Rng.int r 255)
+        | _ -> line "  case %d: { a = a * 2 + %d; }" c (Rng.int r 9)
+      done;
+      line "  default: { a = a - 1; }";
+      line "}"
+    end;
+    (* direct calls to children *)
+    List.iteri
+      (fun k c ->
+        if c.[0] = 'f' then begin
+          if Rng.bool r 3 4 then line "a = a + %s(a + %d, d);" c k
+          else begin
+            (* occasionally guarded: contributes cold call sites *)
+            line "if (a %% 128 == %d) { a = a + %s(a, d); }" (Rng.int r 128) c
+          end
+        end
+        else line "a = a + %s(a);" c)
+      fp.fp_children;
+    (* indirect call with dominant target *)
+    (match fp.fp_ind_children with
+    | Some (dom, rare) ->
+        line "var fp = &%s;" dom;
+        line "if (a %% 32 == %d) { fp = &%s; }" (Rng.int r 32) rare;
+        line "a = a + *fp(a, d);"
+    | None -> ());
+    (* rare exception path *)
+    if Rng.int r 1000 < p.eh_per_mille then begin
+      line "try {";
+      line "  if (a %% 8192 == %d) { throw a; }" (Rng.int r 8192);
+      line "  a = a + 7;";
+      line "} catch (e) {";
+      line "  a = a - (e %% 97);";
+      line "}"
+    end;
+    line "return a;";
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+  in
+
+  (* leaf helpers: tiny, frameless, inline-small material *)
+  let leaf_bodies =
+    List.init p.leaf_helpers (fun i ->
+        let r = Rng.create (p.seed + (31 * i)) in
+        Printf.sprintf "fn %s(x) { return x * %d + %d; }\n" (leaf_name i)
+          (1 + Rng.int r 9) (Rng.int r 31))
+  in
+
+  (* duplicate families *)
+  let dup_plain fam =
+    let r = Rng.create (p.seed + 1000 + fam) in
+    let c1 = 3 + Rng.int r 11 and c2 = Rng.int r 50 and c3 = 1 + Rng.int r 6 in
+    fun copy ->
+      Printf.sprintf
+        "fn dupp%d_%d(x) {\n  var a = x * %d + %d;\n  a = a ^ (a >> %d);\n  if (a %% 64 < 3) { a = a * 5; } else { a = a + 9; }\n  return a;\n}\n"
+        fam copy c1 c2 c3
+  in
+  let dup_switch fam =
+    let r = Rng.create (p.seed + 2000 + fam) in
+    let k = 2 + Rng.int r 5 in
+    fun copy ->
+      Printf.sprintf
+        "fn dups%d_%d(x) {\n\
+        \  var s = x %% 6;\n\
+        \  var a = x;\n\
+        \  switch (s) {\n\
+        \    case 0: { a = a + %d; }\n\
+        \    case 1: { a = a * 2; }\n\
+        \    case 2: { a = a ^ 85; }\n\
+        \    case 3: { a = a - 7; }\n\
+        \    case 4: { a = a + x; }\n\
+        \    default: { a = a * 3; }\n\
+        \  }\n\
+        \  return a + %d;\n\
+        }\n"
+        fam copy k (k * 3)
+  in
+
+  (* ---- assemble modules ---- *)
+  let dup_names =
+    List.concat
+      (List.init p.dup_plain_families (fun fam ->
+           List.init p.dup_plain_copies (fun c -> Printf.sprintf "dupp%d_%d" fam c)))
+    @ List.concat
+        (List.init p.dup_switch_families (fun fam ->
+             List.init p.dup_switch_copies (fun c -> Printf.sprintf "dups%d_%d" fam c)))
+  in
+  let asm_names = List.init p.asm_dispatchers (fun i -> Printf.sprintf "asm_disp%d" i) in
+  let module_funcs = Array.make p.modules [] in
+  Array.iter
+    (fun fp -> module_funcs.(fp.fp_module) <- fp :: module_funcs.(fp.fp_module))
+    plans;
+  (* leaf helpers + dups all live in module 0; mains in module 0 *)
+  let module_of_fn = Hashtbl.create 256 in
+  Array.iter (fun fp -> Hashtbl.replace module_of_fn fp.fp_name fp.fp_module) plans;
+  List.iteri (fun i _ -> Hashtbl.replace module_of_fn (leaf_name i) 0) leaf_bodies;
+  List.iter (fun n -> Hashtbl.replace module_of_fn n 0) dup_names;
+
+  (* main *)
+  let top =
+    Array.to_list plans
+    |> List.filter (fun fp -> fp.fp_layer = p.layers - 1 && fp.fp_hot)
+    |> List.filteri (fun i _ -> i < p.top_funcs)
+  in
+  let top = if top = [] then [ plans.(p.funcs - 1) ] else top in
+  let cold_top =
+    Array.to_list plans
+    |> List.filter (fun fp -> fp.fp_layer >= p.layers - 2 && not fp.fp_hot)
+    |> List.filteri (fun i _ -> i < 6)
+  in
+  let main_buf = Buffer.create 1024 in
+  let ml fmt = Fmt.kstr (fun s -> Buffer.add_string main_buf (s ^ "\n")) fmt in
+  ml "global checksum = 0;";
+  ml "global lcg = %d;" (1 + Rng.int rng 1_000_000);
+  ml "fn main() {";
+  if p.input_driven then begin
+    ml "  var tok = in();";
+    ml "  while (tok != 0) {";
+    ml "    var t = tok %% 100;"
+  end
+  else begin
+    ml "  var i = 0;";
+    ml "  while (i < %d) {" p.iterations;
+    ml "    lcg = (lcg * 1103515245 + 12345) & 1073741823;";
+    ml "    var t = lcg %% 100;"
+  end;
+  (* zipf-ish dispatch over the top functions *)
+  let n_top = List.length top in
+  let cum = ref 0 in
+  List.iteri
+    (fun k fp ->
+      let share =
+        if k = 0 then 40
+        else max 1 (40 / (k + 1) / 2 * 2 / 2)
+      in
+      let share = if k = n_top - 1 then max 1 (97 - !cum) else min share (97 - !cum) in
+      if share > 0 then begin
+        let lo = !cum in
+        cum := !cum + share;
+        if k = 0 then ml "    if (t < %d) { checksum = checksum + %s(t, 0); }" !cum fp.fp_name
+        else ml "    else { if (t < %d) { checksum = checksum + %s(t + %d, 0); }" !cum fp.fp_name lo
+      end)
+    top;
+  (* the rare cold tail *)
+  (match cold_top with
+  | [] -> ml "    else { checksum = checksum + 1; }"
+  | c ->
+      ml "    else {";
+      List.iteri
+        (fun k fp ->
+          ml "      if (t == %d) { checksum = checksum + %s(t, 1); }" (97 + k) fp.fp_name)
+        (List.filteri (fun i _ -> i < 3) c);
+      ml "      checksum = checksum + 1;";
+      ml "    }");
+  (* close the else-if chain: each non-first top opened one '{' *)
+  for _ = 2 to n_top do
+    Buffer.add_string main_buf "    }\n"
+  done;
+  (* exercise the duplicate families and asm dispatchers lightly *)
+  (match dup_names with
+  | d1 :: d2 :: _ ->
+      ml "    if (t == 3) { checksum = checksum + %s(t) + %s(t); }" d1 d2
+  | _ -> ());
+  List.iteri
+    (fun k n -> ml "    if (t == %d) { checksum = checksum + %s(t, 0); }" (5 + k) n)
+    asm_names;
+  if p.input_driven then ml "    tok = in();" else ml "    i = i + 1;";
+  ml "  }";
+  ml "  out checksum;";
+  ml "  return 0;";
+  ml "}";
+
+  (* collect sources per module with extern decls *)
+  let sources =
+    List.init p.modules (fun m ->
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf (Printf.sprintf "array %s[%d];\n" (arr_name m) p.array_size);
+        if m = 0 then Buffer.add_string buf (Buffer.contents main_buf);
+        if m = 0 then begin
+          List.iter (Buffer.add_string buf) leaf_bodies;
+          for fam = 0 to p.dup_plain_families - 1 do
+            for c = 0 to p.dup_plain_copies - 1 do
+              Buffer.add_string buf (dup_plain fam c)
+            done
+          done;
+          for fam = 0 to p.dup_switch_families - 1 do
+            for c = 0 to p.dup_switch_copies - 1 do
+              Buffer.add_string buf (dup_switch fam c)
+            done
+          done
+        end;
+        let fps = List.rev module_funcs.(m) in
+        (* extern decls for everything referenced outside this module *)
+        let referenced = Hashtbl.create 64 in
+        let note n = Hashtbl.replace referenced n () in
+        List.iter
+          (fun fp ->
+            List.iter note fp.fp_children;
+            match fp.fp_ind_children with
+            | Some (a, b) ->
+                note a;
+                note b
+            | None -> ())
+          fps;
+        if m = 0 then begin
+          List.iter (fun fp -> note fp.fp_name) top;
+          List.iter (fun fp -> note fp.fp_name) cold_top
+        end;
+        Hashtbl.iter
+          (fun n () ->
+            match Hashtbl.find_opt module_of_fn n with
+            | Some m' when m' <> m ->
+                let arity = if n.[0] = 'f' then 2 else 1 in
+                Buffer.add_string buf (Printf.sprintf "extern fn %s(%s);\n" n
+                  (if arity = 2 then "a, b" else "a"))
+            | _ -> ())
+          referenced;
+        List.iter (fun fp -> Buffer.add_string buf (body_of fp)) fps;
+        (Printf.sprintf "mod%d" m, Buffer.contents buf))
+  in
+
+  (* hand-written assembly dispatchers: indirect tail calls, no FDE *)
+  let asm_unit =
+    let open Bolt_asm.Asm in
+    let open Bolt_isa in
+    let funcs =
+      List.mapi
+        (fun i name ->
+          let t1 = leaf_name (i mod p.leaf_helpers) in
+          let t2 = leaf_name ((i + 1) mod p.leaf_helpers) in
+          {
+            af_name = name;
+            af_global = true;
+            af_align = 16;
+            af_emit_fde = false;
+            af_body =
+              [
+                A_insn (Insn.Mov_rr (Reg.r5, Reg.r1));
+                A_insn (Insn.Alu_ri (Insn.And, Reg.r5, Insn.Imm 1));
+                A_insn (Insn.Lea (Reg.r6, Insn.Sym (t1, 0)));
+                A_insn (Insn.Alu_ri (Insn.Cmp, Reg.r5, Insn.Imm 0));
+                A_insn (Insn.Jcc (Cond.Eq, Insn.Sym ("done", 0), Insn.W8));
+                A_insn (Insn.Lea (Reg.r6, Insn.Sym (t2, 0)));
+                A_label "done";
+                (* indirect tail call: BOLT must mark this non-simple *)
+                A_insn (Insn.Jmp_ind Reg.r6);
+              ];
+          })
+        asm_names
+    in
+    assemble { empty_unit with u_funcs = funcs; u_function_sections = true }
+  in
+  {
+    sources;
+    externals = List.map (fun n -> (n, 2)) asm_names;
+    extra_objs = (if p.asm_dispatchers > 0 then [ asm_unit ] else []);
+    input = [||];
+    params = p;
+  }

@@ -1,0 +1,32 @@
+(* Deterministic splitmix64-style PRNG.  Every workload is generated from
+   an explicit seed so experiments are bit-for-bit reproducible. *)
+
+type t = { mutable state : int }
+
+let create seed = { state = seed lxor 0x1e3779b97f4a7c15 }
+
+let next t =
+  t.state <- (t.state + 0x1e3779b97f4a7c15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb land max_int in
+  z lxor (z lsr 31)
+
+(* uniform in [0, n) *)
+let int t n = if n <= 0 then 0 else next t mod n
+
+let bool t p_num p_den = int t p_den < p_num
+
+let pick t arr = arr.(int t (Array.length arr))
+
+let pick_list t l = List.nth l (int t (List.length l))
+
+(* Zipf-ish skewed index in [0, n): low indices much more likely. *)
+let zipf t n =
+  if n <= 1 then 0
+  else begin
+    let r = int t 100 in
+    if r < 50 then int t (max 1 (n / 16))
+    else if r < 80 then int t (max 1 (n / 4))
+    else int t n
+  end

@@ -1,0 +1,22 @@
+(** Deterministic splitmix-style PRNG used by every workload generator.
+    Same seed, same program — experiments are reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+
+(** Next raw 62-bit positive value. *)
+val next : t -> int
+
+(** [int t n] is uniform in [\[0, n)]; 0 when [n <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t num den] is true with probability [num/den]. *)
+val bool : t -> int -> int -> bool
+
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a
+
+(** Zipf-flavoured index in [\[0, n)]: low indices strongly preferred —
+    the shape of data-center call-frequency distributions. *)
+val zipf : t -> int -> int

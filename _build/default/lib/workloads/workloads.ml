@@ -1,0 +1,153 @@
+(* Named workload configurations for the paper's evaluation.
+
+   Five data-center-like services (§6.1) and two compiler-like programs
+   (§6.2).  The parameter choices control the properties that matter:
+   text size vs. the simulated cache hierarchy (front-end boundedness),
+   profile skew, dispatch style, exception density.
+
+   - hhvm_like: the largest and most front-end bound; switch-heavy
+     dispatch (a bytecode-VM flavour), plenty of indirect calls and some
+     dynamically-unanalyzable (assembly) dispatchers.
+   - tao_like: an in-memory cache: array traffic, medium code size.
+   - proxygen_like: a load balancer: deep call chains, many small
+     functions.
+   - multifeed1/2: ranking services: two related variants of the same
+     shape with different seeds and mixes.
+   - clang_like / gcc_like: input-tape-driven "compilers": they read a
+     token stream (the "source file"), so different inputs exercise
+     different paths. *)
+
+let hhvm_like =
+  {
+    Gen.default with
+    seed = 11;
+    modules = 32;
+    funcs = 2200;
+    layers = 7;
+    hot_per_mille = 220;
+    work_ops = 14;
+    mem_per_mille = 400;
+    array_size = 4096;
+    switch_per_mille = 380;
+    indirect_per_mille = 220;
+    eh_per_mille = 150;
+    dup_plain_families = 10;
+    dup_plain_copies = 4;
+    dup_switch_families = 10;
+    dup_switch_copies = 4;
+    leaf_helpers = 40;
+    asm_dispatchers = 5;
+    top_funcs = 14;
+    iterations = 26_000;
+  }
+
+let tao_like =
+  {
+    Gen.default with
+    seed = 22;
+    modules = 20;
+    funcs = 1300;
+    layers = 6;
+    hot_per_mille = 260;
+    work_ops = 32;
+    mem_per_mille = 820;
+    array_size = 16384;
+    switch_per_mille = 180;
+    indirect_per_mille = 120;
+    eh_per_mille = 80;
+    leaf_helpers = 24;
+    asm_dispatchers = 2;
+    top_funcs = 10;
+    iterations = 30_000;
+  }
+
+let proxygen_like =
+  {
+    Gen.default with
+    seed = 33;
+    modules = 24;
+    funcs = 1600;
+    layers = 8;
+    hot_per_mille = 240;
+    work_ops = 36;
+    mem_per_mille = 780;
+    array_size = 8192;
+    switch_per_mille = 220;
+    indirect_per_mille = 160;
+    eh_per_mille = 180;
+    leaf_helpers = 32;
+    asm_dispatchers = 2;
+    top_funcs = 12;
+    iterations = 30_000;
+  }
+
+let multifeed1 =
+  {
+    Gen.default with
+    seed = 44;
+    modules = 16;
+    funcs = 1100;
+    layers = 6;
+    hot_per_mille = 300;
+    work_ops = 40;
+    mem_per_mille = 840;
+    array_size = 8192;
+    switch_per_mille = 200;
+    indirect_per_mille = 140;
+    eh_per_mille = 100;
+    leaf_helpers = 20;
+    asm_dispatchers = 1;
+    top_funcs = 10;
+    iterations = 32_000;
+  }
+
+let multifeed2 =
+  { multifeed1 with Gen.seed = 55; funcs = 1000; work_ops = 42; mem_per_mille = 860 }
+
+let clang_like =
+  {
+    Gen.default with
+    seed = 66;
+    modules = 28;
+    funcs = 1800;
+    layers = 7;
+    hot_per_mille = 230;
+    work_ops = 6;
+    switch_per_mille = 420;
+    indirect_per_mille = 180;
+    eh_per_mille = 90;
+    dup_plain_families = 8;
+    dup_switch_families = 8;
+    leaf_helpers = 30;
+    asm_dispatchers = 2;
+    top_funcs = 12;
+    input_driven = true;
+  }
+
+let gcc_like =
+  {
+    clang_like with
+    Gen.seed = 77;
+    modules = 24;
+    funcs = 1500;
+    switch_per_mille = 360;
+    indirect_per_mille = 120;
+  }
+
+(* Token streams (the compiler "inputs"): [n] tokens with an LCG whose mix
+   parameter shifts which dispatch paths are hot. *)
+let token_input ~seed ~n ~mix : int array =
+  let r = Rng.create seed in
+  Array.init n (fun _ ->
+      let v = 1 + Rng.int r 1_000_000 in
+      (* bias the low digits so t = tok mod 100 is skewed *)
+      if Rng.bool r mix 100 then (v / 100 * 100) + Rng.int r 30 else v)
+
+let fb_workloads =
+  [
+    ("hhvm", hhvm_like);
+    ("tao", tao_like);
+    ("proxygen", proxygen_like);
+    ("multifeed1", multifeed1);
+    ("multifeed2", multifeed2);
+  ]

@@ -1,0 +1,1 @@
+test/test_asm_link.ml: Alcotest Bolt_asm Bolt_isa Bolt_linker Bolt_obj Buf Bytes Codec Cond Insn List Objfile Option Reg Types

@@ -1,0 +1,1 @@
+test/test_bolt_core.ml: Alcotest Array Bolt_asm Bolt_core Bolt_isa Bolt_minic Bolt_obj Bolt_profile Bolt_sim Driver Hashtbl Inline Insn List Option Reg

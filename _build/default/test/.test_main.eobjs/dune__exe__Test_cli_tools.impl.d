@@ -1,0 +1,1 @@
+test/test_cli_tools.ml: Alcotest Array Bolt_core Bolt_minic Bolt_obj Bolt_profile Bolt_sim Filename List Option Sys

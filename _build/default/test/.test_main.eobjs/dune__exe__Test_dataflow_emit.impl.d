@@ -1,0 +1,1 @@
+test/test_dataflow_emit.ml: Alcotest Bolt_core Bolt_isa Bolt_minic Bolt_obj Bolt_profile Bolt_sim Driver Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bolt_core Bolt_minic Bolt_profile Bolt_sim Bolt_workloads List Printf

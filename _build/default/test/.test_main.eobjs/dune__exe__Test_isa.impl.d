@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bolt_isa Bytes Codec Cond Insn QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Bolt_minic Bolt_obj Bolt_sim Driver List Pgo

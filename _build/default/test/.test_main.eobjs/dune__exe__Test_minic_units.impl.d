@@ -1,0 +1,1 @@
+test/test_minic_units.ml: Alcotest Ast Bolt_minic Filename Hashtbl Inline Ir Irpass Lexer List Lower Parser Pgo Printf Sema Sys

@@ -1,0 +1,1 @@
+test/test_obj.ml: Alcotest Bolt_isa Bolt_obj Buf Bytes List Objfile QCheck QCheck_alcotest String Types

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Bolt_minic Bolt_pipeline Bolt_sim Bolt_workloads List

@@ -1,0 +1,1 @@
+test/test_profile_hfsort.ml: Alcotest Bolt_hfsort Bolt_minic Bolt_obj Bolt_profile Bolt_sim Filename Hashtbl List Option Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bolt_minic Bolt_profile Bolt_sim Bpred Cache Filename Hashtbl Machine Memory Option QCheck QCheck_alcotest Sys

@@ -1,0 +1,261 @@
+(* Assembler and linker unit tests: relaxation, relocations, PLT/GOT
+   synthesis, linker ICF, function ordering, jump-table data resolution. *)
+
+open Bolt_isa
+open Bolt_asm.Asm
+open Bolt_obj
+
+let mk_func ?(global = true) ?(fde = true) name body =
+  { af_name = name; af_global = global; af_align = 16; af_emit_fde = fde; af_body = body }
+
+let link ?(options = Bolt_linker.Linker.default_options) objs =
+  (* tests link arbitrary function sets; use the first function as entry *)
+  let entry =
+    List.concat_map (fun (o : Objfile.t) -> o.Objfile.symbols) objs
+    |> List.find_map (fun (s : Types.symbol) ->
+           if s.sym_kind = Types.Func && s.sym_name = "main" then Some "main" else None)
+    |> Option.value
+         ~default:
+           (match
+              List.concat_map (fun (o : Objfile.t) -> o.Objfile.symbols) objs
+              |> List.find_opt (fun (s : Types.symbol) -> s.sym_kind = Types.Func)
+            with
+           | Some s -> s.sym_name
+           | None -> "main")
+  in
+  Bolt_linker.Linker.link ~options:{ options with entry } objs
+
+let test_relaxation_short () =
+  (* a short forward branch stays 2 bytes *)
+  let f =
+    mk_func "f"
+      [
+        A_insn (Insn.Jmp (Insn.Sym ("l", 0), Insn.W8));
+        A_insn (Insn.Nop 4);
+        A_label "l";
+        A_insn Insn.Ret;
+      ]
+  in
+  let out = assemble_function ~base:0 f in
+  Alcotest.(check int) "total size" (2 + 4 + 1) out.fo_size;
+  let i, sz = Codec.decode out.fo_bytes 0 in
+  Alcotest.(check int) "short jmp" 2 sz;
+  match i with
+  | Insn.Jmp (Insn.Imm 4, Insn.W8) -> ()
+  | i -> Alcotest.failf "unexpected %s" (Insn.to_string i)
+
+let test_relaxation_widens () =
+  (* a branch over >127 bytes must widen to 5 bytes *)
+  let nops = List.init 20 (fun _ -> A_insn (Insn.Nop 15)) in
+  let f =
+    mk_func "f"
+      ((A_insn (Insn.Jmp (Insn.Sym ("l", 0), Insn.W8)) :: nops)
+      @ [ A_label "l"; A_insn Insn.Ret ])
+  in
+  let out = assemble_function ~base:0 f in
+  let i, sz = Codec.decode out.fo_bytes 0 in
+  Alcotest.(check int) "widened" 5 sz;
+  match i with
+  | Insn.Jmp (Insn.Imm 300, Insn.W32) -> ()
+  | i -> Alcotest.failf "unexpected %s" (Insn.to_string i)
+
+let test_backward_branch () =
+  let f =
+    mk_func "f"
+      [
+        A_label "top";
+        A_insn (Insn.Alu_ri (Insn.Sub, Reg.r1, Insn.Imm 1));
+        A_insn (Insn.Jcc (Cond.Gt, Insn.Sym ("top", 0), Insn.W8));
+        A_insn Insn.Ret;
+      ]
+  in
+  let out = assemble_function ~base:0 f in
+  let i, _ = Codec.decode out.fo_bytes 6 in
+  match i with
+  | Insn.Jcc (Cond.Gt, Insn.Imm -8, Insn.W8) -> ()
+  | i -> Alcotest.failf "unexpected %s" (Insn.to_string i)
+
+let test_cross_function_reloc () =
+  let caller = mk_func "caller" [ A_insn (Insn.Call (Insn.Sym ("callee", 0))); A_insn Insn.Ret ] in
+  let callee = mk_func "callee" [ A_insn Insn.Ret ] in
+  let obj = assemble { empty_unit with u_funcs = [ caller; callee ] } in
+  Alcotest.(check int) "one reloc" 1 (List.length obj.Objfile.relocs);
+  let exe, _ = link [ obj ] in
+  (* the call must land on callee's entry *)
+  let text = Objfile.section_exn exe ".text" in
+  let csym = Option.get (Objfile.find_symbol exe "caller") in
+  let tsym = Option.get (Objfile.find_symbol exe "callee") in
+  let i, sz = Codec.decode text.Types.sec_data (csym.sym_value - text.sec_addr) in
+  (match i with
+  | Insn.Call (Insn.Imm rel) ->
+      Alcotest.(check int) "call target" tsym.sym_value (csym.sym_value + sz + rel)
+  | i -> Alcotest.failf "unexpected %s" (Insn.to_string i))
+
+let test_invisible_local_calls () =
+  (* without function sections, intra-unit calls leave NO relocations *)
+  let caller = mk_func "c2" [ A_insn (Insn.Call (Insn.Sym ("d2", 0))); A_insn Insn.Ret ] in
+  let callee = mk_func "d2" [ A_insn Insn.Ret ] in
+  let obj =
+    assemble { empty_unit with u_funcs = [ caller; callee ]; u_function_sections = false }
+  in
+  Alcotest.(check int) "no relocs" 0 (List.length obj.Objfile.relocs);
+  Alcotest.(check int) "single text section" 1
+    (List.length (List.filter (fun s -> s.Types.sec_kind = Types.Text) obj.Objfile.sections))
+
+let test_plt_and_got () =
+  let caller =
+    mk_func "main" [ A_insn (Insn.Call (Insn.Sym ("ext$plt", 0))); A_insn Insn.Ret ]
+  in
+  let ext = mk_func "ext" [ A_insn Insn.Ret ] in
+  let o1 = assemble { empty_unit with u_funcs = [ caller ] } in
+  let o2 = assemble { empty_unit with u_funcs = [ ext ] } in
+  let exe, stats = link [ o1; o2 ] in
+  Alcotest.(check int) "one stub" 1 stats.Bolt_linker.Linker.plt_stubs;
+  let stub = Option.get (Objfile.find_symbol exe "ext$plt") in
+  let got = Option.get (Objfile.find_symbol exe "ext$got") in
+  let plt_sec = Objfile.section_exn exe ".plt" in
+  let i, _ = Codec.decode plt_sec.sec_data (stub.sym_value - plt_sec.sec_addr) in
+  (match i with
+  | Insn.Jmp_mem (Insn.Imm slot) -> Alcotest.(check int) "stub slot" got.sym_value slot
+  | i -> Alcotest.failf "unexpected %s" (Insn.to_string i));
+  (* the GOT cell holds ext's address *)
+  let got_sec = Objfile.section_exn exe ".got" in
+  let r = Buf.reader (Bytes.to_string got_sec.sec_data) in
+  r.Buf.pos <- got.sym_value - got_sec.sec_addr;
+  let target = Buf.r_i64 r in
+  let ext_sym = Option.get (Objfile.find_symbol exe "ext") in
+  Alcotest.(check int) "got content" ext_sym.sym_value target
+
+let test_undefined_symbol () =
+  let caller = mk_func "main" [ A_insn (Insn.Call (Insn.Sym ("missing", 0))); A_insn Insn.Ret ] in
+  let obj = assemble { empty_unit with u_funcs = [ caller ] } in
+  match link [ obj ] with
+  | _ -> Alcotest.fail "expected Link_error"
+  | exception Bolt_linker.Linker.Link_error _ -> ()
+
+let test_duplicate_symbol () =
+  let f1 = mk_func "main" [ A_insn Insn.Ret ] in
+  let f2 = mk_func "main" [ A_insn Insn.Halt ] in
+  let o1 = assemble { empty_unit with u_funcs = [ f1 ] } in
+  let o2 = assemble { empty_unit with u_funcs = [ f2 ] } in
+  match link [ o1; o2 ] with
+  | _ -> Alcotest.fail "expected Link_error"
+  | exception Bolt_linker.Linker.Link_error _ -> ()
+
+let test_linker_icf () =
+  let body = [ A_insn (Insn.Alu_ri (Insn.Add, Reg.r1, Insn.Imm 3)); A_insn Insn.Ret ] in
+  let main = mk_func "main" [ A_insn Insn.Ret ] in
+  let f1 = mk_func "twin1" body in
+  let f2 = mk_func "twin2" body in
+  let f3 = mk_func "other" [ A_insn (Insn.Alu_ri (Insn.Add, Reg.r1, Insn.Imm 4)); A_insn Insn.Ret ] in
+  let obj = assemble { empty_unit with u_funcs = [ main; f1; f2; f3 ] } in
+  let exe, stats =
+    link ~options:{ Bolt_linker.Linker.default_options with icf = true } [ obj ]
+  in
+  Alcotest.(check int) "one folded" 1 stats.Bolt_linker.Linker.icf_folded;
+  let t1 = Option.get (Objfile.find_symbol exe "twin1") in
+  let t2 = Option.get (Objfile.find_symbol exe "twin2") in
+  Alcotest.(check int) "aliased" t1.sym_value t2.sym_value;
+  let o = Option.get (Objfile.find_symbol exe "other") in
+  Alcotest.(check bool) "other distinct" true (o.sym_value <> t1.sym_value)
+
+let test_function_order () =
+  let mk name = mk_func name [ A_insn Insn.Ret ] in
+  let obj = assemble { empty_unit with u_funcs = [ mk "main"; mk "a"; mk "b"; mk "c" ] } in
+  let options =
+    { Bolt_linker.Linker.default_options with func_order = Some [ "c"; "a" ] }
+  in
+  let exe, _ = link ~options [ obj ] in
+  let addr n = (Option.get (Objfile.find_symbol exe n)).Types.sym_value in
+  Alcotest.(check bool) "c first" true (addr "c" < addr "a");
+  Alcotest.(check bool) "a before main" true (addr "a" < addr "main");
+  Alcotest.(check bool) "main before b" true (addr "main" < addr "b")
+
+let test_jump_table_data_resolution () =
+  (* a D_quad referring to a function-internal label becomes fn+offset *)
+  let f =
+    mk_func "f"
+      [ A_insn (Insn.Nop 4); A_label "inner"; A_insn Insn.Ret ]
+  in
+  let obj =
+    assemble
+      {
+        empty_unit with
+        u_funcs = [ f; mk_func "main" [ A_insn Insn.Ret ] ];
+        u_rodata = [ D_label ("JT", false); D_quad (Insn.Sym ("inner", 0)) ];
+      }
+  in
+  let r = List.find (fun (r : Types.reloc) -> r.rel_section = ".rodata") obj.Objfile.relocs in
+  Alcotest.(check string) "resolved to fn" "f" r.rel_sym;
+  Alcotest.(check int) "addend is offset" 4 r.rel_addend;
+  let exe, _ = link [ obj ] in
+  let ro = Objfile.section_exn exe ".rodata" in
+  let rr = Buf.reader (Bytes.to_string ro.sec_data) in
+  let v = Buf.r_i64 rr in
+  let fsym = Option.get (Objfile.find_symbol exe "f") in
+  Alcotest.(check int) "cell holds inner addr" (fsym.sym_value + 4) v
+
+let test_pic_difference_dropped () =
+  (* PIC entries resolve at link time and the reloc disappears even with
+     emit_relocs *)
+  let f = mk_func "f" [ A_insn (Insn.Nop 4); A_label "inner"; A_insn Insn.Ret ] in
+  let obj =
+    assemble
+      {
+        empty_unit with
+        u_funcs = [ f; mk_func "main" [ A_insn Insn.Ret ] ];
+        u_rodata = [ D_label ("JTP", false); D_quad_pic ("inner", 0, "JTP") ];
+      }
+  in
+  let exe, _ =
+    link ~options:{ Bolt_linker.Linker.default_options with emit_relocs = true } [ obj ]
+  in
+  Alcotest.(check int) "pic reloc dropped" 0
+    (List.length (List.filter (fun (r : Types.reloc) -> r.rel_section = ".rodata") exe.Objfile.relocs));
+  let ro = Objfile.section_exn exe ".rodata" in
+  let jt = Option.get (Objfile.find_symbol exe "JTP") in
+  let rr = Buf.reader (Bytes.to_string ro.sec_data) in
+  rr.Buf.pos <- jt.sym_value - ro.sec_addr;
+  let v = Buf.r_i64 rr in
+  let fsym = Option.get (Objfile.find_symbol exe "f") in
+  Alcotest.(check int) "difference value" (fsym.sym_value + 4 - jt.sym_value) v
+
+let test_lsda_and_dbg_roundtrip () =
+  let f =
+    mk_func "f"
+      [
+        A_loc ("x.mc", 10);
+        A_insn_lp (Insn.Call (Insn.Sym ("main", 0)), "pad");
+        A_loc ("x.mc", 11);
+        A_insn Insn.Ret;
+        A_label "pad";
+        A_insn Insn.Ret;
+      ]
+  in
+  let obj = assemble { empty_unit with u_funcs = [ f; mk_func "main" [ A_insn Insn.Ret ] ] } in
+  let l = Option.get (Objfile.lsda_for obj "f") in
+  (match l.lsda_entries with
+  | [ e ] ->
+      Alcotest.(check int) "range start" 0 e.lsda_start;
+      Alcotest.(check int) "range len" 5 e.lsda_len;
+      Alcotest.(check int) "pad offset" 6 e.lsda_pad
+  | _ -> Alcotest.fail "one lsda entry expected");
+  let d = Option.get (Objfile.dbg_for obj "f") in
+  Alcotest.(check int) "two line entries" 2 (List.length d.dbg_entries)
+
+let suite =
+  [
+    Alcotest.test_case "relax-short" `Quick test_relaxation_short;
+    Alcotest.test_case "relax-widens" `Quick test_relaxation_widens;
+    Alcotest.test_case "backward-branch" `Quick test_backward_branch;
+    Alcotest.test_case "cross-function-reloc" `Quick test_cross_function_reloc;
+    Alcotest.test_case "invisible-local-calls" `Quick test_invisible_local_calls;
+    Alcotest.test_case "plt-got" `Quick test_plt_and_got;
+    Alcotest.test_case "undefined-symbol" `Quick test_undefined_symbol;
+    Alcotest.test_case "duplicate-symbol" `Quick test_duplicate_symbol;
+    Alcotest.test_case "linker-icf" `Quick test_linker_icf;
+    Alcotest.test_case "function-order" `Quick test_function_order;
+    Alcotest.test_case "jt-data-resolution" `Quick test_jump_table_data_resolution;
+    Alcotest.test_case "pic-difference-dropped" `Quick test_pic_difference_dropped;
+    Alcotest.test_case "lsda-dbg" `Quick test_lsda_and_dbg_roundtrip;
+  ]

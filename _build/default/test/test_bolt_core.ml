@@ -1,0 +1,333 @@
+(* BOLT core tests: CFG reconstruction, jump-table discovery, profile
+   matching, individual passes, rewriting in both modes, and the
+   must-hold invariant that rewritten binaries behave identically. *)
+
+open Bolt_minic
+module Machine = Bolt_sim.Machine
+
+let compile ?(options = Driver.default_options) srcs = (Driver.compile ~options srcs).Driver.exe
+
+let profile_of exe ~input =
+  let sampling =
+    { Machine.event = Machine.Ev_cycles; period = 401; lbr = true; precise = true }
+  in
+  let o = Machine.run ~sampling exe ~input in
+  match o.Machine.profile with
+  | Some raw -> Bolt_profile.Perf2bolt.convert exe raw
+  | None -> Bolt_profile.Fdata.empty
+
+let build_ctx ?(opts = Bolt_core.Opts.default) exe =
+  let ctx = Bolt_core.Context.create ~opts exe in
+  Bolt_core.Build.run ctx;
+  ctx
+
+let switch_src =
+  {| fn classify(x) {
+       switch (x % 8) {
+         case 0: { return 10; }
+         case 1: { return 11; }
+         case 2: { return 12; }
+         case 3: { return 13; }
+         case 4: { return 14; }
+         case 5: { return 15; }
+         default: { return 0; }
+       }
+     }
+     fn main() {
+       var i = 0;
+       var s = 0;
+       while (i < 4000) { s = s + classify(i); i = i + 1; }
+       out s;
+       return 0;
+     } |}
+
+let test_cfg_reconstruction () =
+  let exe = compile [ ("m", switch_src) ] in
+  let ctx = build_ctx exe in
+  let fb = Option.get (Bolt_core.Context.func ctx "classify") in
+  Alcotest.(check bool) "simple" true fb.Bolt_core.Bfunc.simple;
+  Alcotest.(check bool) "several blocks" true (Hashtbl.length fb.Bolt_core.Bfunc.blocks > 5);
+  Alcotest.(check int) "one jump table" 1 (Array.length fb.Bolt_core.Bfunc.jts)
+
+let test_pic_jump_table_discovery () =
+  (* PIC jump tables leave no relocations: must be discovered by pattern *)
+  let exe =
+    compile ~options:{ Driver.default_options with pic_jump_tables = true }
+      [ ("m", switch_src) ]
+  in
+  let ctx = build_ctx exe in
+  let fb = Option.get (Bolt_core.Context.func ctx "classify") in
+  Alcotest.(check int) "table found" 1 (Array.length fb.Bolt_core.Bfunc.jts);
+  Alcotest.(check bool) "is pic" true fb.Bolt_core.Bfunc.jts.(0).Bolt_core.Bfunc.jt_pic
+
+let test_abs_jump_table_discovery () =
+  let exe =
+    compile ~options:{ Driver.default_options with pic_jump_tables = false }
+      [ ("m", switch_src) ]
+  in
+  let ctx = build_ctx exe in
+  let fb = Option.get (Bolt_core.Context.func ctx "classify") in
+  Alcotest.(check int) "table found" 1 (Array.length fb.Bolt_core.Bfunc.jts);
+  Alcotest.(check bool) "not pic" false fb.Bolt_core.Bfunc.jts.(0).Bolt_core.Bfunc.jt_pic
+
+let test_indirect_tail_call_non_simple () =
+  (* hand-written assembly with an indirect tail call must be non-simple *)
+  let open Bolt_asm.Asm in
+  let open Bolt_isa in
+  let asm =
+    assemble
+      {
+        empty_unit with
+        u_funcs =
+          [
+            {
+              af_name = "dispatcher";
+              af_global = true;
+              af_align = 16;
+              af_emit_fde = false;
+              af_body =
+                [
+                  A_insn (Insn.Lea (Reg.r6, Insn.Sym ("target", 0)));
+                  A_insn (Insn.Jmp_ind Reg.r6);
+                ];
+            };
+          ];
+      }
+  in
+  let r =
+    Driver.compile
+      ~externals:[ ("dispatcher", 1) ]
+      ~extra_objs:[ asm ]
+      [
+        ( "m",
+          {| fn target(x) { return x + 1; }
+             fn main() { out dispatcher(41); return 0; } |} );
+      ]
+  in
+  let ctx = build_ctx r.Driver.exe in
+  let fb = Option.get (Bolt_core.Context.func ctx "dispatcher") in
+  Alcotest.(check bool) "non-simple" false fb.Bolt_core.Bfunc.simple;
+  (* and the program still works after a full rewrite *)
+  let prof = profile_of r.Driver.exe ~input:[||] in
+  let exe', _ = Bolt_core.Bolt.optimize r.Driver.exe prof in
+  let o = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "works after rewrite" [ 42 ] o.Machine.output
+
+let test_profile_matching () =
+  let exe = compile [ ("m", switch_src) ] in
+  let prof = profile_of exe ~input:[||] in
+  let ctx = build_ctx exe in
+  let st = Bolt_core.Match_profile.attach ctx prof in
+  Bolt_core.Match_profile.finalize ctx ~lbr:true ~trust_fallthrough:true;
+  Alcotest.(check bool) "some branches matched" true (st.Bolt_core.Match_profile.matched_branches > 0);
+  let fb = Option.get (Bolt_core.Context.func ctx "classify") in
+  Alcotest.(check bool) "exec count" true (fb.Bolt_core.Bfunc.exec_count > 0);
+  Alcotest.(check bool) "profile acc high" true (fb.Bolt_core.Bfunc.profile_acc > 0.5)
+
+let test_strip_rep_ret () =
+  let exe = compile [ ("m", {| fn main() { out 1; return 0; } |}) ] in
+  let ctx = build_ctx exe in
+  Bolt_core.Passes_simple.strip_rep_ret ctx;
+  let fb = Option.get (Bolt_core.Context.func ctx "main") in
+  let has_repz =
+    Hashtbl.fold
+      (fun _ (b : Bolt_core.Bfunc.bb) acc ->
+        acc
+        || List.exists
+             (fun (i : Bolt_core.Bfunc.minsn) -> i.Bolt_core.Bfunc.op = Bolt_isa.Insn.Repz_ret)
+             b.Bolt_core.Bfunc.insns)
+      fb.Bolt_core.Bfunc.blocks false
+  in
+  Alcotest.(check bool) "no repz left" false has_repz
+
+let test_icf_folds_twins () =
+  let src =
+    {| fn twin1(x) { return x * 7 + 3; }
+       fn twin2(x) { return x * 7 + 3; }
+       fn other(x) { return x * 7 + 4; }
+       fn main() { out twin1(1) + twin2(2) + other(3); return 0; } |}
+  in
+  (* compiler would inline these; lower the inliner's enthusiasm *)
+  let options =
+    {
+      Driver.default_options with
+      inline_decisions = { Inline.default_decisions with small_threshold = 0; hint_threshold = 0 };
+    }
+  in
+  let exe = compile ~options [ ("m", src) ] in
+  let ctx = build_ctx exe in
+  let folded, _bytes = Bolt_core.Icf.run ctx in
+  Alcotest.(check int) "one pair folded" 1 folded;
+  (* behaviour preserved through the full pipeline *)
+  let prof = profile_of exe ~input:[||] in
+  let exe', _ = Bolt_core.Bolt.optimize exe prof in
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output
+
+let test_simplify_ro_loads () =
+  let src =
+    {| const k = { 100, 200, 300 };
+       fn main() { var i = 0; var s = 0; while (i < 100) { s = s + k[1]; i = i + 1; } out s; return 0; } |}
+  in
+  let exe = compile [ ("m", src) ] in
+  let prof = profile_of exe ~input:[||] in
+  let opts = { Bolt_core.Opts.none with simplify_ro_loads = true } in
+  let exe', _ = Bolt_core.Bolt.optimize ~opts exe prof in
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output;
+  (* the hot load became an immediate: fewer data accesses *)
+  Alcotest.(check bool) "fewer d-accesses" true
+    (b.Machine.counters.Machine.l1d_accesses < a.Machine.counters.Machine.l1d_accesses)
+
+let test_plt_pass_removes_indirection () =
+  let m1 = {| extern fn callee(x); fn main() { var i = 0; var s = 0; while (i < 500) { s = s + callee(i); i = i + 1; } out s; return 0; } |} in
+  let m2 = {| fn callee(x) { return x + 1; } |} in
+  let exe = compile [ ("a", m1); ("b", m2) ] in
+  let prof = profile_of exe ~input:[||] in
+  let opts = { Bolt_core.Opts.none with plt = true } in
+  let exe', _ = Bolt_core.Bolt.optimize ~opts exe prof in
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output;
+  (* calls no longer bounce through the stub: fewer taken branches *)
+  Alcotest.(check bool) "fewer taken branches" true
+    (b.Machine.counters.Machine.taken_branches < a.Machine.counters.Machine.taken_branches)
+
+let test_icp_promotes () =
+  let src =
+    {| fn hot(x) { return x + 1; }
+       fn cold(x) { return x - 1; }
+       fn main() {
+         var i = 0;
+         var s = 0;
+         while (i < 3000) {
+           var p = &hot;
+           if (i % 64 == 0) { p = &cold; }
+           s = s + *p(i);
+           i = i + 1;
+         }
+         out s;
+         return 0;
+       } |}
+  in
+  let exe = compile [ ("m", src) ] in
+  let prof = profile_of exe ~input:[||] in
+  let opts = { Bolt_core.Opts.none with icp = true } in
+  let exe', report = Bolt_core.Bolt.optimize ~opts exe prof in
+  Alcotest.(check bool) "promoted" true (report.Bolt_core.Bolt.r_icp_promoted >= 1);
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output
+
+let test_dyno_stats_taken_branches_drop () =
+  (* layout optimization must reduce profile-weighted taken branches *)
+  let src =
+    {| global acc = 0;
+       fn work(x) {
+         if (x % 16 < 1) { acc = acc + x * 3; } else { acc = acc + 1; }
+         if (x % 8 < 1) { acc = acc + x; } else { acc = acc + 2; }
+         return acc;
+       }
+       fn main() { var i = 0; while (i < 5000) { acc = work(i); i = i + 1; } out acc; return 0; } |}
+  in
+  let exe = compile [ ("m", src) ] in
+  let prof = profile_of exe ~input:[||] in
+  let exe', report = Bolt_core.Bolt.optimize exe prof in
+  let before = report.Bolt_core.Bolt.r_dyno_before.Bolt_core.Dyno_stats.taken_branches in
+  let after = report.Bolt_core.Bolt.r_dyno_after.Bolt_core.Dyno_stats.taken_branches in
+  Alcotest.(check bool) "taken branches reduced" true (after < before);
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output
+
+let test_inplace_mode () =
+  (* without relocations, BOLT rewrites functions in place *)
+  let exe =
+    compile ~options:{ Driver.default_options with emit_relocs = false } [ ("m", switch_src) ]
+  in
+  Alcotest.(check int) "no relocs kept" 0 (List.length exe.Bolt_obj.Objfile.relocs);
+  let prof = profile_of exe ~input:[||] in
+  let exe', _ = Bolt_core.Bolt.optimize exe prof in
+  (* function must not move *)
+  let a0 = (Option.get (Bolt_obj.Objfile.find_symbol exe "classify")).Bolt_obj.Types.sym_value in
+  let a1 = (Option.get (Bolt_obj.Objfile.find_symbol exe' "classify")).Bolt_obj.Types.sym_value in
+  Alcotest.(check int) "address unchanged" a0 a1;
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output
+
+let test_exceptions_survive_rewrite () =
+  let src =
+    {| fn risky(x) { if (x % 97 == 13) { throw x; } return x * 2; }
+       fn middle(x) { return risky(x) + 1; }
+       fn main() {
+         var i = 0;
+         var s = 0;
+         while (i < 2000) {
+           try { s = s + middle(i); } catch (e) { s = s - e; }
+           i = i + 1;
+         }
+         out s;
+         return 0;
+       } |}
+  in
+  let exe = compile [ ("m", src) ] in
+  let prof = profile_of exe ~input:[||] in
+  (* full pipeline including split-eh: landing pads move to cold code *)
+  let exe', _ = Bolt_core.Bolt.optimize exe prof in
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run ~fuel:200_000_000 exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output;
+  Alcotest.(check bool) "throws happened" true (a.Machine.counters.Machine.throws > 0)
+
+let test_identity_rewrite_preserves_everything () =
+  let exe = compile [ ("m", switch_src) ] in
+  let prof = profile_of exe ~input:[||] in
+  let exe', _ = Bolt_core.Bolt.optimize ~opts:Bolt_core.Opts.none exe prof in
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output;
+  Alcotest.(check int) "same exit" a.Machine.exit_code b.Machine.exit_code
+
+let test_frame_opts_removes_dead_save () =
+  (* after BOLT inlines the callee, the caller's saved register for the
+     call result chain may become dead — at minimum the pass must keep
+     behaviour identical *)
+  let src =
+    {| fn big(a, b) {
+         var x = a + b;
+         var y = a * b;
+         var z = x + y;
+         var w = x * 2 + y * 3 + z;
+         return w + x + y + z;
+       }
+       fn main() { var i = 0; var s = 0; while (i < 1000) { s = s + big(i, 3); i = i + 1; } out s; return 0; } |}
+  in
+  let exe = compile [ ("m", src) ] in
+  let prof = profile_of exe ~input:[||] in
+  let opts = { Bolt_core.Opts.none with frame_opts = true; shrink_wrapping = true } in
+  let exe', _ = Bolt_core.Bolt.optimize ~opts exe prof in
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe' ~input:[||] in
+  Alcotest.(check (list int)) "same output" a.Machine.output b.Machine.output
+
+let suite =
+  [
+    Alcotest.test_case "cfg-reconstruction" `Quick test_cfg_reconstruction;
+    Alcotest.test_case "jt-discovery-pic" `Quick test_pic_jump_table_discovery;
+    Alcotest.test_case "jt-discovery-abs" `Quick test_abs_jump_table_discovery;
+    Alcotest.test_case "indirect-tail-call" `Quick test_indirect_tail_call_non_simple;
+    Alcotest.test_case "profile-matching" `Quick test_profile_matching;
+    Alcotest.test_case "strip-rep-ret" `Quick test_strip_rep_ret;
+    Alcotest.test_case "icf" `Quick test_icf_folds_twins;
+    Alcotest.test_case "simplify-ro-loads" `Quick test_simplify_ro_loads;
+    Alcotest.test_case "plt-pass" `Quick test_plt_pass_removes_indirection;
+    Alcotest.test_case "icp" `Quick test_icp_promotes;
+    Alcotest.test_case "dyno-stats" `Quick test_dyno_stats_taken_branches_drop;
+    Alcotest.test_case "inplace-mode" `Quick test_inplace_mode;
+    Alcotest.test_case "exceptions-survive" `Quick test_exceptions_survive_rewrite;
+    Alcotest.test_case "identity-rewrite" `Quick test_identity_rewrite_preserves_everything;
+    Alcotest.test_case "frame-opts" `Quick test_frame_opts_removes_dead_save;
+  ]

@@ -1,0 +1,75 @@
+(* Differential fuzzing: random generated programs, random build options,
+   full BOLT pipeline — output must be identical every time.  This is the
+   repository's strongest property: the generator covers switches, jump
+   tables (both PIC and absolute), exceptions, indirect calls, duplicate
+   functions and assembly dispatchers, so each seed exercises a different
+   slice of the rewriter. *)
+
+module Machine = Bolt_sim.Machine
+
+let params_of_seed seed =
+  {
+    Bolt_workloads.Gen.default with
+    Bolt_workloads.Gen.seed;
+    funcs = 120 + (seed * 37 mod 120);
+    modules = 3 + (seed mod 5);
+    layers = 4 + (seed mod 3);
+    iterations = 600;
+    switch_per_mille = 150 + (seed * 53 mod 400);
+    indirect_per_mille = 100 + (seed * 29 mod 200);
+    eh_per_mille = 80 + (seed * 17 mod 200);
+    dup_plain_families = seed mod 3;
+    dup_switch_families = seed mod 3;
+    asm_dispatchers = seed mod 2;
+    leaf_helpers = 8;
+    top_funcs = 6;
+  }
+
+let cc_of_seed seed =
+  {
+    Bolt_minic.Driver.default_options with
+    lto = seed mod 3 = 0;
+    pic_jump_tables = seed mod 2 = 0;
+    emit_relocs = seed mod 5 <> 4; (* occasionally exercise in-place mode *)
+    function_sections = seed mod 7 <> 6;
+    opt_level = (if seed mod 11 = 10 then 1 else 2);
+  }
+
+let run_seed seed =
+  let w = Bolt_workloads.Gen.gen (params_of_seed seed) in
+  let cc = cc_of_seed seed in
+  let r =
+    Bolt_minic.Driver.compile ~options:cc ~externals:w.Bolt_workloads.Gen.externals
+      ~extra_objs:w.Bolt_workloads.Gen.extra_objs w.Bolt_workloads.Gen.sources
+  in
+  let base = Machine.run ~fuel:100_000_000 r.exe ~input:w.Bolt_workloads.Gen.input in
+  let sampling =
+    { Machine.event = Machine.Ev_cycles; period = 509; lbr = true; precise = true }
+  in
+  let o = Machine.run ~sampling r.exe ~input:w.Bolt_workloads.Gen.input in
+  let prof =
+    match o.Machine.profile with
+    | Some raw -> Bolt_profile.Perf2bolt.convert r.exe raw
+    | None -> Bolt_profile.Fdata.empty
+  in
+  let exe', _ = Bolt_core.Bolt.optimize r.exe prof in
+  let opt = Machine.run ~fuel:100_000_000 exe' ~input:w.Bolt_workloads.Gen.input in
+  (base, opt)
+
+let check_seed seed () =
+  let base, opt = run_seed seed in
+  Alcotest.(check (list int))
+    (Printf.sprintf "seed %d output" seed)
+    base.Machine.output opt.Machine.output;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d exit" seed)
+    base.Machine.exit_code opt.Machine.exit_code;
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d exceptions" seed)
+    base.Machine.uncaught_exception opt.Machine.uncaught_exception
+
+let suite =
+  List.map
+    (fun seed ->
+      Alcotest.test_case (Printf.sprintf "seed-%d" seed) `Slow (check_seed seed))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]

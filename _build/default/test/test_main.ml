@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "obolt"
+    [
+      ("isa", Test_isa.suite);
+      ("obj", Test_obj.suite);
+      ("asm-link", Test_asm_link.suite);
+      ("sim", Test_sim.suite);
+      ("profile-hfsort", Test_profile_hfsort.suite);
+      ("minic-units", Test_minic_units.suite);
+      ("minic-e2e", Test_minic.suite);
+      ("bolt-core", Test_bolt_core.suite);
+      ("dataflow-emit", Test_dataflow_emit.suite);
+      ("cli-tools", Test_cli_tools.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,297 @@
+(* End-to-end compiler tests: MiniC source -> executable -> simulator,
+   checking program OUTPUT (and thus the whole toolchain's correctness). *)
+
+open Bolt_minic
+
+let run_source ?(options = Driver.default_options) ?(input = [||]) src =
+  let r = Driver.compile ~options [ ("m", src) ] in
+  Bolt_sim.Machine.run r.exe ~input
+
+let outputs ?options ?input src = (run_source ?options ?input src).Bolt_sim.Machine.output
+
+let check_out name src expected =
+  Alcotest.(check (list int)) name expected (outputs src)
+
+let test_arith () =
+  check_out "arith"
+    {| fn main() { out 1 + 2 * 3; out (10 - 4) / 2; out 7 % 3; out 1 << 4; out -5; } |}
+    [ 7; 3; 1; 16; -5 ]
+
+let test_vars_and_if () =
+  check_out "if"
+    {| fn main() {
+         var x = 10;
+         if (x > 5) { out 1; } else { out 2; }
+         if (x < 5) { out 3; } else { out 4; }
+         if (x == 10 && x > 0) { out 5; }
+         if (x != 10 || x >= 10) { out 6; }
+       } |}
+    [ 1; 4; 5; 6 ]
+
+let test_while_loop () =
+  check_out "while"
+    {| fn main() {
+         var i = 0;
+         var sum = 0;
+         while (i < 10) { sum = sum + i; i = i + 1; }
+         out sum;
+       } |}
+    [ 45 ]
+
+let test_break_continue () =
+  check_out "break/continue"
+    {| fn main() {
+         var i = 0;
+         var sum = 0;
+         while (i < 100) {
+           i = i + 1;
+           if (i % 2 == 0) { continue; }
+           if (i > 10) { break; }
+           sum = sum + i;
+         }
+         out sum;
+       } |}
+    [ 1 + 3 + 5 + 7 + 9 ]
+
+let test_calls () =
+  check_out "calls"
+    {| fn add(a, b) { return a + b; }
+       fn twice(x) { return add(x, x); }
+       fn main() { out twice(21); out add(1, add(2, 3)); } |}
+    [ 42; 6 ]
+
+let test_recursion () =
+  check_out "recursion"
+    {| fn fib(n) {
+         if (n < 2) { return n; }
+         return fib(n - 1) + fib(n - 2);
+       }
+       fn main() { out fib(15); } |}
+    [ 610 ]
+
+let test_globals_arrays () =
+  check_out "globals"
+    {| global g = 5;
+       array a[10];
+       fn main() {
+         g = g + 1;
+         out g;
+         var i = 0;
+         while (i < 10) { a[i] = i * i; i = i + 1; }
+         out a[7];
+       } |}
+    [ 6; 49 ]
+
+let test_const_table () =
+  check_out "const table"
+    {| const t = { 10, 20, 30, 40 };
+       fn main() { out t[2]; var i = 1; out t[i]; } |}
+    [ 30; 20 ]
+
+let test_switch_dense () =
+  check_out "switch dense"
+    {| fn classify(x) {
+         switch (x) {
+           case 0: { return 100; }
+           case 1: { return 101; }
+           case 2: { return 102; }
+           case 3: { return 103; }
+           case 5: { return 105; }
+           default: { return -1; }
+         }
+       }
+       fn main() {
+         out classify(0); out classify(3); out classify(4);
+         out classify(5); out classify(99); out classify(-7);
+       } |}
+    [ 100; 103; -1; 105; -1; -1 ]
+
+let test_switch_sparse () =
+  check_out "switch sparse"
+    {| fn f(x) {
+         switch (x) {
+           case 1: { return 11; }
+           case 1000: { return 12; }
+           case 2000000: { return 13; }
+           default: { return 0; }
+         }
+       }
+       fn main() { out f(1); out f(1000); out f(2000000); out f(5); } |}
+    [ 11; 12; 13; 0 ]
+
+let test_function_pointers () =
+  check_out "function pointers"
+    {| fn inc(x) { return x + 1; }
+       fn dec(x) { return x - 1; }
+       fn main() {
+         var p = &inc;
+         var q = &dec;
+         out *p(10);
+         out *q(10);
+       } |}
+    [ 11; 9 ]
+
+let test_exceptions () =
+  check_out "exceptions"
+    {| fn may_throw(x) {
+         if (x > 10) { throw x; }
+         return x * 2;
+       }
+       fn main() {
+         try { out may_throw(4); out may_throw(20); out 999; }
+         catch (e) { out e; }
+         out 7;
+       } |}
+    [ 8; 20; 7 ]
+
+let test_exceptions_nested () =
+  check_out "nested exceptions"
+    {| fn deep(x) { if (x == 3) { throw 33; } return x; }
+       fn mid(x) { return deep(x) + 100; }
+       fn main() {
+         try {
+           out mid(1);
+           try { out mid(3); } catch (e) { out e + 1; }
+           out mid(2);
+         } catch (e2) { out 555; }
+         out 0;
+       } |}
+    [ 101; 34; 102; 0 ]
+
+let test_uncaught () =
+  let o = run_source {| fn main() { throw 13; } |} in
+  Alcotest.(check bool) "uncaught flagged" true o.Bolt_sim.Machine.uncaught_exception
+
+let test_input () =
+  let o =
+    run_source ~input:[| 3; 4; 5 |]
+      {| fn main() { var s = 0; var x = in(); while (x != 0) { s = s + x; x = in(); } out s; } |}
+  in
+  Alcotest.(check (list int)) "input sum" [ 12 ] o.Bolt_sim.Machine.output
+
+let test_exit_code () =
+  let o = run_source {| fn main() { return 42; } |} in
+  Alcotest.(check int) "exit" 42 o.Bolt_sim.Machine.exit_code
+
+let opt_variants =
+  [
+    ("O0", { Driver.default_options with opt_level = 0; align_loops = false });
+    ("O1", { Driver.default_options with opt_level = 1 });
+    ("O2", Driver.default_options);
+    ("O2-lto", { Driver.default_options with lto = true });
+    ("O2-noplt", { Driver.default_options with plt_calls = false });
+    ("O2-absjt", { Driver.default_options with pic_jump_tables = false });
+    ("O2-nofs", { Driver.default_options with function_sections = false });
+  ]
+
+(* One moderately spicy program that exercises everything, compiled under
+   every option combination: results must agree. *)
+let mixed_program =
+  {| global acc = 0;
+     array buf[32];
+     const weights = { 3, 1, 4, 1, 5, 9, 2, 6 };
+     extern fn helper(x);
+     fn collatz(n) {
+       var steps = 0;
+       while (n != 1) {
+         if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+         steps = steps + 1;
+       }
+       return steps;
+     }
+     inline fn square(x) { return x * x; }
+     fn dispatch(k, v) {
+       switch (k) {
+         case 0: { return v + 1; }
+         case 1: { return v * 2; }
+         case 2: { return square(v); }
+         case 3: { return collatz(v); }
+         case 4: { return helper(v); }
+         default: { return 0; }
+       }
+     }
+     fn main() {
+       var i = 0;
+       while (i < 8) {
+         buf[i] = dispatch(i % 5, weights[i % 8] + i);
+         acc = acc + buf[i];
+         i = i + 1;
+       }
+       out acc;
+       try { if (acc > 10) { throw acc; } } catch (e) { out e + 1000; }
+       var p = &collatz;
+       out *p(27);
+     } |}
+
+let helper_module = {| fn helper(x) { return x * 3 + 1; } |}
+
+let test_mixed_all_options () =
+  let results =
+    List.map
+      (fun (name, options) ->
+        let r = Driver.compile ~options [ ("m", mixed_program); ("h", helper_module) ] in
+        let o = Bolt_sim.Machine.run r.exe ~input:[||] in
+        (name, o.Bolt_sim.Machine.output))
+      opt_variants
+  in
+  match results with
+  | [] -> ()
+  | (_, expected) :: _ ->
+      List.iter
+        (fun (name, got) -> Alcotest.(check (list int)) name expected got)
+        results
+
+let test_separate_modules_plt () =
+  let m1 =
+    {| extern fn mul2(x);
+       fn main() { out mul2(21); } |}
+  in
+  let m2 = {| fn mul2(x) { return x * 2; } |} in
+  let r = Driver.compile [ ("a", m1); ("b", m2) ] in
+  (* a PLT stub must exist for the cross-module call *)
+  Alcotest.(check bool)
+    "plt stub" true
+    (Bolt_obj.Objfile.find_symbol r.exe "mul2$plt" <> None);
+  let o = Bolt_sim.Machine.run r.exe ~input:[||] in
+  Alcotest.(check (list int)) "plt call result" [ 42 ] o.Bolt_sim.Machine.output
+
+let test_instrumented_build_runs () =
+  let src =
+    {| fn main() {
+         var i = 0;
+         var s = 0;
+         while (i < 100) { if (i % 3 == 0) { s = s + i; } i = i + 1; }
+         out s;
+       } |}
+  in
+  let options = { Driver.default_options with pgo = Driver.Instrument } in
+  let r = Driver.compile ~options [ ("m", src) ] in
+  Alcotest.(check bool) "has mapping" true (r.mapping <> None);
+  let o = Bolt_sim.Machine.run r.exe ~input:[||] in
+  Alcotest.(check (list int)) "instrumented output" [ 1683 ] o.Bolt_sim.Machine.output;
+  (* counters must be live in memory: rerun and extract them *)
+  let sym = Bolt_obj.Objfile.find_symbol r.exe Pgo.counters_symbol in
+  Alcotest.(check bool) "counter symbol" true (sym <> None)
+
+let suite =
+  [
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "if/else" `Quick test_vars_and_if;
+    Alcotest.test_case "while" `Quick test_while_loop;
+    Alcotest.test_case "break-continue" `Quick test_break_continue;
+    Alcotest.test_case "calls" `Quick test_calls;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "globals-arrays" `Quick test_globals_arrays;
+    Alcotest.test_case "const-table" `Quick test_const_table;
+    Alcotest.test_case "switch-dense" `Quick test_switch_dense;
+    Alcotest.test_case "switch-sparse" `Quick test_switch_sparse;
+    Alcotest.test_case "function-pointers" `Quick test_function_pointers;
+    Alcotest.test_case "exceptions" `Quick test_exceptions;
+    Alcotest.test_case "exceptions-nested" `Quick test_exceptions_nested;
+    Alcotest.test_case "uncaught-exception" `Quick test_uncaught;
+    Alcotest.test_case "input-tape" `Quick test_input;
+    Alcotest.test_case "exit-code" `Quick test_exit_code;
+    Alcotest.test_case "mixed-all-option-combos" `Quick test_mixed_all_options;
+    Alcotest.test_case "plt-cross-module" `Quick test_separate_modules_plt;
+    Alcotest.test_case "instrumented-build" `Quick test_instrumented_build_runs;
+  ]

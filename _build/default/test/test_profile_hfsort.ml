@@ -1,0 +1,169 @@
+(* Profile pipeline (fdata, perf2bolt) and function-ordering tests. *)
+
+module F = Bolt_profile.Fdata
+
+let sample_profile =
+  {
+    F.lbr = true;
+    branches =
+      [
+        { F.br_from_func = "a"; br_from_off = 10; br_to_func = "b"; br_to_off = 0; br_count = 100; br_mispreds = 3 };
+        { F.br_from_func = "b"; br_from_off = 4; br_to_func = "b"; br_to_off = 20; br_count = 50; br_mispreds = 1 };
+        { F.br_from_func = "c"; br_from_off = 2; br_to_func = "a"; br_to_off = 0; br_count = 7; br_mispreds = 0 };
+      ];
+    ranges = [ { F.rg_func = "b"; rg_start = 0; rg_end = 30; rg_count = 44 } ];
+    samples = [ { F.sm_func = "c"; sm_off = 8; sm_count = 5 } ];
+    total_samples = 162;
+  }
+
+let test_fdata_roundtrip () =
+  let path = Filename.temp_file "bolt" ".fdata" in
+  F.save path sample_profile;
+  let p = F.load path in
+  Sys.remove path;
+  Alcotest.(check int) "branches" 3 (List.length p.F.branches);
+  Alcotest.(check int) "ranges" 1 (List.length p.F.ranges);
+  Alcotest.(check int) "samples" 1 (List.length p.F.samples);
+  Alcotest.(check bool) "lbr flag" true p.F.lbr;
+  Alcotest.(check bool) "identical records" true (p.F.branches = sample_profile.F.branches)
+
+let test_func_events () =
+  let h = F.func_events sample_profile in
+  Alcotest.(check int) "a events" 100 (Hashtbl.find h "a");
+  Alcotest.(check int) "b events" (50 + 44) (Hashtbl.find h "b");
+  Alcotest.(check int) "c events" 12 (Hashtbl.find h "c")
+
+let test_perf2bolt_resolution () =
+  (* build a tiny exe and resolve absolute sample addresses *)
+  let exe =
+    (Bolt_minic.Driver.compile
+       [ ("m", {| fn helper(x) { return x + 1; }
+                  fn main() { out helper(1); return 0; } |}) ])
+      .Bolt_minic.Driver.exe
+  in
+  let raw = Bolt_sim.Machine.new_raw_profile true in
+  let main_sym = Option.get (Bolt_obj.Objfile.find_symbol exe "main") in
+  let helper_sym = Option.get (Bolt_obj.Objfile.find_symbol exe "helper") in
+  Hashtbl.replace raw.Bolt_sim.Machine.rp_branches
+    (main_sym.sym_value + 4, helper_sym.sym_value)
+    (ref 9, ref 1);
+  (* a branch to an unmapped address must be dropped *)
+  Hashtbl.replace raw.Bolt_sim.Machine.rp_branches (12345, 777) (ref 3, ref 0);
+  let f = Bolt_profile.Perf2bolt.convert exe raw in
+  Alcotest.(check int) "one resolved record" 1 (List.length f.F.branches);
+  let b = List.hd f.F.branches in
+  Alcotest.(check string) "from func" "main" b.F.br_from_func;
+  Alcotest.(check int) "from off" 4 b.F.br_from_off;
+  Alcotest.(check string) "to func" "helper" b.F.br_to_func;
+  Alcotest.(check int) "to off" 0 b.F.br_to_off
+
+(* ---- call graph + ordering ---- *)
+
+module CG = Bolt_hfsort.Callgraph
+module O = Bolt_hfsort.Order
+
+let mk_graph edges sizes samples =
+  let g = CG.create () in
+  List.iter (fun (n, sz) -> CG.add_node g ~name:n ~size:sz) sizes;
+  List.iter (fun (n, c) -> CG.add_samples g n c) samples;
+  List.iter (fun (a, b, w) -> CG.add_edge g a b w) edges;
+  g
+
+let test_c3_clusters_hot_pair () =
+  (* a hot caller/callee pair must be adjacent, hot code before cold *)
+  let g =
+    mk_graph
+      [ ("main", "hot", 1000); ("main", "cold", 1) ]
+      [ ("main", 64); ("hot", 64); ("cold", 64); ("never", 64) ]
+      [ ("main", 500); ("hot", 1000); ("cold", 1) ]
+  in
+  let order = O.order O.C3 g ~original:[ "never"; "cold"; "hot"; "main" ] in
+  let idx n = Option.get (List.find_index (( = ) n) order) in
+  Alcotest.(check bool) "hot before cold" true (idx "hot" < idx "cold");
+  Alcotest.(check bool) "hot adjacent to main" true (abs (idx "hot" - idx "main") = 1);
+  Alcotest.(check bool) "never-sampled last" true (idx "never" = List.length order - 1)
+
+let test_c3_page_budget () =
+  (* a callee too large to fit the page budget is not merged *)
+  let g =
+    mk_graph
+      [ ("a", "big", 100) ]
+      [ ("a", 100); ("big", 100_000) ]
+      [ ("a", 10); ("big", 10) ]
+  in
+  let order = O.order O.C3 g ~original:[ "a"; "big" ] in
+  Alcotest.(check int) "both present" 2 (List.length order)
+
+let test_orders_complete () =
+  let g =
+    mk_graph
+      [ ("m", "x", 5); ("m", "y", 3); ("x", "y", 2) ]
+      [ ("m", 32); ("x", 32); ("y", 32); ("z", 32) ]
+      [ ("m", 9); ("x", 5); ("y", 3) ]
+  in
+  let original = [ "m"; "x"; "y"; "z" ] in
+  List.iter
+    (fun algo ->
+      let order = O.order algo g ~original in
+      Alcotest.(check int) "complete permutation" 4 (List.length order);
+      List.iter
+        (fun n -> Alcotest.(check bool) n true (List.mem n order))
+        original)
+    [ O.C3; O.Hfsort_plus; O.Pettis_hansen ]
+
+let test_callgraph_from_profile () =
+  let g =
+    CG.of_profile ~funcs:[ ("a", 10); ("b", 10); ("c", 10) ] sample_profile
+  in
+  (* a->b is a call (to_off = 0); b->b intra is not a call edge *)
+  Alcotest.(check bool) "a->b edge" true (Hashtbl.mem g.CG.edges ("a", "b"));
+  Alcotest.(check bool) "no b->b call edge" false (Hashtbl.mem g.CG.edges ("b", "b"));
+  Alcotest.(check bool) "c->a edge" true (Hashtbl.mem g.CG.edges ("c", "a"))
+
+let test_non_lbr_callgraph () =
+  let prof = { sample_profile with F.lbr = false; branches = [] } in
+  let g =
+    CG.of_samples_and_calls
+      ~funcs:[ ("a", 10); ("b", 10); ("c", 10) ]
+      ~direct_calls:[ ("c", 6, "a"); ("a", 2, "b") ]
+      prof
+  in
+  (* the call at c+6 picks up the IP samples at c+8 *)
+  Alcotest.(check bool) "weighted by nearby samples" true
+    (match Hashtbl.find_opt g.CG.edges ("c", "a") with Some w -> !w >= 5 | None -> false);
+  Alcotest.(check bool) "unsampled call still gets weight 1" true
+    (match Hashtbl.find_opt g.CG.edges ("a", "b") with Some w -> !w = 1 | None -> false)
+
+let order_is_permutation =
+  QCheck.Test.make ~name:"orderings are permutations of the input" ~count:50
+    (QCheck.make
+       QCheck.Gen.(
+         let node = int_range 0 15 in
+         list_size (int_range 0 40) (triple node node (int_range 1 100))))
+    (fun edges ->
+      let names = List.init 16 (fun i -> Printf.sprintf "n%d" i) in
+      let g = CG.create () in
+      List.iter (fun n -> CG.add_node g ~name:n ~size:32) names;
+      List.iter (fun n -> CG.add_samples g n 1) names;
+      List.iter
+        (fun (a, b, w) ->
+          CG.add_edge g (Printf.sprintf "n%d" a) (Printf.sprintf "n%d" b) w)
+        edges;
+      List.for_all
+        (fun algo ->
+          let o = O.order algo g ~original:names in
+          List.length o = 16 && List.sort compare o = List.sort compare names)
+        [ O.C3; O.Hfsort_plus; O.Pettis_hansen ])
+
+let suite =
+  [
+    Alcotest.test_case "fdata-roundtrip" `Quick test_fdata_roundtrip;
+    Alcotest.test_case "func-events" `Quick test_func_events;
+    Alcotest.test_case "perf2bolt-resolution" `Quick test_perf2bolt_resolution;
+    Alcotest.test_case "c3-hot-pair" `Quick test_c3_clusters_hot_pair;
+    Alcotest.test_case "c3-page-budget" `Quick test_c3_page_budget;
+    Alcotest.test_case "orders-complete" `Quick test_orders_complete;
+    Alcotest.test_case "callgraph-lbr" `Quick test_callgraph_from_profile;
+    Alcotest.test_case "callgraph-non-lbr" `Quick test_non_lbr_callgraph;
+    QCheck_alcotest.to_alcotest order_is_permutation;
+  ]

@@ -1,0 +1,190 @@
+(* Simulator unit tests: memory, caches, branch prediction, timing
+   counters, LBR sampling, unwinding. *)
+
+open Bolt_sim
+
+let test_memory_aligned () =
+  let m = Memory.create () in
+  Memory.write64 m 0x1000 123456789;
+  Alcotest.(check int) "read back" 123456789 (Memory.read64 m 0x1000);
+  Memory.write64 m 0x1000 (-42);
+  Alcotest.(check int) "negative" (-42) (Memory.read64 m 0x1000)
+
+let test_memory_unaligned_cross_page () =
+  let m = Memory.create () in
+  let addr = 4096 - 3 in
+  Memory.write64 m addr 0x1122334455667788;
+  Alcotest.(check int) "cross-page" 0x1122334455667788 (Memory.read64 m addr);
+  (* bytes land on both pages *)
+  Alcotest.(check int) "low byte" 0x88 (Memory.read8 m addr);
+  Alcotest.(check int) "high byte" 0x11 (Memory.read8 m (addr + 7))
+
+let memory_prop =
+  QCheck.Test.make ~name:"memory write/read roundtrip" ~count:500
+    (QCheck.make QCheck.Gen.(pair (int_range 0 1_000_000) (int_range min_int max_int)))
+    (fun (addr, v) ->
+      let m = Memory.create () in
+      Memory.write64 m addr v;
+      Memory.read64 m addr = v)
+
+let test_cache_basic () =
+  let c = Cache.create ~size:1024 ~line:64 ~assoc:2 in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit" true (Cache.access c 0);
+  Alcotest.(check bool) "same line hit" true (Cache.access c 63);
+  Alcotest.(check bool) "next line miss" false (Cache.access c 64)
+
+let test_cache_lru () =
+  (* 2-way set: three conflicting lines evict the least recently used *)
+  let c = Cache.create ~size:1024 ~line:64 ~assoc:2 in
+  let set_stride = 64 * (1024 / 64 / 2) in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c set_stride);
+  ignore (Cache.access c 0);
+  (* evicts set_stride, not 0 *)
+  ignore (Cache.access c (2 * set_stride));
+  Alcotest.(check bool) "0 survives" true (Cache.access c 0);
+  Alcotest.(check bool) "stride evicted" false (Cache.access c set_stride)
+
+let test_bpred_direction () =
+  let p = Bpred.create () in
+  (* a branch always taken becomes predicted after warm-up *)
+  let misses = ref 0 in
+  for _ = 1 to 100 do
+    if Bpred.cond_branch p 0x400100 true then incr misses
+  done;
+  Alcotest.(check bool) "learns always-taken" true (!misses <= 2)
+
+let test_bpred_ras () =
+  let p = Bpred.create () in
+  Bpred.push_ras p 100;
+  Bpred.push_ras p 200;
+  Alcotest.(check bool) "pop 200" false (Bpred.pop_ras p 200);
+  Alcotest.(check bool) "pop 100" false (Bpred.pop_ras p 100);
+  Alcotest.(check bool) "underflow mispredicts" true (Bpred.pop_ras p 300)
+
+let test_btb_indirect () =
+  let p = Bpred.create () in
+  ignore (Bpred.taken_target p 0x400500 1000);
+  Alcotest.(check bool) "stable target hits" false (Bpred.taken_target p 0x400500 1000);
+  Alcotest.(check bool) "changed target misses" true (Bpred.taken_target p 0x400500 2000)
+
+(* ---- end-to-end timing/counters on a compiled program ---- *)
+
+let compile src = (Bolt_minic.Driver.compile [ ("m", src) ]).Bolt_minic.Driver.exe
+
+let test_counters_sane () =
+  let exe =
+    compile
+      {| fn main() {
+           var i = 0;
+           while (i < 1000) { i = i + 1; }
+           out i;
+           return 0;
+         } |}
+  in
+  let o = Machine.run exe ~input:[||] in
+  let c = o.Machine.counters in
+  Alcotest.(check bool) "instructions counted" true (c.Machine.instructions > 4000);
+  Alcotest.(check bool) "cycles >= insns/4" true
+    (Machine.cycles c >= c.Machine.instructions / 4);
+  Alcotest.(check bool) "cond branches" true (c.Machine.cond_branches >= 1000);
+  Alcotest.(check bool) "taken < total transfers sane" true
+    (c.Machine.taken_branches > 900)
+
+let test_sampling_aggregates () =
+  let exe =
+    compile
+      {| fn spin(n) { var j = 0; while (j < n) { j = j + 1; } return j; }
+         fn main() { var i = 0; while (i < 500) { i = i + spin(20) / 20; } out i; return 0; } |}
+  in
+  let sampling =
+    { Machine.event = Machine.Ev_instructions; period = 97; lbr = true; precise = true }
+  in
+  let o = Machine.run ~sampling exe ~input:[||] in
+  match o.Machine.profile with
+  | None -> Alcotest.fail "no profile"
+  | Some p ->
+      Alcotest.(check bool) "samples taken" true (p.Machine.rp_samples > 50);
+      Alcotest.(check bool) "branch records" true (Hashtbl.length p.Machine.rp_branches > 3);
+      Alcotest.(check bool) "fallthrough traces" true (Hashtbl.length p.Machine.rp_traces > 0);
+      (* LBR mode: no plain IP samples *)
+      Alcotest.(check int) "no ip samples in lbr mode" 0 (Hashtbl.length p.Machine.rp_ips)
+
+let test_sampling_non_lbr () =
+  let exe =
+    compile {| fn main() { var i = 0; while (i < 2000) { i = i + 1; } out i; return 0; } |}
+  in
+  let sampling =
+    { Machine.event = Machine.Ev_cycles; period = 53; lbr = false; precise = false }
+  in
+  let o = Machine.run ~sampling exe ~input:[||] in
+  match o.Machine.profile with
+  | None -> Alcotest.fail "no profile"
+  | Some p ->
+      Alcotest.(check bool) "ip samples present" true (Hashtbl.length p.Machine.rp_ips > 0);
+      Alcotest.(check int) "no branch records" 0 (Hashtbl.length p.Machine.rp_branches)
+
+let test_heatmap_collection () =
+  let exe =
+    compile {| fn main() { var i = 0; while (i < 100) { i = i + 1; } out i; return 0; } |}
+  in
+  let o = Machine.run ~heatmap:true exe ~input:[||] in
+  match o.Machine.heat with
+  | Some h -> Alcotest.(check bool) "lines touched" true (Hashtbl.length h > 0)
+  | None -> Alcotest.fail "no heat"
+
+let test_fuel_exhaustion () =
+  let exe = compile {| fn main() { var i = 1; while (i > 0) { i = i + 1; } return 0; } |} in
+  match Machine.run ~fuel:10_000 exe ~input:[||] with
+  | _ -> Alcotest.fail "expected Sim_error"
+  | exception Machine.Sim_error _ -> ()
+
+let test_deterministic () =
+  let exe =
+    compile
+      {| fn main() { var i = 0; var s = 7; while (i < 3000) { s = s * 31 + i; i = i + 1; } out s; return 0; } |}
+  in
+  let a = Machine.run exe ~input:[||] in
+  let b = Machine.run exe ~input:[||] in
+  Alcotest.(check bool) "same cycles" true
+    (Machine.cycles a.Machine.counters = Machine.cycles b.Machine.counters);
+  Alcotest.(check bool) "same output" true (a.Machine.output = b.Machine.output)
+
+let test_samples_file_roundtrip () =
+  let exe =
+    compile {| fn main() { var i = 0; while (i < 3000) { i = i + 1; } out i; return 0; } |}
+  in
+  let sampling =
+    { Machine.event = Machine.Ev_cycles; period = 101; lbr = true; precise = true }
+  in
+  let o = Machine.run ~sampling exe ~input:[||] in
+  let p = Option.get o.Machine.profile in
+  let path = Filename.temp_file "bolt" ".bprf" in
+  Bolt_profile.Samples.save path p;
+  let p' = Bolt_profile.Samples.load path in
+  Sys.remove path;
+  Alcotest.(check int) "samples" p.Machine.rp_samples p'.Machine.rp_samples;
+  Alcotest.(check int) "branches" (Hashtbl.length p.Machine.rp_branches)
+    (Hashtbl.length p'.Machine.rp_branches);
+  Alcotest.(check int) "traces" (Hashtbl.length p.Machine.rp_traces)
+    (Hashtbl.length p'.Machine.rp_traces)
+
+let suite =
+  [
+    Alcotest.test_case "memory-aligned" `Quick test_memory_aligned;
+    Alcotest.test_case "memory-cross-page" `Quick test_memory_unaligned_cross_page;
+    QCheck_alcotest.to_alcotest memory_prop;
+    Alcotest.test_case "cache-basic" `Quick test_cache_basic;
+    Alcotest.test_case "cache-lru" `Quick test_cache_lru;
+    Alcotest.test_case "bpred-direction" `Quick test_bpred_direction;
+    Alcotest.test_case "bpred-ras" `Quick test_bpred_ras;
+    Alcotest.test_case "btb-indirect" `Quick test_btb_indirect;
+    Alcotest.test_case "counters-sane" `Quick test_counters_sane;
+    Alcotest.test_case "sampling-lbr" `Quick test_sampling_aggregates;
+    Alcotest.test_case "sampling-non-lbr" `Quick test_sampling_non_lbr;
+    Alcotest.test_case "heatmap" `Quick test_heatmap_collection;
+    Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "samples-roundtrip" `Quick test_samples_file_roundtrip;
+  ]
