@@ -7,14 +7,26 @@
 
 open Cmdliner
 
+(* Exit codes: 0 success, 3 invalid input (binary or profile), 4 a
+   --strict violation, 5 the --max-quarantine budget was exceeded.
+   (1 and 2 belong to cmdliner: user error / internal error.) *)
+let exit_invalid_input = 3
+let exit_strict = 4
+let exit_quarantine = 5
+
 let run exe_path fdata out reorder_blocks reorder_functions split_functions
     split_all_cold split_eh icf icp inline_small plt sro frame_opts shrink sctc
-    strip_nops dyno_stats report_bad_layout use_relocs print_funcs =
+    strip_nops dyno_stats report_bad_layout use_relocs strict max_quarantine
+    print_funcs =
+  try
   let exe = Bolt_obj.Objfile.load exe_path in
-  let prof = Bolt_profile.Fdata.load fdata in
+  let prof, prof_warnings = Bolt_profile.Fdata.load_with_warnings ~strict fdata in
+  List.iter (Fmt.epr "obolt: %a@." Bolt_profile.Fdata.pp_warning) prof_warnings;
   let opts =
     {
       Bolt_core.Opts.default with
+      strict;
+      max_quarantine;
       reorder_blocks =
         (match reorder_blocks with
         | "none" -> Bolt_core.Opts.Rb_none
@@ -64,6 +76,22 @@ let run exe_path fdata out reorder_blocks reorder_functions split_functions
       | None -> Fmt.epr "no function %s@." name)
     print_funcs;
   0
+  with
+  | Bolt_obj.Buf.Corrupt msg ->
+      Fmt.epr "obolt: corrupt input: %s@." msg;
+      exit_invalid_input
+  | Bolt_core.Context.Bolt_error msg ->
+      Fmt.epr "obolt: %s@." msg;
+      exit_invalid_input
+  | Bolt_profile.Fdata.Bad_format msg ->
+      Fmt.epr "obolt: bad profile: %s@." msg;
+      exit_invalid_input
+  | Bolt_core.Diag.Strict_error msg ->
+      Fmt.epr "obolt: strict mode violation: %s@." msg;
+      exit_strict
+  | Bolt_core.Diag.Quarantine_limit n ->
+      Fmt.epr "obolt: quarantine limit exceeded: %d function(s) demoted@." n;
+      exit_quarantine
 
 let exe_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"EXE")
 let fdata = Arg.(required & opt (some file) None & info [ "b" ] ~doc:"fdata profile.")
@@ -95,6 +123,21 @@ let report_bad_layout = Arg.(value & flag & info [ "report-bad-layout" ])
 let use_relocs =
   Arg.(value & opt (some bool) None & info [ "use-relocations" ] ~doc:"Force relocations mode on/off.")
 
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail hard instead of degrading: any verifier issue, malformed \
+           profile record or function quarantine aborts the run.")
+
+let max_quarantine =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-quarantine" ] ~docv:"N"
+        ~doc:"Abort when more than $(docv) functions are quarantined.")
+
 let print_funcs =
   Arg.(value & opt_all string [] & info [ "print-cfg" ] ~docv:"FUNC" ~doc:"Dump a function's CFG.")
 
@@ -105,6 +148,6 @@ let cmd =
       const run $ exe_path $ fdata $ out $ reorder_blocks $ reorder_functions
       $ split_functions $ split_all_cold $ split_eh $ icf $ icp $ inline_small $ plt
       $ sro $ frame_opts $ shrink $ sctc $ strip_nops $ dyno_stats $ report_bad_layout
-      $ use_relocs $ print_funcs)
+      $ use_relocs $ strict $ max_quarantine $ print_funcs)
 
 let () = exit (Cmd.eval' cmd)

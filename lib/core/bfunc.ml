@@ -67,6 +67,10 @@ type t = {
   mutable raw_insns : minsn list; (* non-simple: linear code, still relocatable *)
   mutable next_label : int; (* fresh-label counter for synthesized blocks *)
   cold_set : (string, unit) Hashtbl.t; (* blocks split into the cold fragment *)
+  mutable table_unrecovered : bool;
+      (* the body contains an indirect jump whose table could not be
+         recovered: the cells (absolute or PIC) still aim at the original
+         body, so the function must not be moved *)
 }
 
 let create ~name ~addr ~size =
@@ -88,6 +92,7 @@ let create ~name ~addr ~size =
     raw_insns = [];
     next_label = 0;
     cold_set = Hashtbl.create 8;
+    table_unrecovered = false;
   }
 
 let fresh_label f prefix =

@@ -8,7 +8,15 @@
                                                13. reorder-functions
                                                14. sctc
                                                15. frame-opts
-                                               16. shrink-wrapping        *)
+                                               16. shrink-wrapping
+
+   The pipeline is hardened (§7's production stance): the input is
+   verified before anything touches it, every optimization pass and the
+   emitter run under per-function quarantine, a failing fragment is
+   demoted and the rewrite retried, and if the rewrite still cannot
+   complete the run degrades to the identity rewrite — the input binary
+   unchanged — rather than failing.  [Opts.strict] inverts the policy and
+   [Opts.max_quarantine] bounds how much degradation is acceptable. *)
 
 type report = {
   r_funcs : int;
@@ -21,6 +29,8 @@ type report = {
   r_shrink_wrapped : int;
   r_profile_branches_matched : int;
   r_profile_branches_unmatched : int;
+  r_profile_stale_records : int;
+  r_profile_unknown_funcs : int;
   r_dyno_before : Dyno_stats.t;
   r_dyno_after : Dyno_stats.t;
   r_text_before : int;
@@ -28,44 +38,145 @@ type report = {
   r_hot_size : int;
   r_cold_size : int;
   r_bad_layout : Report.finding list;
+  r_quarantined : (string * string) list;
+  r_diagnostics : Diag.record list;
+  r_diag_errors : int;
+  r_diag_warnings : int;
+  r_identity_fallback : bool;
   r_log : string list;
 }
 
+let text_bytes (e : Bolt_obj.Objfile.t) =
+  e.Bolt_obj.Objfile.sections
+  |> List.filter (fun (s : Bolt_obj.Types.section) -> s.sec_kind = Bolt_obj.Types.Text)
+  |> List.fold_left (fun a (s : Bolt_obj.Types.section) -> a + s.sec_size) 0
+
+(* How many times a Frag_error may quarantine a function and retry the
+   whole rewrite before giving up.  Each retry removes at least one
+   function from the optimized set, so this bounds wasted work on a
+   pathological input, not correctness. *)
+let max_rewrite_retries = 8
+
 let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
     (prof : Bolt_profile.Fdata.t) : Bolt_obj.Objfile.t * report =
+  (* Figure 3, stage 0: validate the container before trusting it.
+     Structural damage is a clean rejection; lesser oddities are
+     diagnostics (or, under --strict, also rejections). *)
+  let issues = Bolt_obj.Verify.run exe in
+  (match Bolt_obj.Verify.fatal issues with
+  | [] -> ()
+  | i :: _ -> Context.err "invalid input: %s" i.Bolt_obj.Verify.v_what);
   let ctx = Context.create ~opts exe in
+  let diag = ctx.Context.diag in
+  List.iter
+    (fun (i : Bolt_obj.Verify.issue) ->
+      Diag.warnf diag ~stage:"verify" "%s" i.v_what)
+    issues;
+  if opts.strict && issues <> [] then
+    raise
+      (Diag.Strict_error
+         (Printf.sprintf "verify: %s"
+            (List.hd issues).Bolt_obj.Verify.v_what));
   (* Figure 3: discover functions, read debug info and profile,
      disassemble, build CFGs *)
   Build.run ctx;
-  let mstats = Match_profile.attach ctx prof in
-  Match_profile.finalize ctx ~lbr:prof.lbr ~trust_fallthrough:opts.trust_fallthrough;
-  let bad_layout = Report.bad_layout ctx ~top:20 in
-  let dyno_before = Dyno_stats.collect ctx in
-  (* Table 1 pipeline *)
+  let zero_mstats () =
+    {
+      Match_profile.matched_branches = 0;
+      unmatched_branches = 0;
+      matched_count = 0;
+      unmatched_count = 0;
+      stale_records = 0;
+      unknown_funcs = 0;
+    }
+  in
+  let mstats =
+    Quarantine.pass ctx ~stage:"match-profile" ~default:(zero_mstats ())
+      (fun () ->
+        let s = Match_profile.attach ctx prof in
+        Match_profile.finalize ctx ~lbr:prof.lbr
+          ~trust_fallthrough:opts.trust_fallthrough;
+        s)
+  in
+  let bad_layout =
+    Quarantine.pass ctx ~stage:"bad-layout" ~default:[] (fun () ->
+        Report.bad_layout ctx ~top:20)
+  in
+  let dyno_before =
+    Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
+      (fun () -> Dyno_stats.collect ctx)
+  in
+  (* Table 1 pipeline.  Per-function passes carry their own quarantine
+     barriers; the whole-program passes (ICF, ICP site profiling,
+     function reordering) degrade pass-wise. *)
   if opts.strip_rep_ret then Passes_simple.strip_rep_ret ctx;
-  let icf_folded1, icf_bytes1 = if opts.icf then Icf.run ctx else (0, 0) in
+  let icf_folded1, icf_bytes1 =
+    if opts.icf then
+      Quarantine.pass ctx ~stage:"icf" ~default:(0, 0) (fun () -> Icf.run ctx)
+    else (0, 0)
+  in
   let icp_promoted =
-    if opts.icp then Icp.run ctx (Icp.build_site_profile ctx prof) else 0
+    if opts.icp then
+      Quarantine.pass ctx ~stage:"icp" ~default:0 (fun () ->
+          Icp.run ctx (Icp.build_site_profile ctx prof))
+    else 0
   in
   if opts.peepholes then Passes_simple.peepholes ctx;
   let inlined = if opts.inline_small then Inline_small.run ctx else 0 in
   if opts.simplify_ro_loads then Passes_simple.simplify_ro_loads ctx;
-  let icf_folded2, icf_bytes2 = if opts.icf then Icf.run ctx else (0, 0) in
+  let icf_folded2, icf_bytes2 =
+    if opts.icf then
+      Quarantine.pass ctx ~stage:"icf" ~default:(0, 0) (fun () -> Icf.run ctx)
+    else (0, 0)
+  in
   if opts.plt then Passes_simple.plt ctx;
   Layout_bbs.reorder ctx;
   Layout_bbs.split ctx;
   if opts.peepholes then Passes_simple.peepholes ctx;
   if opts.uce then Passes_simple.uce ctx;
   (* fixup-branches happens structurally at emission *)
-  ctx.Context.func_layout <- Some (Reorder_funcs.run ctx prof);
+  ctx.Context.func_layout <-
+    Quarantine.pass ctx ~stage:"reorder-functions" ~default:None (fun () ->
+        Some (Reorder_funcs.run ctx prof));
   if opts.sctc then Passes_simple.sctc ctx;
   let frames_removed = if opts.frame_opts then Frame_opts.frame_opts ctx else 0 in
   let shrink_wrapped =
     if opts.shrink_wrapping then Frame_opts.shrink_wrapping ctx else 0
   in
-  let dyno_after = Dyno_stats.collect ctx in
-  (* emit, link, rewrite *)
-  let rw = Rewrite.run ctx in
+  let dyno_after =
+    Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
+      (fun () -> Dyno_stats.collect ctx)
+  in
+  (* emit, link, rewrite — with the fragment-failure retry loop: a
+     function whose fragment cannot be finalized is quarantined and the
+     rewrite re-run without it *)
+  let rec rewrite_retry budget =
+    try Rewrite.run ctx
+    with Rewrite.Frag_error (func, msg) ->
+      (match Context.func ctx func with
+      | Some fb when fb.Bfunc.simple && budget > 0 ->
+          Quarantine.demote ctx ~stage:"rewrite" fb msg
+      | _ -> Context.err "rewrite: %s: %s" func msg);
+      rewrite_retry (budget - 1)
+  in
+  let identity_fallback = ref false in
+  let rw =
+    try rewrite_retry max_rewrite_retries
+    with exn when (not opts.strict) && not (Quarantine.fatal exn) ->
+      (* last rung of the degradation ladder: ship the input unchanged *)
+      Diag.errorf diag ~stage:"rewrite"
+        "rewrite failed (%s); falling back to the identity rewrite"
+        (Printexc.to_string exn);
+      identity_fallback := true;
+      let tb = text_bytes exe in
+      {
+        Rewrite.out = exe;
+        hot_size = 0;
+        cold_size = 0;
+        text_size_before = tb;
+        text_size_after = tb;
+      }
+  in
   let simple = List.length (Context.simple_funcs ctx) in
   ( rw.Rewrite.out,
     {
@@ -79,6 +190,8 @@ let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
       r_shrink_wrapped = shrink_wrapped;
       r_profile_branches_matched = mstats.Match_profile.matched_branches;
       r_profile_branches_unmatched = mstats.Match_profile.unmatched_branches;
+      r_profile_stale_records = mstats.Match_profile.stale_records;
+      r_profile_unknown_funcs = mstats.Match_profile.unknown_funcs;
       r_dyno_before = dyno_before;
       r_dyno_after = dyno_after;
       r_text_before = rw.Rewrite.text_size_before;
@@ -86,6 +199,11 @@ let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
       r_hot_size = rw.Rewrite.hot_size;
       r_cold_size = rw.Rewrite.cold_size;
       r_bad_layout = bad_layout;
+      r_quarantined = Diag.quarantined diag;
+      r_diagnostics = Diag.records diag;
+      r_diag_errors = Diag.count diag Diag.Error;
+      r_diag_warnings = Diag.count diag Diag.Warning;
+      r_identity_fallback = !identity_fallback;
       r_log = List.rev ctx.Context.log;
     } )
 
@@ -97,7 +215,21 @@ let pp_report ppf (r : report) =
     r.r_icp_promoted r.r_inlined r.r_frame_saves_removed r.r_shrink_wrapped;
   Fmt.pf ppf "  profile: %d branch records matched, %d unmatched@."
     r.r_profile_branches_matched r.r_profile_branches_unmatched;
+  if r.r_profile_stale_records > 0 || r.r_profile_unknown_funcs > 0 then
+    Fmt.pf ppf "  profile decay: %d stale records, %d unknown functions@."
+      r.r_profile_stale_records r.r_profile_unknown_funcs;
   Fmt.pf ppf "  text: %d -> %d bytes (cold %d)@." r.r_text_before r.r_text_after
     r.r_cold_size;
+  if r.r_quarantined <> [] then begin
+    Fmt.pf ppf "  quarantined: %d function(s)@." (List.length r.r_quarantined);
+    List.iter
+      (fun (f, stage) -> Fmt.pf ppf "    %s (in %s)@." f stage)
+      r.r_quarantined
+  end;
+  if r.r_identity_fallback then
+    Fmt.pf ppf "  NOTE: rewrite failed; output is the unmodified input@.";
+  if r.r_diag_errors > 0 || r.r_diag_warnings > 0 then
+    Fmt.pf ppf "  diagnostics: %d error(s), %d warning(s)@." r.r_diag_errors
+      r.r_diag_warnings;
   Fmt.pf ppf "  dyno-stats (profile-weighted, before -> after):@.";
   Dyno_stats.pp_comparison ppf ~before:r.r_dyno_before ~after:r.r_dyno_after

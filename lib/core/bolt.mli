@@ -22,6 +22,10 @@ type report = {
   r_shrink_wrapped : int;  (** saves moved next to their cold uses *)
   r_profile_branches_matched : int;
   r_profile_branches_unmatched : int;
+  r_profile_stale_records : int;
+      (** profile records whose offsets fall outside the named function *)
+  r_profile_unknown_funcs : int;
+      (** distinct profile names with no function in the binary *)
   r_dyno_before : Dyno_stats.t;  (** profile-weighted stats, input layout *)
   r_dyno_after : Dyno_stats.t;  (** same, final layout *)
   r_text_before : int;  (** code bytes before rewriting *)
@@ -29,6 +33,15 @@ type report = {
   r_hot_size : int;  (** bytes in the hot area (relocations mode) *)
   r_cold_size : int;  (** bytes moved to the cold area *)
   r_bad_layout : Report.finding list;  (** §6.3's interleaving report *)
+  r_quarantined : (string * string) list;
+      (** functions demoted to their verbatim input bytes after a pass or
+          emitter failure, with the stage that failed; oldest first *)
+  r_diagnostics : Diag.record list;  (** structured diagnostics, oldest first *)
+  r_diag_errors : int;
+  r_diag_warnings : int;
+  r_identity_fallback : bool;
+      (** the rewrite could not complete and the output is the input,
+          byte-identical (never set under [Opts.strict]) *)
   r_log : string list;  (** one line per pass, in execution order *)
 }
 
@@ -38,7 +51,18 @@ type report = {
     construction; only its layout and instruction selection change.
     Relocations mode (whole-binary function reordering) is used when the
     input retains linker relocations, unless [opts.use_relocations]
-    overrides the choice. *)
+    overrides the choice.
+
+    Degradation ladder, in order of preference: malformed profile records
+    are skipped at parse time; a stale profile record degrades that
+    function's profile to unmatched/partial; a pass or emitter failure
+    quarantines the one affected function back to its input bytes; a
+    whole-program pass failure skips that pass; and if the rewrite itself
+    cannot complete, the input is returned unchanged with
+    [r_identity_fallback] set.  Only three exceptions escape:
+    {!Context.Bolt_error} on structurally invalid input,
+    {!Diag.Strict_error} when [opts.strict] forbids degradation, and
+    {!Diag.Quarantine_limit} when [opts.max_quarantine] is exceeded. *)
 val optimize :
   ?opts:Opts.t ->
   Bolt_obj.Objfile.t ->

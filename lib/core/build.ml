@@ -33,6 +33,8 @@ let decode_function (text : Types.section) ~addr ~size =
         insns := { r_off = !pos; r_insn = i; r_size = sz } :: !insns;
         pos := !pos + sz
     | exception Codec.Decode_error _ -> ok := false
+    (* an instruction straddling the section end reads past the buffer *)
+    | exception Invalid_argument _ -> ok := false
   done;
   if !ok then Some (List.rev !insns) else None
 
@@ -42,10 +44,19 @@ let decode_function (text : Types.section) ~addr ~size =
      cmp r, #lo ; jlt default ; cmp r, #hi ; jgt default ;
      [sub r, #lo] ; shl r, 3 ; lea rb, table ; add r, rb ;
      load r, [r] ; [add r, rb] ; jmp *r
-   Returns (table_addr, pic, entry_count). *)
+
+   [Jt_found] carries (table_addr, pic, entry_count).  [Jt_suspicious]
+   means table-like evidence (a .rodata base, or a memory load feeding
+   the jump) without the full idiom: the jump probably reads a table we
+   cannot recover, so the function must not be moved.  [Jt_absent] is a
+   plain computed target — an indirect tail call through a register —
+   which is safe to relocate verbatim. *)
+type jt_scan = Jt_found of int * bool * int | Jt_suspicious | Jt_absent
+
 let find_jump_table ctx (raws : raw array) idx fb_addr =
   let lo_bound = ref None and hi_bound = ref None in
   let table = ref None in
+  let saw_load = ref false in
   let start = max 0 (idx - 12) in
   for k = idx - 1 downto start do
     (match raws.(k).r_insn with
@@ -60,13 +71,53 @@ let find_jump_table ctx (raws : raw array) idx fb_addr =
         let a = fb_addr + raws.(k).r_off + raws.(k).r_size + disp in
         if !table = None && Context.in_section ctx.Context.rodata a then
           table := Some (a, true)
+    | Insn.Load _ | Insn.Load_abs _ -> saw_load := true
     | _ -> ());
     ()
   done;
   match (!table, !lo_bound, !hi_bound) with
   | Some (addr, pic), Some lo, Some hi when hi >= lo && hi - lo < 4096 ->
-      Some (addr, pic, hi - lo + 1)
-  | _ -> None
+      Jt_found (addr, pic, hi - lo + 1)
+  | Some _, _, _ -> Jt_suspicious
+  | None, _, _ -> if !saw_load then Jt_suspicious else Jt_absent
+
+(* ---- non-simple fallback ---- *)
+
+(* Linear code for a function kept byte-identical, with the references
+   that must survive relocation (calls, code addresses) symbolized. *)
+let symbolize_raw ctx (fb : Bfunc.t) raw_list =
+  fb.raw_insns <-
+    List.map
+      (fun r ->
+        let next_off = r.r_off + r.r_size in
+        let sym =
+          match r.r_insn with
+          | Insn.Call (Insn.Imm rel) -> (
+              match Context.resolve_code ctx (fb.fb_addr + next_off + rel) with
+              | Some (fn, 0) -> Insn.Call (Insn.Sym (fn, 0))
+              | _ -> r.r_insn)
+          | Insn.Lea_rel (rg, Insn.Imm disp) -> (
+              let a = fb.fb_addr + next_off + disp in
+              match Context.resolve_code ctx a with
+              | Some (fn, 0) -> Insn.Lea (rg, Insn.Sym (fn, 0))
+              | _ -> Insn.Lea (rg, Insn.Imm a))
+          | Insn.Lea (rg, Insn.Imm a) -> (
+              match Context.resolve_code ctx a with
+              | Some (fn, 0) -> Insn.Lea (rg, Insn.Sym (fn, 0))
+              | _ -> r.r_insn)
+          | i -> i
+        in
+        { op = sym; lp = None; loc = None; cfi_after = []; m_off = r.r_off })
+      raw_list
+
+(* Re-derive a function's verbatim representation from the input bytes:
+   used when quarantining a function whose CFG was already mutated by a
+   failing pass.  Leaves [raw_insns] empty when the bytes are undecodable
+   (the rewriter then refuses to move the function at all). *)
+let redecode ctx (fb : Bfunc.t) =
+  match decode_function ctx.Context.text ~addr:fb.fb_addr ~size:fb.fb_size with
+  | Some raw_list -> symbolize_raw ctx fb raw_list
+  | None -> fb.raw_insns <- []
 
 (* ---- per-function CFG build ---- *)
 
@@ -138,7 +189,7 @@ let build_function ctx (fb : Bfunc.t) =
                  add_leader next
              | Insn.Jmp_ind _ -> (
                  match find_jump_table ctx raws i fb.fb_addr with
-                 | Some (taddr, pic, count) ->
+                 | Jt_found (taddr, pic, count) ->
                      let entries = Array.make count 0 in
                      let ok = ref true in
                      for k = 0 to count - 1 do
@@ -151,6 +202,7 @@ let build_function ctx (fb : Bfunc.t) =
                      done;
                      if not !ok then begin
                        mark_non_simple fb "invalid jump table entries";
+                       fb.table_unrecovered <- true;
                        raise Exit
                      end;
                      Array.iter add_leader entries;
@@ -158,7 +210,11 @@ let build_function ctx (fb : Bfunc.t) =
                      jts := (taddr, pic, entries) :: !jts;
                      Hashtbl.replace jt_of_idx i k;
                      add_leader next
-                 | None ->
+                 | Jt_suspicious ->
+                     mark_non_simple fb "unrecoverable jump table";
+                     fb.table_unrecovered <- true;
+                     raise Exit
+                 | Jt_absent ->
                      mark_non_simple fb
                        "unresolved indirect jump (possible indirect tail call)";
                      raise Exit)
@@ -341,30 +397,7 @@ let build_function ctx (fb : Bfunc.t) =
          fb.layout <- []);
       (* Non-simple fallback: keep bytes identical, but symbolize the
          references that must survive relocation. *)
-      if not fb.simple then
-        fb.raw_insns <-
-          List.map
-            (fun r ->
-              let next_off = r.r_off + r.r_size in
-              let sym =
-                match r.r_insn with
-                | Insn.Call (Insn.Imm rel) -> (
-                    match Context.resolve_code ctx (fb.fb_addr + next_off + rel) with
-                    | Some (fn, 0) -> Insn.Call (Insn.Sym (fn, 0))
-                    | _ -> r.r_insn)
-                | Insn.Lea_rel (rg, Insn.Imm disp) -> (
-                    let a = fb.fb_addr + next_off + disp in
-                    match Context.resolve_code ctx a with
-                    | Some (fn, 0) -> Insn.Lea (rg, Insn.Sym (fn, 0))
-                    | _ -> Insn.Lea (rg, Insn.Imm a))
-                | Insn.Lea (rg, Insn.Imm a) -> (
-                    match Context.resolve_code ctx a with
-                    | Some (fn, 0) -> Insn.Lea (rg, Insn.Sym (fn, 0))
-                    | _ -> r.r_insn)
-                | i -> i
-              in
-              { op = sym; lp = None; loc = None; cfi_after = []; m_off = r.r_off })
-            raw_list)
+      if not fb.simple then symbolize_raw ctx fb raw_list)
 
 (* ---- discovery ---- *)
 
@@ -372,11 +405,32 @@ let discover ctx =
   let exe = ctx.Context.exe in
   let seen = Hashtbl.create 256 in
   let order = ref [] in
+  let text = ctx.Context.text in
+  let text_end = text.sec_addr + text.sec_size in
   let add name addr size =
-    if size > 0 && not (Hashtbl.mem seen addr) then begin
-      Hashtbl.replace seen addr name;
-      Hashtbl.replace ctx.Context.funcs name (Bfunc.create ~name ~addr ~size);
-      order := (addr, name) :: !order
+    (* a symbol table from a damaged binary can claim ranges outside .text;
+       decoding those would read out of bounds, so clamp or drop here *)
+    if addr < text.sec_addr || addr >= text_end then begin
+      if size > 0 then
+        Diag.warnf ctx.Context.diag ~stage:"discover" ~func:name
+          "function at %#x lies outside .text [%#x, %#x); skipped" addr
+          text.sec_addr text_end
+    end
+    else begin
+      let size =
+        if addr + size > text_end then begin
+          Diag.warnf ctx.Context.diag ~stage:"discover" ~func:name
+            "function at %#x size %d overruns .text; clamped to %d" addr size
+            (text_end - addr);
+          text_end - addr
+        end
+        else size
+      in
+      if size > 0 && not (Hashtbl.mem seen addr) then begin
+        Hashtbl.replace seen addr name;
+        Hashtbl.replace ctx.Context.funcs name (Bfunc.create ~name ~addr ~size);
+        order := (addr, name) :: !order
+      end
     end
   in
   (* symbol-table functions (skip PLT stubs: they are kept verbatim) *)
@@ -404,6 +458,16 @@ let discover ctx =
 
 let run ctx =
   discover ctx;
-  Context.iter_funcs ctx (fun fb -> build_function ctx fb);
+  Context.iter_funcs ctx (fun fb ->
+      try build_function ctx fb
+      with exn ->
+        (* CFG construction must never take the run down: keep the bytes *)
+        Diag.errorf ctx.Context.diag ~stage:"build" ~func:fb.fb_name
+          "CFG construction failed (%s); function kept verbatim"
+          (Printexc.to_string exn);
+        if fb.simple then mark_non_simple fb "CFG construction failed";
+        Hashtbl.reset fb.blocks;
+        fb.layout <- [];
+        redecode ctx fb);
   let simple = List.length (Context.simple_funcs ctx) in
   Context.logf ctx "build: %d functions, %d simple" (List.length ctx.Context.order) simple

@@ -18,6 +18,7 @@ type t = {
   plt_target : (string, string) Hashtbl.t; (* stub symbol -> target function *)
   mutable func_layout : (string list * string list) option; (* hot, cold order *)
   mutable log : string list; (* pass log, newest first *)
+  diag : Diag.t; (* structured diagnostics for the whole run *)
 }
 
 let logf ctx fmt = Fmt.kstr (fun s -> ctx.log <- s :: ctx.log) fmt
@@ -98,6 +99,7 @@ let create ~(opts : Opts.t) (exe : Objfile.t) : t =
       plt_target;
       func_layout = None;
       log = [];
+      diag = Diag.create ();
     }
   in
   (match plt with
@@ -111,9 +113,19 @@ let create ~(opts : Opts.t) (exe : Objfile.t) : t =
                 | Some target -> (
                     match resolve_code ctx target with
                     | Some (name, 0) -> Hashtbl.replace plt_target s.sym_name name
-                    | _ -> ())
-                | None -> ())
-            | _ | (exception _) -> ())
+                    | _ ->
+                        Diag.warnf ctx.diag ~stage:"plt-scan" ~func:s.sym_name
+                          "GOT slot %#x does not point at a function entry" slot)
+                | None ->
+                    Diag.warnf ctx.diag ~stage:"plt-scan" ~func:s.sym_name
+                      "GOT slot %#x out of range" slot)
+            | _ ->
+                Diag.warnf ctx.diag ~stage:"plt-scan" ~func:s.sym_name
+                  "PLT stub is not a GOT-indirect jump; left unresolved"
+            | exception exn ->
+                Diag.warnf ctx.diag ~stage:"plt-scan" ~func:s.sym_name
+                  "undecodable PLT stub (%s); left unresolved"
+                  (Printexc.to_string exn))
         exe.symbols
   | None -> ());
   ctx

@@ -1,0 +1,96 @@
+(* Structured diagnostics for the hardened rewrite pipeline.
+
+   BOLT's production stance (§7) is graceful degradation: whatever goes
+   wrong while rebuilding one function must never take down the whole
+   rewrite.  Every stage therefore reports through this module instead of
+   raising: per-function and per-pass records with a severity, plus
+   counters, are accumulated on the binary context and surfaced in the
+   final report.  Record storage is capped so a hostile input cannot blow
+   up memory by generating millions of warnings; the counters keep the
+   true totals. *)
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type record = {
+  d_severity : severity;
+  d_stage : string; (* pipeline stage or pass name *)
+  d_func : string option; (* affected function, when per-function *)
+  d_msg : string;
+}
+
+(* Raised when [Opts.strict] turns a degradation into a hard failure. *)
+exception Strict_error of string
+
+(* Raised when more functions than [Opts.max_quarantine] were demoted. *)
+exception Quarantine_limit of int
+
+type t = {
+  mutable records : record list; (* newest first, capped *)
+  mutable dropped : int; (* records not stored because of the cap *)
+  mutable n_info : int;
+  mutable n_warning : int;
+  mutable n_error : int;
+  mutable quarantined : (string * string) list; (* function, stage; newest first *)
+  max_records : int;
+}
+
+let create ?(max_records = 500) () =
+  {
+    records = [];
+    dropped = 0;
+    n_info = 0;
+    n_warning = 0;
+    n_error = 0;
+    quarantined = [];
+    max_records;
+  }
+
+let count t = function
+  | Info -> t.n_info
+  | Warning -> t.n_warning
+  | Error -> t.n_error
+
+let total t = t.n_info + t.n_warning + t.n_error
+
+let add t severity ~stage ?func msg =
+  (match severity with
+  | Info -> t.n_info <- t.n_info + 1
+  | Warning -> t.n_warning <- t.n_warning + 1
+  | Error -> t.n_error <- t.n_error + 1);
+  if total t - t.dropped > t.max_records then t.dropped <- t.dropped + 1
+  else
+    t.records <-
+      { d_severity = severity; d_stage = stage; d_func = func; d_msg = msg }
+      :: t.records
+
+let infof t ~stage ?func fmt = Fmt.kstr (add t Info ~stage ?func) fmt
+let warnf t ~stage ?func fmt = Fmt.kstr (add t Warning ~stage ?func) fmt
+let errorf t ~stage ?func fmt = Fmt.kstr (add t Error ~stage ?func) fmt
+
+(* A function was demoted to non-simple and left byte-identical. *)
+let quarantine t ~stage ~func msg =
+  t.quarantined <- (func, stage) :: t.quarantined;
+  errorf t ~stage ~func "quarantined: %s" msg
+
+let quarantined_count t = List.length t.quarantined
+let quarantined t = List.rev t.quarantined
+
+(* Oldest first. *)
+let records t = List.rev t.records
+
+let pp_record ppf r =
+  Fmt.pf ppf "[%s] %s%s: %s" (severity_name r.d_severity) r.d_stage
+    (match r.d_func with Some f -> " (" ^ f ^ ")" | None -> "")
+    r.d_msg
+
+let pp_summary ppf t =
+  Fmt.pf ppf "diagnostics: %d error(s), %d warning(s), %d info" t.n_error
+    t.n_warning t.n_info;
+  if t.dropped > 0 then Fmt.pf ppf " (%d records dropped)" t.dropped;
+  if t.quarantined <> [] then
+    Fmt.pf ppf "; %d function(s) quarantined" (List.length t.quarantined)

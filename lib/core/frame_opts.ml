@@ -90,7 +90,7 @@ let remove_save (fb : Bfunc.t) (r : Reg.t) (plan : plan) =
 
 let frame_opts ctx =
   let removed = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"frame-opts"
     (fun fb ->
       match prologue_plan fb with
       | None -> ()
@@ -101,8 +101,7 @@ let frame_opts ctx =
                 remove_save fb r plan;
                 incr removed
               end)
-            plan.saves)
-    (Context.simple_funcs ctx);
+            plan.saves);
   Context.logf ctx "frame-opts: %d dead register saves removed" !removed;
   !removed
 
@@ -121,7 +120,7 @@ let final_transfer_uses (b : bb) r =
 
 let shrink_wrapping ctx =
   let moved = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"shrink-wrapping"
     (fun fb ->
       if has_profile fb && fb.exec_count > 0 then
         match prologue_plan fb with
@@ -178,7 +177,6 @@ let shrink_wrapping ctx =
                         | _ -> ()
                       end)
                   | _ -> ())
-              plan.saves)
-    (Context.simple_funcs ctx);
+              plan.saves);
   Context.logf ctx "shrink-wrapping: %d saves moved to cold blocks" !moved;
   !moved

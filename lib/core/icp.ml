@@ -41,7 +41,7 @@ let build_site_profile ctx (prof : Bolt_profile.Fdata.t) : site_profile =
 let run ctx (sites : site_profile) =
   let promoted = ref 0 in
   let threshold = ctx.Context.opts.Opts.icp_threshold_pct in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"icp"
     (fun fb ->
       (* collect candidate (block, insn) sites first: we mutate the CFG *)
       let candidates = ref [] in
@@ -168,7 +168,6 @@ let run ctx (sites : site_profile) =
                         if l' = l then [ l; direct_l; indirect_l; cont_l ] else [ l' ])
                       fb.layout;
                   incr promoted))
-        !candidates)
-    (Context.simple_funcs ctx);
+        !candidates);
   Context.logf ctx "icp: %d indirect calls promoted" !promoted;
   !promoted

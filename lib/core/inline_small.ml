@@ -62,7 +62,7 @@ let run ctx =
     | Some t -> t
     | None -> callee
   in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"inline-small"
     (fun fb ->
       Hashtbl.iter
         (fun _ b ->
@@ -80,7 +80,6 @@ let run ctx =
                         (Hashtbl.find bodies (resolve callee))
                   | _ -> [ i ])
                 b.insns)
-        fb.blocks)
-    (Context.simple_funcs ctx);
+        fb.blocks);
   Context.logf ctx "inline-small: %d call sites inlined" !inlined;
   !inlined

@@ -80,7 +80,7 @@ let reorder ctx =
   let opts = ctx.Context.opts in
   let algo = opts.Opts.reorder_blocks in
   let reordered = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"reorder-bbs"
     (fun fb ->
       if has_profile fb && Hashtbl.length fb.Bfunc.blocks > 1 then begin
         let _, all =
@@ -112,8 +112,7 @@ let reorder ctx =
           fb.layout <- order @ stragglers;
           incr reordered
         end
-      end)
-    (Context.simple_funcs ctx);
+      end);
   Context.logf ctx "reorder-bbs(%s): %d functions reordered"
     (match algo with
     | Opts.Rb_none -> "none"
@@ -129,7 +128,7 @@ let split ctx =
   (match opts.Opts.split_functions with
   | Opts.Split_none -> ()
   | mode ->
-      List.iter
+      Quarantine.iter_simple ctx ~stage:"split-functions"
         (fun fb ->
           let size_ok =
             match mode with
@@ -154,6 +153,5 @@ let split ctx =
                emitter handles that, but keep cold blocks grouped at the end
                of the layout for deterministic output *)
             fb.layout <- hot_layout fb @ cold_layout fb
-          end)
-        (Context.simple_funcs ctx));
+          end));
   Context.logf ctx "split-functions: %d blocks moved to cold fragments" !split_blocks

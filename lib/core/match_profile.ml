@@ -19,6 +19,11 @@ type stats = {
   mutable unmatched_branches : int;
   mutable matched_count : int;
   mutable unmatched_count : int;
+  (* match decay from a stale profile (§7: profiles survive minor code
+     drift): records whose offsets fall outside the named function, and
+     distinct profile names with no function in the binary *)
+  mutable stale_records : int;
+  mutable unknown_funcs : int;
 }
 
 (* offset -> block lookup per function *)
@@ -52,8 +57,42 @@ let offset_maps (fb : Bfunc.t) =
 
 let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
   let st =
-    { matched_branches = 0; unmatched_branches = 0; matched_count = 0; unmatched_count = 0 }
+    {
+      matched_branches = 0;
+      unmatched_branches = 0;
+      matched_count = 0;
+      unmatched_count = 0;
+      stale_records = 0;
+      unknown_funcs = 0;
+    }
   in
+  (* A stale profile names functions that no longer exist and offsets the
+     code has drifted past.  Both degrade that function's profile to
+     unmatched/partial — never an exception, never mis-attribution to
+     whatever block happens to sit at the bad offset. *)
+  let unknown = Hashtbl.create 16 in
+  (* names in the symbol table that aren't optimizable functions (plt
+     stubs, data symbols) are legitimately unattachable — only names
+     absent from the binary altogether hint at a stale profile *)
+  let known_syms = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Bolt_obj.Types.symbol) -> Hashtbl.replace known_syms s.sym_name ())
+    ctx.Context.exe.Bolt_obj.Objfile.symbols;
+  let note_unknown name =
+    if (not (Hashtbl.mem known_syms name)) && not (Hashtbl.mem unknown name)
+    then begin
+      Hashtbl.replace unknown name ();
+      Diag.warnf ctx.Context.diag ~stage:"match-profile" ~func:name
+        "profile names a function not in the binary (stale profile?)"
+    end
+  in
+  let stale fb what off =
+    st.stale_records <- st.stale_records + 1;
+    Diag.warnf ctx.Context.diag ~stage:"match-profile" ~func:fb.fb_name
+      "%s offset %d outside function of size %d (stale profile?)" what off
+      fb.fb_size
+  in
+  let in_bounds fb off = off >= 0 && off < fb.fb_size in
   let maps = Hashtbl.create 64 in
   let map_of fb =
     match Hashtbl.find_opt maps fb.fb_name with
@@ -69,31 +108,51 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
       if b.br_from_func = b.br_to_func then begin
         match Context.func ctx b.br_from_func with
         | Some fb when fb.simple ->
-            let starts, containing, _ = map_of fb in
-            let src = containing b.br_from_off in
-            let dst = Hashtbl.find_opt starts b.br_to_off in
-            (match (src, dst) with
-            | Some s, Some d ->
-                add_edge_count fb s d b.br_count b.br_mispreds;
-                st.matched_branches <- st.matched_branches + 1;
-                st.matched_count <- st.matched_count + b.br_count
-            | _ ->
-                st.unmatched_branches <- st.unmatched_branches + 1;
-                st.unmatched_count <- st.unmatched_count + b.br_count)
-        | _ -> ()
+            let drop () =
+              st.unmatched_branches <- st.unmatched_branches + 1;
+              st.unmatched_count <- st.unmatched_count + b.br_count
+            in
+            if not (in_bounds fb b.br_from_off) then begin
+              stale fb "branch source" b.br_from_off;
+              drop ()
+            end
+            else if not (in_bounds fb b.br_to_off) then begin
+              stale fb "branch target" b.br_to_off;
+              drop ()
+            end
+            else begin
+              let starts, containing, _ = map_of fb in
+              let src = containing b.br_from_off in
+              let dst = Hashtbl.find_opt starts b.br_to_off in
+              match (src, dst) with
+              | Some s, Some d ->
+                  add_edge_count fb s d b.br_count b.br_mispreds;
+                  st.matched_branches <- st.matched_branches + 1;
+                  st.matched_count <- st.matched_count + b.br_count
+              | _ -> drop ()
+            end
+        | Some _ -> ()
+        | None ->
+            note_unknown b.br_from_func;
+            st.unmatched_branches <- st.unmatched_branches + 1;
+            st.unmatched_count <- st.unmatched_count + b.br_count
       end
       else if b.br_to_off = 0 then begin
         (* a call (or tail transfer) into the target's entry *)
         match Context.func ctx b.br_to_func with
         | Some fb -> fb.exec_count <- fb.exec_count + b.br_count
-        | None -> ()
+        | None -> note_unknown b.br_to_func
       end)
     prof.branches;
   (* 2. fall-through ranges: block counts + non-taken edge counts *)
   List.iter
     (fun (r : Bolt_profile.Fdata.range) ->
       match Context.func ctx r.rg_func with
+      | Some fb when fb.simple && not (in_bounds fb r.rg_start) ->
+          stale fb "range start" r.rg_start
       | Some fb when fb.simple ->
+          (* a range end past the function still profiles the prefix *)
+          if not (in_bounds fb r.rg_end) then stale fb "range end" r.rg_end;
           let _, _, arr = map_of fb in
           let covered =
             Array.to_list arr
@@ -125,13 +184,16 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
               let b = block fb l in
               b.ecount <- b.ecount + r.rg_count)
             covered
-      | _ -> ())
+      | Some _ -> ()
+      | None -> note_unknown r.rg_func)
     prof.ranges;
   (* 3. non-LBR: block counts from IP samples *)
   if not prof.lbr then
     List.iter
       (fun (s : Bolt_profile.Fdata.sample) ->
         match Context.func ctx s.sm_func with
+        | Some fb when fb.simple && not (in_bounds fb s.sm_off) ->
+            stale fb "sample" s.sm_off
         | Some fb when fb.simple -> (
             let _, containing, _ = map_of fb in
             match containing s.sm_off with
@@ -140,8 +202,9 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
                 b.ecount <- b.ecount + s.sm_count
             | None -> ())
         | Some fb -> fb.exec_count <- fb.exec_count + s.sm_count
-        | None -> ())
+        | None -> note_unknown s.sm_func)
       prof.samples;
+  st.unknown_funcs <- Hashtbl.length unknown;
   st
 
 (* Derive block execution counts from edges where ranges left gaps, then

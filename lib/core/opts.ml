@@ -38,6 +38,12 @@ type t = {
   use_relocations : bool option; (* None = auto: use them when present *)
   update_debug_sections : bool;
   verbose : bool;
+  strict : bool;
+      (* fail hard (Diag.Strict_error) instead of degrading: any verifier
+         issue, profile-parse warning or function quarantine aborts *)
+  max_quarantine : int option;
+      (* abort (Diag.Quarantine_limit) when more functions than this are
+         quarantined: a badly corrupted input is better rejected *)
 }
 
 let default =
@@ -67,6 +73,8 @@ let default =
     use_relocations = None;
     update_debug_sections = true;
     verbose = false;
+    strict = false;
+    max_quarantine = None;
   }
 
 (* Everything off: the identity rewrite, useful for testing the pipeline. *)

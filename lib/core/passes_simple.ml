@@ -8,7 +8,7 @@ open Bfunc
 (* Pass 1: strip the legacy-AMD repz prefix from returns (2 bytes -> 1). *)
 let strip_rep_ret ctx =
   let n = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"strip-rep-ret"
     (fun fb ->
       Hashtbl.iter
         (fun _ b ->
@@ -19,14 +19,13 @@ let strip_rep_ret ctx =
                 incr n
               end)
             b.insns)
-        fb.blocks)
-    (Context.simple_funcs ctx);
+        fb.blocks);
   Context.logf ctx "strip-rep-ret: %d returns stripped" !n
 
 (* Passes 4/10: peephole simplifications. *)
 let peepholes ctx =
   let removed = ref 0 and mutated = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"peepholes"
     (fun fb ->
       Hashtbl.iter
         (fun _ b ->
@@ -50,14 +49,13 @@ let peepholes ctx =
               | _ -> ())
             keep;
           b.insns <- keep)
-        fb.blocks)
-    (Context.simple_funcs ctx);
+        fb.blocks);
   Context.logf ctx "peepholes: %d removed, %d shortened" !removed !mutated
 
 (* Pass 11: eliminate unreachable basic blocks. *)
 let uce ctx =
   let n = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"uce"
     (fun fb ->
       let reach = Hashtbl.create 32 in
       let rec go l =
@@ -76,8 +74,7 @@ let uce ctx =
           Hashtbl.remove fb.blocks l;
           incr n)
         !dead;
-      fb.layout <- List.filter (Hashtbl.mem reach) fb.layout)
-    (Context.simple_funcs ctx);
+      fb.layout <- List.filter (Hashtbl.mem reach) fb.layout);
   Context.logf ctx "uce: %d unreachable blocks removed" !n
 
 (* Pass 14: simplify conditional tail calls — a conditional branch to a
@@ -85,7 +82,7 @@ let uce ctx =
    direct tail call) is retargeted, removing a jump from the hot path. *)
 let sctc ctx =
   let n = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"sctc"
     (fun fb ->
       Hashtbl.iter
         (fun l b ->
@@ -120,8 +117,7 @@ let sctc ctx =
                   | _ -> ())
               | _ -> ())
           | _ -> ())
-        fb.blocks)
-    (Context.simple_funcs ctx);
+        fb.blocks);
   Context.logf ctx "sctc: %d branches simplified" !n
 
 (* Pass 6: loads from statically-known read-only cells become immediate
@@ -138,7 +134,7 @@ let simplify_ro_loads ctx =
             jt.jt_targets)
         fb.Bfunc.jts)
     (Context.simple_funcs ctx);
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"simplify-ro-loads"
     (fun fb ->
       Hashtbl.iter
         (fun _ b ->
@@ -159,14 +155,13 @@ let simplify_ro_loads ctx =
                   | None -> ())
               | _ -> ())
             b.insns)
-        fb.blocks)
-    (Context.simple_funcs ctx);
+        fb.blocks);
   Context.logf ctx "simplify-ro-loads: %d converted, %d aborted (size)" !n !aborted
 
 (* Pass 8: remove PLT indirection from calls whose stub target is known. *)
 let plt ctx =
   let n = ref 0 in
-  List.iter
+  Quarantine.iter_simple ctx ~stage:"plt"
     (fun fb ->
       Hashtbl.iter
         (fun _ b ->
@@ -181,6 +176,5 @@ let plt ctx =
                   | None -> ())
               | _ -> ())
             b.insns)
-        fb.blocks)
-    (Context.simple_funcs ctx);
+        fb.blocks);
   Context.logf ctx "plt: %d calls de-indirected" !n

@@ -1,0 +1,71 @@
+(* Per-function quarantine: the exception barrier around every
+   optimization pass and the emitter.
+
+   BOLT's conservativeness guarantee (§3.3) is per function: a function
+   the tool cannot handle is left alone, everything else is still
+   optimized.  This module extends that guarantee from "cannot analyze"
+   to "crashed while transforming": a pass that raises on one function
+   demotes that function back to its verbatim input bytes — exactly the
+   non-simple treatment — records a diagnostic, and the run continues.
+
+   Strictness is the inverse switch: with [Opts.strict] any demotion is a
+   hard [Diag.Strict_error]; with [Opts.max_quarantine] a badly corrupted
+   input that demotes too many functions is rejected wholesale. *)
+
+(* Exceptions that must never be swallowed by a barrier: deliberate
+   aborts, resource exhaustion, and user interrupts. *)
+let fatal = function
+  | Diag.Strict_error _ | Diag.Quarantine_limit _ -> true
+  | Out_of_memory | Stack_overflow | Sys.Break -> true
+  | _ -> false
+
+(* Demote [fb] to non-simple and rebuild its verbatim representation from
+   the input bytes.  The CFG may be half-mutated by the failing pass, so
+   everything derived from it is dropped; [fb.jts] is kept because the
+   rewriter still needs the table addresses to repoint the cells at the
+   function's final location. *)
+let demote ctx ~stage (fb : Bfunc.t) msg =
+  Bfunc.mark_non_simple fb (Printf.sprintf "quarantined in %s" stage);
+  Hashtbl.reset fb.blocks;
+  fb.layout <- [];
+  fb.entry <- "";
+  Hashtbl.reset fb.edge_counts;
+  Hashtbl.reset fb.cold_set;
+  Build.redecode ctx fb;
+  Diag.quarantine ctx.Context.diag ~stage ~func:fb.Bfunc.fb_name msg;
+  if ctx.Context.opts.Opts.strict then
+    raise
+      (Diag.Strict_error
+         (Printf.sprintf "%s: function %s failed: %s" stage fb.Bfunc.fb_name msg));
+  match ctx.Context.opts.Opts.max_quarantine with
+  | Some limit when Diag.quarantined_count ctx.Context.diag > limit ->
+      raise (Diag.Quarantine_limit (Diag.quarantined_count ctx.Context.diag))
+  | _ -> ()
+
+(* Run [f fb] under the barrier: any non-fatal exception quarantines [fb]
+   instead of propagating. *)
+let protect ctx ~stage (fb : Bfunc.t) f =
+  try f fb
+  with exn when not (fatal exn) ->
+    demote ctx ~stage fb (Printexc.to_string exn)
+
+(* The standard shape of a per-function pass: iterate the simple
+   functions, each under its own barrier.  The function list is
+   re-evaluated up front, so a demotion mid-pass does not disturb the
+   iteration. *)
+let iter_simple ctx ~stage f =
+  List.iter (fun fb -> protect ctx ~stage fb f) (Context.simple_funcs ctx)
+
+(* Pass-level barrier for whole-program passes (ICF, function reordering)
+   whose failure cannot be pinned on one function: skip the pass, keep
+   the run. *)
+let pass ctx ~stage ~default f =
+  try f ()
+  with exn when not (fatal exn) ->
+    Diag.errorf ctx.Context.diag ~stage "pass failed (%s); skipped"
+      (Printexc.to_string exn);
+    if ctx.Context.opts.Opts.strict then
+      raise
+        (Diag.Strict_error
+           (Printf.sprintf "%s: pass failed: %s" stage (Printexc.to_string exn)));
+    default

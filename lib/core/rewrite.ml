@@ -35,6 +35,10 @@ type result = {
 
 let align a off = if a <= 1 then off else (off + a - 1) / a * a
 
+(* A fragment could not be finalized: (function, message).  The driver
+   quarantines the function and re-runs the rewrite. *)
+exception Frag_error of string * string
+
 (* original PLT stub contents: stub symbol -> GOT slot address *)
 let plt_slots ctx =
   let slots = Hashtbl.create 16 in
@@ -46,7 +50,13 @@ let plt_slots ctx =
             match Bolt_isa.Codec.decode p.sec_data (s.sym_value - p.sec_addr) with
             | Bolt_isa.Insn.Jmp_mem (Bolt_isa.Insn.Imm slot), _ ->
                 Hashtbl.replace slots s.sym_name slot
-            | _ | (exception _) -> ())
+            | _ ->
+                Diag.warnf ctx.Context.diag ~stage:"rewrite" ~func:s.sym_name
+                  "PLT stub is not a GOT-indirect jump; stub not re-emitted"
+            | exception exn ->
+                Diag.warnf ctx.Context.diag ~stage:"rewrite" ~func:s.sym_name
+                  "undecodable PLT stub (%s); stub not re-emitted"
+                  (Printexc.to_string exn))
         ctx.Context.exe.symbols
   | None -> ());
   slots
@@ -81,16 +91,49 @@ let run ctx : result =
   in
 
   (* ---- emit fragments ---- *)
+  let relmode = ctx.Context.relocations_mode in
   let frags_of = Hashtbl.create 256 in
   let reverted = Hashtbl.create 16 in
+  (* Verbatim emission of a non-simple function.  A function whose bytes
+     would not even decode cannot be re-emitted at all: in-place it stays
+     in its original slot; in relocations mode the whole text moves
+     around it, so the run must fall back to the identity rewrite. *)
+  let emit_verbatim (fb : Bfunc.t) =
+    if fb.raw_insns = [] then
+      if relmode then
+        raise
+          (Frag_error
+             (fb.fb_name, "undecodable function cannot be relocated"))
+      else begin
+        Diag.warnf ctx.Context.diag ~stage:"rewrite" ~func:fb.fb_name
+          "undecodable function left in place";
+        Hashtbl.replace reverted fb.fb_name ();
+        []
+      end
+    else if fb.table_unrecovered && relmode then
+      (* the body reads a jump table we could not reconstruct; its cells
+         still aim at the original body, so moving the code would leave
+         them stale.  In-place the function never moves and stays safe. *)
+      raise
+        (Frag_error
+           (fb.fb_name, "unrecoverable jump table: function cannot be relocated"))
+    else [ Emit.emit_raw fb ]
+  in
   List.iter
     (fun fb ->
-      let frags = if fb.simple then Emit.emit_simple fb else [ Emit.emit_raw fb ] in
+      let frags =
+        if fb.simple then
+          try Emit.emit_simple fb
+          with exn when not (Quarantine.fatal exn) ->
+            (* emitter barrier: demote and emit the original bytes *)
+            Quarantine.demote ctx ~stage:"emit" fb (Printexc.to_string exn);
+            emit_verbatim fb
+        else emit_verbatim fb
+      in
       Hashtbl.replace frags_of fb.fb_name frags)
     live;
 
   (* ---- placement ---- *)
-  let relmode = ctx.Context.relocations_mode in
   let placements = ref [] in
   let place frag addr = placements := { p_frag = frag; p_addr = addr } :: !placements in
   let slots = plt_slots ctx in
@@ -226,7 +269,12 @@ let run ctx : result =
         let s =
           match resolve_sym sym with
           | Some a -> a
-          | None -> Context.err "rewrite: undefined symbol %s in %s" sym p.p_frag.Emit.fr_name
+          | None ->
+              raise
+                (Frag_error
+                   ( p.p_frag.Emit.fr_func,
+                     Printf.sprintf "undefined symbol %s in %s" sym
+                       p.p_frag.Emit.fr_name ))
         in
         let v =
           match kind with
@@ -246,7 +294,10 @@ let run ctx : result =
             Bytes.set text (fo + 3) (Char.chr ((v asr 24) land 0xff))
         | Rel8 ->
             if not (Bolt_isa.Codec.fits_i8 v) then
-              Context.err "rewrite: rel8 overflow in %s" p.p_frag.Emit.fr_name;
+              raise
+                (Frag_error
+                   ( p.p_frag.Emit.fr_func,
+                     Printf.sprintf "rel8 overflow in %s" p.p_frag.Emit.fr_name ));
             Bytes.set text fo (Char.chr (v land 0xff)))
       out.Bolt_asm.Asm.fo_relocs
   in
@@ -306,24 +357,55 @@ let run ctx : result =
     match ctx.Context.rodata with
     | Some ro ->
         let data = Bytes.copy ro.sec_data in
+        let patch_cell (jt : jt) k target_addr =
+          let v = if jt.jt_pic then target_addr - jt.jt_addr else target_addr in
+          let w = Buf.writer () in
+          Buf.i64 w v;
+          Bytes.blit_string (Buf.contents w) 0 data
+            (jt.jt_addr - ro.sec_addr + (8 * k))
+            8
+        in
+        (* a block label minted at CFG build time encodes its original
+           offset; quarantined functions move as a verbatim unit, so that
+           offset is still the block's position in the placed bytes *)
+        let lbl_off l =
+          if String.length l > 4 && String.sub l 0 4 = ".LBB" then
+            int_of_string_opt (String.sub l 4 (String.length l - 4))
+          else None
+        in
         List.iter
           (fun fb ->
-            if fb.simple && not (Hashtbl.mem reverted fb.fb_name) then
+            if Hashtbl.mem reverted fb.fb_name then ()
+            else if fb.simple then
               Array.iter
                 (fun (jt : jt) ->
                   Array.iteri
                     (fun k l ->
                       match Hashtbl.find_opt block_addr (fb.fb_name, l) with
-                      | Some a ->
-                          let v = if jt.jt_pic then a - jt.jt_addr else a in
-                          let w = Buf.writer () in
-                          Buf.i64 w v;
-                          Bytes.blit_string (Buf.contents w) 0 data
-                            (jt.jt_addr - ro.sec_addr + (8 * k))
-                            8
+                      | Some a -> patch_cell jt k a
                       | None -> ())
                     jt.jt_targets)
-                fb.jts)
+                fb.jts
+            else
+              (* quarantined mid-pipeline: the body is byte-identical but
+                 may have moved, so every cell shifts by the same delta *)
+              match Hashtbl.find_opt frag_addr fb.fb_name with
+              | Some base when base <> fb.fb_addr ->
+                  Array.iter
+                    (fun (jt : jt) ->
+                      Array.iteri
+                        (fun k l ->
+                          match lbl_off l with
+                          | Some off -> patch_cell jt k (base + off)
+                          | None ->
+                              Diag.warnf ctx.Context.diag ~stage:"rewrite"
+                                ~func:fb.fb_name
+                                "jump table %#x cell %d has no offset label; \
+                                 left stale"
+                                jt.jt_addr k)
+                        jt.jt_targets)
+                    fb.jts
+              | _ -> ())
           live;
         Some { ro with sec_data = data }
     | None -> None

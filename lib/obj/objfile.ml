@@ -250,22 +250,29 @@ let to_string t =
   Buf.contents b
 
 let of_string data =
-  let r = Buf.reader data in
-  Buf.need r 4;
-  let got_magic = String.sub data 0 4 in
-  r.pos <- 4;
-  if got_magic <> magic then raise (Buf.Corrupt "bad magic");
-  let v = Buf.r_u8 r in
-  if v <> version then raise (Buf.Corrupt (Printf.sprintf "bad version %d" v));
-  let kind = if Buf.r_u8 r = 0 then Object else Executable in
-  let entry = Buf.r_i64 r in
-  let sections = Buf.r_list r r_section in
-  let symbols = Buf.r_list r r_symbol in
-  let relocs = Buf.r_list r r_reloc in
-  let fdes = Buf.r_list r r_fde in
-  let lsdas = Buf.r_list r r_lsda in
-  let dbgs = Buf.r_list r r_dbg in
-  { kind; entry; sections; symbols; relocs; fdes; lsdas; dbgs }
+  try
+    let r = Buf.reader data in
+    Buf.need r 4;
+    let got_magic = String.sub data 0 4 in
+    r.pos <- 4;
+    if got_magic <> magic then raise (Buf.Corrupt "bad magic");
+    let v = Buf.r_u8 r in
+    if v <> version then raise (Buf.Corrupt (Printf.sprintf "bad version %d" v));
+    let kind = if Buf.r_u8 r = 0 then Object else Executable in
+    let entry = Buf.r_i64 r in
+    let sections = Buf.r_list r r_section in
+    let symbols = Buf.r_list r r_symbol in
+    let relocs = Buf.r_list r r_reloc in
+    let fdes = Buf.r_list r r_fde in
+    let lsdas = Buf.r_list r r_lsda in
+    let dbgs = Buf.r_list r r_dbg in
+    { kind; entry; sections; symbols; relocs; fdes; lsdas; dbgs }
+  with
+  | Buf.Corrupt _ as e -> raise e
+  | exn ->
+      (* corrupt input must always surface as [Corrupt], never as a stray
+         [Invalid_argument]/[Out_of_memory] from the decoding internals *)
+      raise (Buf.Corrupt (Printexc.to_string exn))
 
 let save path t =
   let oc = open_out_bin path in

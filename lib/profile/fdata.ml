@@ -8,7 +8,13 @@
      F <func> <start_off> <end_off> <count>        (LBR fall-through range)
      S <func> <off> <count>                        (non-LBR IP sample)
 
-   Function names never contain spaces by construction. *)
+   Function names never contain spaces by construction.
+
+   Profiles are data about a binary, not part of it; a malformed or stale
+   profile must degrade optimization quality, never correctness.  Parsing
+   is therefore lenient by default: malformed and unknown records are
+   skipped with a warning each.  [~strict:true] restores the hard
+   [Bad_format] failure for tooling that wants it. *)
 
 type branch = {
   br_from_func : string;
@@ -43,71 +49,131 @@ let func_events t =
   List.iter (fun s -> add s.sm_func s.sm_count) t.samples;
   h
 
-let save path t =
-  let oc = open_out path in
-  Printf.fprintf oc "mode %s\n" (if t.lbr then "lbr" else "sample");
+let to_string t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "mode %s\n" (if t.lbr then "lbr" else "sample"));
   List.iter
-    (fun b ->
-      Printf.fprintf oc "B %s %d %s %d %d %d\n" b.br_from_func b.br_from_off
-        b.br_to_func b.br_to_off b.br_count b.br_mispreds)
+    (fun x ->
+      Buffer.add_string b
+        (Printf.sprintf "B %s %d %s %d %d %d\n" x.br_from_func x.br_from_off
+           x.br_to_func x.br_to_off x.br_count x.br_mispreds))
     t.branches;
   List.iter
-    (fun r -> Printf.fprintf oc "F %s %d %d %d\n" r.rg_func r.rg_start r.rg_end r.rg_count)
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "F %s %d %d %d\n" r.rg_func r.rg_start r.rg_end r.rg_count))
     t.ranges;
   List.iter
-    (fun s -> Printf.fprintf oc "S %s %d %d\n" s.sm_func s.sm_off s.sm_count)
+    (fun s ->
+      Buffer.add_string b (Printf.sprintf "S %s %d %d\n" s.sm_func s.sm_off s.sm_count))
     t.samples;
+  Buffer.contents b
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
   close_out oc
 
 exception Bad_format of string
 
-let load path =
-  let ic = open_in path in
+type warning = { w_line : int; w_text : string; w_reason : string }
+
+let pp_warning ppf w =
+  Fmt.pf ppf "fdata line %d: %s (%S)" w.w_line w.w_reason w.w_text
+
+(* Malformed lines raise [Reject] internally; [parse] turns that into a
+   warning (lenient) or [Bad_format] (strict). *)
+exception Reject of string
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> raise (Reject (Printf.sprintf "%s is not an integer: %s" what s))
+
+let non_negative what v =
+  if v < 0 then raise (Reject (Printf.sprintf "%s is negative: %d" what v));
+  v
+
+let parse ?(strict = false) text : t * warning list =
   let branches = ref [] in
   let ranges = ref [] in
   let samples = ref [] in
   let lbr = ref true in
-  (try
-     while true do
-       let line = input_line ic in
-       match String.split_on_char ' ' line with
-       | [ "mode"; m ] -> lbr := m = "lbr"
-       | [ "B"; ff; fo; tf; to_; c; m ] ->
-           branches :=
-             {
-               br_from_func = ff;
-               br_from_off = int_of_string fo;
-               br_to_func = tf;
-               br_to_off = int_of_string to_;
-               br_count = int_of_string c;
-               br_mispreds = int_of_string m;
-             }
-             :: !branches
-       | [ "F"; f; s; e; c ] ->
-           ranges :=
-             {
-               rg_func = f;
-               rg_start = int_of_string s;
-               rg_end = int_of_string e;
-               rg_count = int_of_string c;
-             }
-             :: !ranges
-       | [ "S"; f; o; c ] ->
-           samples :=
-             { sm_func = f; sm_off = int_of_string o; sm_count = int_of_string c }
-             :: !samples
-       | [] | [ "" ] -> ()
-       | _ -> raise (Bad_format line)
-     done
-   with End_of_file -> close_in ic);
+  let warnings = ref [] in
+  let reject lineno line reason =
+    if strict then raise (Bad_format (Printf.sprintf "line %d: %s: %s" lineno reason line));
+    warnings := { w_line = lineno; w_text = line; w_reason = reason } :: !warnings
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        (* tolerate CRLF profiles copied across systems *)
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      try
+        match String.split_on_char ' ' line with
+        | [ "mode"; "lbr" ] -> lbr := true
+        | [ "mode"; "sample" ] -> lbr := false
+        | [ "mode"; m ] -> raise (Reject (Printf.sprintf "unknown mode %s" m))
+        | [ "B"; ff; fo; tf; to_; c; m ] ->
+            branches :=
+              {
+                br_from_func = ff;
+                br_from_off = non_negative "from offset" (int_field "from offset" fo);
+                br_to_func = tf;
+                br_to_off = non_negative "to offset" (int_field "to offset" to_);
+                br_count = non_negative "count" (int_field "count" c);
+                br_mispreds = non_negative "mispredicts" (int_field "mispredicts" m);
+              }
+              :: !branches
+        | [ "F"; f; s; e; c ] ->
+            let rg_start = non_negative "range start" (int_field "range start" s) in
+            let rg_end = non_negative "range end" (int_field "range end" e) in
+            if rg_end < rg_start then
+              raise (Reject (Printf.sprintf "range end %d before start %d" rg_end rg_start));
+            ranges :=
+              {
+                rg_func = f;
+                rg_start;
+                rg_end;
+                rg_count = non_negative "count" (int_field "count" c);
+              }
+              :: !ranges
+        | [ "S"; f; o; c ] ->
+            samples :=
+              {
+                sm_func = f;
+                sm_off = non_negative "offset" (int_field "offset" o);
+                sm_count = non_negative "count" (int_field "count" c);
+              }
+              :: !samples
+        | [] | [ "" ] -> ()
+        | ("B" | "F" | "S" | "mode") :: _ -> raise (Reject "wrong field count")
+        | _ -> raise (Reject "unknown record tag")
+      with Reject reason -> reject lineno line reason)
+    lines;
   let total =
     List.fold_left (fun a (b : branch) -> a + b.br_count) 0 !branches
     + List.fold_left (fun a s -> a + s.sm_count) 0 !samples
   in
-  {
-    lbr = !lbr;
-    branches = List.rev !branches;
-    ranges = List.rev !ranges;
-    samples = List.rev !samples;
-    total_samples = total;
-  }
+  ( {
+      lbr = !lbr;
+      branches = List.rev !branches;
+      ranges = List.rev !ranges;
+      samples = List.rev !samples;
+      total_samples = total;
+    },
+    List.rev !warnings )
+
+let load_with_warnings ?strict path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse ?strict text
+
+let load ?strict path = fst (load_with_warnings ?strict path)

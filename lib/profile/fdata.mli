@@ -7,7 +7,12 @@
     B <from_func> <from_off> <to_func> <to_off> <count> <mispreds>
     F <func> <start_off> <end_off> <count>
     S <func> <off> <count>
-    v} *)
+    v}
+
+    A profile is data {e about} a binary, not part of it: a malformed or
+    stale profile must degrade optimization quality, never correctness.
+    Parsing is lenient by default — malformed and unknown records are
+    skipped, each producing a {!warning} — and strict on request. *)
 
 type branch = {
   br_from_func : string;
@@ -36,8 +41,22 @@ val empty : t
     reorder-functions pass sorts by. *)
 val func_events : t -> (string, int) Hashtbl.t
 
+val to_string : t -> string
 val save : string -> t -> unit
 
+(** Raised by strict-mode parsing on the first malformed record. *)
 exception Bad_format of string
 
-val load : string -> t
+(** One skipped record from a lenient parse. *)
+type warning = { w_line : int; w_text : string; w_reason : string }
+
+val pp_warning : Format.formatter -> warning -> unit
+
+(** [parse text] reads the text format.  Lenient by default: malformed
+    records (wrong field counts, non-integer or negative fields, unknown
+    tags, inverted ranges) are skipped and reported as warnings.  With
+    [~strict:true] the first malformed record raises {!Bad_format}. *)
+val parse : ?strict:bool -> string -> t * warning list
+
+val load_with_warnings : ?strict:bool -> string -> t * warning list
+val load : ?strict:bool -> string -> t

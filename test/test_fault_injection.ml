@@ -1,0 +1,404 @@
+(* Fault injection: corrupted binaries, corrupted profiles, stale
+   profiles — the hardened pipeline's acceptance test.
+
+   Every case feeds a deliberately damaged input through the full
+   optimizer and demands one of exactly two outcomes:
+
+   - a clean, sanctioned rejection ([Buf.Corrupt], [Context.Bolt_error],
+     [Diag.Strict_error], [Diag.Quarantine_limit]) — never a stray
+     exception; or
+   - a rewritten binary that behaves identically to its (possibly
+     damaged) input on the simulator: same output tape, same exit code,
+     same crash.
+
+   Corruption families: byte flips in the serialized container,
+   truncations, byte flips inside .text of a well-formed container (in
+   both relocations and in-place mode), mutated fdata text, and stale
+   profiles (offset drift, wrong binary). *)
+
+module Machine = Bolt_sim.Machine
+module Objfile = Bolt_obj.Objfile
+module Types = Bolt_obj.Types
+module Fdata = Bolt_profile.Fdata
+module Gen = Bolt_workloads.Gen
+
+(* Deterministic PRNG: the suite must replay byte-for-byte. *)
+let mk_rng seed =
+  let state = ref (((seed * 2654435761) + 1013904223) land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    if bound <= 0 then 0 else !state mod bound
+
+(* ---- base workload, built once ---- *)
+
+let small_params seed =
+  {
+    Gen.default with
+    Gen.seed;
+    funcs = 28;
+    modules = 2;
+    layers = 3;
+    iterations = 150;
+    switch_per_mille = 300;
+    indirect_per_mille = 150;
+    eh_per_mille = 120;
+    dup_plain_families = 1;
+    dup_switch_families = 1;
+    asm_dispatchers = 1;
+    leaf_helpers = 4;
+    top_funcs = 3;
+  }
+
+type base = {
+  exe : Objfile.t;
+  input : int array;
+  prof : Fdata.t;
+}
+
+let build_base ~emit_relocs seed =
+  let w = Gen.gen (small_params seed) in
+  let cc = { Bolt_minic.Driver.default_options with emit_relocs } in
+  let r =
+    Bolt_minic.Driver.compile ~options:cc ~externals:w.Gen.externals
+      ~extra_objs:w.Gen.extra_objs w.Gen.sources
+  in
+  let sampling =
+    { Machine.event = Machine.Ev_cycles; period = 251; lbr = true; precise = true }
+  in
+  let o = Machine.run ~sampling r.exe ~input:w.Gen.input in
+  let prof =
+    match o.Machine.profile with
+    | Some raw -> Bolt_profile.Perf2bolt.convert r.exe raw
+    | None -> Fdata.empty
+  in
+  { exe = r.exe; input = w.Gen.input; prof }
+
+let base_rel = lazy (build_base ~emit_relocs:true 3)
+let base_inplace = lazy (build_base ~emit_relocs:false 4)
+
+(* ---- outcome classification ---- *)
+
+(* What a binary does when run, exceptions folded in: two binaries are
+   behaviourally identical iff their classifications are equal. *)
+type behaviour =
+  | Ran of int list * int * bool (* output, exit code, uncaught exception *)
+  | Crashed of string
+
+let behaviour_pp ppf = function
+  | Ran (out, code, exn) ->
+      Fmt.pf ppf "ran: exit %d, uncaught %b, output %a" code exn
+        Fmt.(Dump.list int)
+        out
+  | Crashed m -> Fmt.pf ppf "crashed: %s" m
+
+let behaviour_t = Alcotest.testable behaviour_pp ( = )
+
+(* Crash messages embed code addresses, and addresses legitimately move
+   under relocation (even quarantined functions are re-placed verbatim in
+   relocations mode), so compare messages with hex literals masked. *)
+let mask_addresses m =
+  let is_hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  in
+  let b = Buffer.create (String.length m) in
+  let n = String.length m in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && m.[!i] = '0' && m.[!i + 1] = 'x' then begin
+      Buffer.add_string b "0x_";
+      i := !i + 2;
+      while !i < n && is_hex m.[!i] do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b m.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let classify exe ~input =
+  match Machine.run ~fuel:20_000_000 exe ~input with
+  | o -> Ran (o.Machine.output, o.Machine.exit_code, o.Machine.uncaught_exception)
+  | exception Machine.Sim_error m -> Crashed (mask_addresses ("sim: " ^ m))
+  | exception exn -> Crashed (mask_addresses (Printexc.to_string exn))
+
+(* Run the optimizer; only the four sanctioned exceptions may escape. *)
+type bolt_result =
+  | Rewritten of Objfile.t * Bolt_core.Bolt.report
+  | Rejected of string
+
+let try_bolt ?(opts = Bolt_core.Opts.default) exe prof =
+  match Bolt_core.Bolt.optimize ~opts exe prof with
+  | out, report -> Rewritten (out, report)
+  | exception Bolt_obj.Buf.Corrupt m -> Rejected ("corrupt: " ^ m)
+  | exception Bolt_core.Context.Bolt_error m -> Rejected ("bolt-error: " ^ m)
+  | exception Bolt_core.Diag.Strict_error m -> Rejected ("strict: " ^ m)
+  | exception Bolt_core.Diag.Quarantine_limit n ->
+      Rejected (Printf.sprintf "quarantine-limit: %d" n)
+  | exception exn ->
+      Alcotest.fail
+        ("optimize leaked an unsanctioned exception: " ^ Printexc.to_string exn)
+
+let check_preserved name input before_exe result =
+  match result with
+  | Rejected _ -> () (* clean rejection is always acceptable *)
+  | Rewritten (out, _) ->
+      Alcotest.check behaviour_t name (classify before_exe ~input)
+        (classify out ~input)
+
+(* ---- family 1: byte flips in the serialized container ---- *)
+
+let flip_case i () =
+  let b = Lazy.force base_rel in
+  let rng = mk_rng (1000 + i) in
+  let s = Bytes.of_string (Objfile.to_string b.exe) in
+  let flips = 1 + rng 3 in
+  for _ = 1 to flips do
+    let off = rng (Bytes.length s) in
+    Bytes.set s off (Char.chr (rng 256))
+  done;
+  match Objfile.of_string (Bytes.to_string s) with
+  | exception Bolt_obj.Buf.Corrupt _ -> () (* rejected at parse: clean *)
+  | exe' ->
+      check_preserved
+        (Printf.sprintf "flip-%d behaviour preserved" i)
+        b.input exe' (try_bolt exe' b.prof)
+
+(* ---- family 2: truncations of the serialized container ---- *)
+
+let truncate_case i () =
+  let b = Lazy.force base_rel in
+  let s = Objfile.to_string b.exe in
+  let keep = String.length s * (i + 1) / 12 in
+  match Objfile.of_string (String.sub s 0 keep) with
+  | exception Bolt_obj.Buf.Corrupt _ -> ()
+  | exe' ->
+      check_preserved
+        (Printf.sprintf "truncate-%d behaviour preserved" i)
+        b.input exe' (try_bolt exe' b.prof)
+
+(* ---- family 3: garbage bytes inside .text of a well-formed file ---- *)
+
+let corrupt_text rng (exe : Objfile.t) =
+  (* deep copy through the serializer so the pristine base is untouched *)
+  let exe = Objfile.of_string (Objfile.to_string exe) in
+  let text =
+    List.find (fun (s : Types.section) -> s.sec_name = ".text") exe.sections
+  in
+  let hits = 2 + rng 8 in
+  for _ = 1 to hits do
+    let off = rng (Bytes.length text.sec_data) in
+    Bytes.set text.sec_data off (Char.chr (rng 256))
+  done;
+  exe
+
+let text_case i () =
+  let b = Lazy.force (if i mod 2 = 0 then base_rel else base_inplace) in
+  let exe' = corrupt_text (mk_rng (2000 + i)) b.exe in
+  check_preserved
+    (Printf.sprintf "text-%d behaviour preserved" i)
+    b.input exe' (try_bolt exe' b.prof)
+
+(* ---- family 4: mutated fdata text ---- *)
+
+let mutate_fdata rng text =
+  let s = Bytes.of_string text in
+  (match rng 4 with
+  | 0 ->
+      (* sprinkle random bytes *)
+      for _ = 1 to 20 do
+        Bytes.set s (rng (Bytes.length s)) (Char.chr (rng 256))
+      done;
+      Bytes.to_string s
+  | 1 ->
+      (* truncate mid-record *)
+      Bytes.sub_string s 0 (rng (Bytes.length s))
+  | 2 ->
+      (* inject junk lines *)
+      String.concat "\n"
+        [
+          "Z not a record";
+          Bytes.to_string s;
+          "B one two three";
+          "F f -5 -9 nan";
+          String.make 200 'x';
+        ]
+  | _ ->
+      (* swap a block of the text with itself shifted: tears many lines *)
+      let n = Bytes.length s in
+      let cut = rng n in
+      Bytes.to_string s
+      |> fun t -> String.sub t cut (n - cut) ^ String.sub t 0 cut)
+
+let fdata_case i () =
+  let b = Lazy.force base_rel in
+  let text' = mutate_fdata (mk_rng (3000 + i)) (Fdata.to_string b.prof) in
+  (* lenient parse must never raise, whatever the damage *)
+  let prof', _warnings = Fdata.parse text' in
+  (* the binary is intact, so BOLT must complete (a worse profile only
+     means worse layout) and preserve behaviour *)
+  match try_bolt b.exe prof' with
+  | Rejected m -> Alcotest.fail ("intact binary rejected: " ^ m)
+  | Rewritten (out, _) ->
+      Alcotest.check behaviour_t
+        (Printf.sprintf "fdata-%d behaviour preserved" i)
+        (classify b.exe ~input:b.input)
+        (classify out ~input:b.input)
+
+(* ---- family 5: stale profiles ---- *)
+
+let stale_shifted () =
+  (* every offset drifted, as after recompiling with small edits (§7) *)
+  let b = Lazy.force base_rel in
+  let p = b.prof in
+  let shift n = n + 7 in
+  let prof' =
+    {
+      p with
+      Fdata.branches =
+        List.map
+          (fun (br : Fdata.branch) ->
+            {
+              br with
+              Fdata.br_from_off = shift br.br_from_off;
+              br_to_off = (if br.br_to_off = 0 then 0 else shift br.br_to_off);
+            })
+          p.Fdata.branches;
+      ranges =
+        List.map
+          (fun (r : Fdata.range) ->
+            { r with Fdata.rg_start = shift r.rg_start; rg_end = shift r.rg_end })
+          p.Fdata.ranges;
+    }
+  in
+  match try_bolt b.exe prof' with
+  | Rejected m -> Alcotest.fail ("stale profile rejected: " ^ m)
+  | Rewritten (out, report) ->
+      Alcotest.check behaviour_t "shifted-profile behaviour preserved"
+        (classify b.exe ~input:b.input)
+        (classify out ~input:b.input);
+      Alcotest.(check bool)
+        "decay is reported" true
+        (report.Bolt_core.Bolt.r_profile_stale_records > 0
+        || report.Bolt_core.Bolt.r_profile_branches_unmatched > 0)
+
+let stale_wrong_binary () =
+  (* a profile collected from an unrelated binary: unknown functions *)
+  let b = Lazy.force base_rel in
+  let other = build_base ~emit_relocs:true 11 in
+  match try_bolt b.exe other.prof with
+  | Rejected m -> Alcotest.fail ("foreign profile rejected: " ^ m)
+  | Rewritten (out, report) ->
+      Alcotest.check behaviour_t "foreign-profile behaviour preserved"
+        (classify b.exe ~input:b.input)
+        (classify out ~input:b.input);
+      ignore report
+
+(* ---- quarantine mechanism unit tests ---- *)
+
+let quarantine_demote_preserves () =
+  (* demote a few hot functions by hand: the output must still behave
+     identically (their original bytes are emitted verbatim) *)
+  let b = Lazy.force base_rel in
+  let opts = Bolt_core.Opts.default in
+  let ctx = Bolt_core.Context.create ~opts b.exe in
+  Bolt_core.Build.run ctx;
+  let victims =
+    match Bolt_core.Context.simple_funcs ctx with
+    | a :: _ :: c :: _ -> [ a; c ]
+    | l -> l
+  in
+  List.iter
+    (fun fb ->
+      Bolt_core.Quarantine.demote ctx ~stage:"test" fb "injected failure";
+      Alcotest.(check bool)
+        (fb.Bolt_core.Bfunc.fb_name ^ " demoted")
+        false fb.Bolt_core.Bfunc.simple)
+    victims;
+  Alcotest.(check int)
+    "quarantine count" (List.length victims)
+    (Bolt_core.Diag.quarantined_count ctx.Bolt_core.Context.diag)
+
+let quarantine_limit_enforced () =
+  let b = Lazy.force base_rel in
+  let opts = { Bolt_core.Opts.default with max_quarantine = Some 0 } in
+  let ctx = Bolt_core.Context.create ~opts b.exe in
+  Bolt_core.Build.run ctx;
+  match Bolt_core.Context.simple_funcs ctx with
+  | [] -> Alcotest.fail "no simple functions in base workload"
+  | fb :: _ -> (
+      match Bolt_core.Quarantine.demote ctx ~stage:"test" fb "injected" with
+      | () -> Alcotest.fail "limit of 0 did not trip"
+      | exception Bolt_core.Diag.Quarantine_limit n ->
+          Alcotest.(check int) "limit count" 1 n)
+
+let strict_turns_demotion_fatal () =
+  let b = Lazy.force base_rel in
+  let opts = { Bolt_core.Opts.default with strict = true } in
+  let ctx = Bolt_core.Context.create ~opts b.exe in
+  Bolt_core.Build.run ctx;
+  match Bolt_core.Context.simple_funcs ctx with
+  | [] -> Alcotest.fail "no simple functions in base workload"
+  | fb :: _ -> (
+      match Bolt_core.Quarantine.demote ctx ~stage:"test" fb "injected" with
+      | () -> Alcotest.fail "strict did not raise"
+      | exception Bolt_core.Diag.Strict_error _ -> ())
+
+let clean_input_unaffected () =
+  (* the hardening must not change what BOLT does to a healthy input:
+     no quarantines, no fallback, behaviour preserved *)
+  let b = Lazy.force base_rel in
+  match try_bolt b.exe b.prof with
+  | Rejected m -> Alcotest.fail ("clean input rejected: " ^ m)
+  | Rewritten (out, report) ->
+      Alcotest.(check int)
+        "no quarantines" 0
+        (List.length report.Bolt_core.Bolt.r_quarantined);
+      Alcotest.(check bool)
+        "no identity fallback" false report.Bolt_core.Bolt.r_identity_fallback;
+      Alcotest.check behaviour_t "clean behaviour preserved"
+        (classify b.exe ~input:b.input)
+        (classify out ~input:b.input)
+
+(* FUZZ_SEEDS (same spec as the fuzz suite: "3,7,100" or "1-32") adds a
+   corruption round per seed, each with its own PRNG stream, so long runs
+   need no rebuild.  Unset: one round. *)
+let rounds =
+  match Sys.getenv_opt "FUZZ_SEEDS" with
+  | None | Some "" -> [ 0 ]
+  | Some _ -> Test_fuzz.seeds_from_env ()
+
+let corruption_cases round =
+  let mix i = (round * 7919) + i in
+  let tag name i =
+    if round = 0 then Printf.sprintf "%s-%d" name i
+    else Printf.sprintf "%s-r%d-%d" name round i
+  in
+  List.init 16 (fun i ->
+      Alcotest.test_case (tag "flip" i) `Slow (flip_case (mix i)))
+  @ (* truncation points depend only on the index, so extra rounds add
+       nothing there *)
+  (if round = 0 then
+     List.init 10 (fun i ->
+         Alcotest.test_case (Printf.sprintf "truncate-%d" i) `Slow
+           (truncate_case i))
+   else [])
+  @ List.init 10 (fun i ->
+        Alcotest.test_case (tag "text" i) `Slow (text_case (mix i)))
+  @ List.init 14 (fun i ->
+        Alcotest.test_case (tag "fdata" i) `Slow (fdata_case (mix i)))
+
+let suite =
+  List.concat_map corruption_cases rounds
+  @ [
+      Alcotest.test_case "stale-shifted-offsets" `Slow stale_shifted;
+      Alcotest.test_case "stale-wrong-binary" `Slow stale_wrong_binary;
+      Alcotest.test_case "quarantine-demote-preserves" `Slow
+        quarantine_demote_preserves;
+      Alcotest.test_case "quarantine-limit-enforced" `Slow
+        quarantine_limit_enforced;
+      Alcotest.test_case "strict-demotion-fatal" `Slow strict_turns_demotion_fatal;
+      Alcotest.test_case "clean-input-unaffected" `Slow clean_input_unaffected;
+    ]

@@ -1,0 +1,149 @@
+(* fdata profile format: to_string/parse round trips, and the lenient /
+   strict split on malformed input.  A profile is data about a binary,
+   not part of it — the parser must degrade, never throw (unless asked
+   to with ~strict:true). *)
+
+module Fdata = Bolt_profile.Fdata
+
+let sample_profile =
+  {
+    Fdata.lbr = true;
+    branches =
+      [
+        {
+          Fdata.br_from_func = "main";
+          br_from_off = 12;
+          br_to_func = "main";
+          br_to_off = 40;
+          br_count = 1000;
+          br_mispreds = 13;
+        };
+        {
+          Fdata.br_from_func = "main";
+          br_from_off = 52;
+          br_to_func = "helper";
+          br_to_off = 0;
+          br_count = 480;
+          br_mispreds = 0;
+        };
+      ];
+    ranges = [ { Fdata.rg_func = "main"; rg_start = 0; rg_end = 12; rg_count = 990 } ];
+    samples = [];
+    total_samples = 1480;
+  }
+
+let nonlbr_profile =
+  {
+    Fdata.lbr = false;
+    branches = [];
+    ranges = [];
+    samples =
+      [
+        { Fdata.sm_func = "main"; sm_off = 8; sm_count = 77 };
+        { Fdata.sm_func = "helper"; sm_off = 0; sm_count = 3 };
+      ];
+    total_samples = 80;
+  }
+
+let check_round_trip name (p : Fdata.t) =
+  let text = Fdata.to_string p in
+  let p', warnings = Fdata.parse text in
+  Alcotest.(check int) (name ^ " no warnings") 0 (List.length warnings);
+  Alcotest.(check bool) (name ^ " lbr") p.Fdata.lbr p'.Fdata.lbr;
+  Alcotest.(check int)
+    (name ^ " branches")
+    (List.length p.Fdata.branches)
+    (List.length p'.Fdata.branches);
+  Alcotest.(check bool) (name ^ " identical") true (p = p');
+  (* and the text itself is a fixpoint *)
+  Alcotest.(check string) (name ^ " text fixpoint") text (Fdata.to_string p')
+
+let round_trip_lbr () = check_round_trip "lbr" sample_profile
+let round_trip_sample () = check_round_trip "sample" nonlbr_profile
+
+let round_trip_empty () =
+  let p', warnings = Fdata.parse (Fdata.to_string Fdata.empty) in
+  Alcotest.(check int) "no warnings" 0 (List.length warnings);
+  Alcotest.(check bool) "empty" true (p' = Fdata.empty)
+
+(* one malformed line of each family, interleaved with good records *)
+let corrupt_text =
+  String.concat "\n"
+    [
+      "mode lbr";
+      "B main 12 main 40 1000 13";
+      "B main 12 main 40 1000"; (* wrong field count *)
+      "B main twelve main 40 1000 13"; (* non-integer field *)
+      "B main -4 main 40 1000 13"; (* negative offset *)
+      "F main 0 12 990";
+      "F main 40 12 990"; (* inverted range *)
+      "X what is this"; (* unknown tag *)
+      "S main 8 77"; (* valid but ignored counts in lbr mode parsing *)
+      "mode turbo"; (* unknown mode *)
+      "";
+    ]
+
+let lenient_skips_bad_records () =
+  let p, warnings = Fdata.parse corrupt_text in
+  Alcotest.(check int) "warnings" 6 (List.length warnings);
+  Alcotest.(check int) "good branches kept" 1 (List.length p.Fdata.branches);
+  Alcotest.(check int) "good ranges kept" 1 (List.length p.Fdata.ranges);
+  Alcotest.(check int) "good samples kept" 1 (List.length p.Fdata.samples);
+  (* warnings carry the line numbers of the bad lines *)
+  let lines = List.map (fun w -> w.Fdata.w_line) warnings in
+  Alcotest.(check (list int)) "bad line numbers" [ 3; 4; 5; 7; 8; 10 ]
+    (List.sort compare lines)
+
+let strict_raises () =
+  Alcotest.check_raises "strict rejects first bad record"
+    (Fdata.Bad_format "line 3: wrong field count: B main 12 main 40 1000")
+    (fun () -> ignore (Fdata.parse ~strict:true corrupt_text))
+
+let crlf_tolerated () =
+  let text = "mode lbr\r\nB main 12 main 40 1000 13\r\n" in
+  let p, warnings = Fdata.parse text in
+  Alcotest.(check int) "no warnings" 0 (List.length warnings);
+  Alcotest.(check int) "branch kept" 1 (List.length p.Fdata.branches)
+
+let total_recomputed () =
+  (* total_samples is derived, not parsed: corrupt counts cannot leak in *)
+  let p, _ = Fdata.parse corrupt_text in
+  let expect =
+    List.fold_left (fun a (b : Fdata.branch) -> a + b.br_count) 0 p.Fdata.branches
+    + List.fold_left (fun a (s : Fdata.sample) -> a + s.sm_count) 0 p.Fdata.samples
+  in
+  Alcotest.(check int) "total" expect p.Fdata.total_samples
+
+let garbage_never_raises () =
+  (* arbitrary bytes through the lenient parser: warnings only *)
+  let texts =
+    [
+      "";
+      "\n\n\n";
+      "B";
+      "mode";
+      "B  main  12"; (* double spaces produce empty fields *)
+      String.make 1000 'B';
+      "S f 1 2 3 4 5 6 7 8 9";
+      "\x00\x01\x02 binary junk \xff";
+      "B main 4611686018427387904 main 0 1 0"; (* overflows OCaml's int *)
+    ]
+  in
+  List.iter
+    (fun t ->
+      let _p, _w = Fdata.parse t in
+      ())
+    texts;
+  Alcotest.(check pass) "no exception" () ()
+
+let suite =
+  [
+    Alcotest.test_case "round-trip-lbr" `Quick round_trip_lbr;
+    Alcotest.test_case "round-trip-sample" `Quick round_trip_sample;
+    Alcotest.test_case "round-trip-empty" `Quick round_trip_empty;
+    Alcotest.test_case "lenient-skips-bad-records" `Quick lenient_skips_bad_records;
+    Alcotest.test_case "strict-raises" `Quick strict_raises;
+    Alcotest.test_case "crlf-tolerated" `Quick crlf_tolerated;
+    Alcotest.test_case "total-recomputed" `Quick total_recomputed;
+    Alcotest.test_case "garbage-never-raises" `Quick garbage_never_raises;
+  ]

@@ -68,8 +68,30 @@ let check_seed seed () =
     (Printf.sprintf "seed %d exceptions" seed)
     base.Machine.uncaught_exception opt.Machine.uncaught_exception
 
+(* Seeds come from FUZZ_SEEDS when set ("3,7,100" or "1-32"), so a long
+   fuzzing run does not need a rebuild. *)
+let seeds_from_env () =
+  match Sys.getenv_opt "FUZZ_SEEDS" with
+  | None | Some "" -> List.init 12 (fun i -> i + 1)
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.concat_map (fun part ->
+             let part = String.trim part in
+             match String.index_opt part '-' with
+             | Some i when i > 0 -> (
+                 let lo = String.sub part 0 i in
+                 let hi = String.sub part (i + 1) (String.length part - i - 1) in
+                 match (int_of_string_opt lo, int_of_string_opt hi) with
+                 | Some lo, Some hi when hi >= lo ->
+                     List.init (hi - lo + 1) (fun k -> lo + k)
+                 | _ -> failwith ("FUZZ_SEEDS: bad range " ^ part))
+             | _ -> (
+                 match int_of_string_opt part with
+                 | Some s -> [ s ]
+                 | None -> failwith ("FUZZ_SEEDS: bad seed " ^ part)))
+
 let suite =
   List.map
     (fun seed ->
       Alcotest.test_case (Printf.sprintf "seed-%d" seed) `Slow (check_seed seed))
-    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+    (seeds_from_env ())

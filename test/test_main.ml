@@ -12,5 +12,7 @@ let () =
       ("dataflow-emit", Test_dataflow_emit.suite);
       ("cli-tools", Test_cli_tools.suite);
       ("pipeline", Test_pipeline.suite);
+      ("fdata", Test_fdata.suite);
+      ("fault-injection", Test_fault_injection.suite);
       ("fuzz", Test_fuzz.suite);
     ]
