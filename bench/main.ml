@@ -10,12 +10,21 @@
 
 module E = Bolt_pipeline.Experiments
 module P = Bolt_pipeline.Pipeline
+module Obs = Bolt_obs.Obs
+module Json = Bolt_obs.Json
+
+(* One telemetry bundle for the whole harness: every experiment runs in a
+   span, and each run_* contributes a JSON section.  Everything lands in
+   BENCH_results.json at the end via the manifest serializer. *)
+let obs = Obs.create ~name:"bench" ()
+let bench_sections : (string * Json.t) list ref = ref []
+let add_section name j = bench_sections := (name, j) :: !bench_sections
 
 let section title = Printf.printf "\n==== %s ====\n%!" title
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r = Obs.span obs name f in
   Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
   r
 
@@ -34,6 +43,27 @@ let run_fig5 ~quick () =
   let ours = List.map (fun (r : E.fb_result) -> r.E.fb_speedup) results in
   let paper = List.map snd E.fig5_paper in
   Printf.printf "%-12s %10.1f %10.1f\n" "geomean" (E.geomean paper) (E.geomean ours);
+  add_section "fig5"
+    (Json.Obj
+       [
+         ( "workloads",
+           Json.List
+             (List.map
+                (fun (r : E.fb_result) ->
+                  Json.Obj
+                    [
+                      ("name", Json.String r.E.fb_name);
+                      ( "paper_pct",
+                        Json.Float
+                          (try List.assoc r.E.fb_name E.fig5_paper
+                           with Not_found -> 0.0) );
+                      ("ours_pct", Json.Float r.E.fb_speedup);
+                      ("behaviour_ok", Json.Bool r.E.fb_behaviour_ok);
+                    ])
+                results) );
+         ("geomean_paper_pct", Json.Float (E.geomean paper));
+         ("geomean_ours_pct", Json.Float (E.geomean ours));
+       ]);
   results
 
 (* ---- Figure 6 ---- *)
@@ -43,7 +73,18 @@ let run_fig6 (hhvm : E.fb_result) =
   Printf.printf "%-14s %10s %10s\n" "metric" "paper(%)" "ours(%)";
   List.iter2
     (fun (name, paper) (_, ours) -> Printf.printf "%-14s %10.1f %10.1f\n" name paper ours)
-    E.fig6_paper (E.fig6_rows hhvm)
+    E.fig6_paper (E.fig6_rows hhvm);
+  add_section "fig6"
+    (Json.List
+       (List.map2
+          (fun (name, paper) (_, ours) ->
+            Json.Obj
+              [
+                ("metric", Json.String name);
+                ("paper_pct", Json.Float paper);
+                ("ours_pct", Json.Float ours);
+              ])
+          E.fig6_paper (E.fig6_rows hhvm)))
 
 (* ---- Figures 7/8 ---- *)
 
@@ -71,6 +112,19 @@ let print_cc title paper (cc : E.cc_result) =
       Printf.printf "\n")
     cc.E.cc_variants
 
+let cc_json (cc : E.cc_result) =
+  Json.List
+    (List.map
+       (fun (v : E.cc_variant) ->
+         Json.Obj
+           [
+             ("variant", Json.String v.E.cv_name);
+             ( "speedups_pct",
+               Json.Obj
+                 (List.map (fun (input, s) -> (input, Json.Float s)) v.E.cv_speedups) );
+           ])
+       cc.E.cc_variants)
+
 (* ---- Table 2 ---- *)
 
 let run_table2 (cc : E.cc_result) =
@@ -83,7 +137,11 @@ let run_table2 (cc : E.cc_result) =
       let find rows = try List.assoc name rows with Not_found -> nan in
       Printf.printf "%-34s %10.1f %10.1f %12.1f %12.1f\n" name p_base (find over_base)
         p_pgo (find over_pgo))
-    E.table2_paper
+    E.table2_paper;
+  let rows name rows =
+    (name, Json.Obj (List.map (fun (m, v) -> (m, Json.Float v)) rows))
+  in
+  add_section "table2" (Json.Obj [ rows "over_base" over_base; rows "over_pgolto" over_pgo ])
 
 (* ---- Figure 9 ---- *)
 
@@ -97,6 +155,16 @@ let run_fig9 (hhvm : E.fb_result) =
     (r.E.h_extent_after / 1024)
     (100.0 *. r.E.h_prefix_after);
   Printf.printf "(paper: hot code packed from a 148.2MB span into ~4MB)\n";
+  add_section "fig9"
+    (Json.Obj
+       [
+         ("hot_extent_before", Json.Int r.E.h_extent_before);
+         ("hot_extent_after", Json.Int r.E.h_extent_after);
+         ("heat_in_prefix_16th_before", Json.Float r.E.h_prefix_before);
+         ("heat_in_prefix_16th_after", Json.Float r.E.h_prefix_after);
+         ("heatmap_before", Bolt_core.Heatmap.summary_json r.E.h_before);
+         ("heatmap_after", Bolt_core.Heatmap.summary_json r.E.h_after);
+       ]);
   Printf.printf "\n-- before --\n%!";
   Fmt.pr "%a@." Bolt_core.Heatmap.render r.E.h_before;
   Printf.printf "-- after --\n%!";
@@ -108,7 +176,8 @@ let run_fig10 ~quick () =
   section "Figure 10 / §6.3: -report-bad-layout on the PGO+LTO compiler binary";
   let findings = timed "fig10" (fun () -> E.fig10 ~quick ()) in
   Printf.printf "%d suspicious hot/cold interleavings; top findings:\n" (List.length findings);
-  List.iteri (fun i f -> if i < 8 then Fmt.pr "  %a" Bolt_core.Report.pp_finding f) findings
+  List.iteri (fun i f -> if i < 8 then Fmt.pr "  %a" Bolt_core.Report.pp_finding f) findings;
+  add_section "fig10" (Json.Obj [ ("findings", Json.Int (List.length findings)) ])
 
 (* ---- Figure 11 ---- *)
 
@@ -131,7 +200,13 @@ let run_fig11 () =
           Printf.printf "  %5.2f (p %5.2f)" v p)
         metrics;
       Printf.printf "\n")
-    rows
+    rows;
+  add_section "fig11"
+    (Json.Obj
+       (List.map
+          (fun (scenario, metrics) ->
+            (scenario, Json.Obj (List.map (fun (m, v) -> (m, Json.Float v)) metrics)))
+          rows))
 
 (* ---- §5.1 ---- *)
 
@@ -146,7 +221,11 @@ let run_sec51 () =
   let spread =
     List.fold_left max neg_infinity vals -. List.fold_left min infinity vals
   in
-  Printf.printf "  LBR spread across events: %.2f%% (paper: within ~1%%)\n" spread
+  Printf.printf "  LBR spread across events: %.2f%% (paper: within ~1%%)\n" spread;
+  add_section "sec51"
+    (Json.Obj
+       (("lbr_spread_pct", Json.Float spread)
+       :: List.map (fun (name, s) -> (name, Json.Float s)) rows))
 
 (* ---- ICF ---- *)
 
@@ -156,7 +235,16 @@ let run_icf () =
   Printf.printf "  linker ICF: %d functions, %d bytes\n" r.E.icf_linker_folded
     r.E.icf_linker_bytes;
   Printf.printf "  BOLT ICF  : %d more functions, %d bytes = %.1f%% of text (paper: ~3%%)\n"
-    r.E.icf_bolt_folded r.E.icf_bolt_bytes r.E.icf_pct
+    r.E.icf_bolt_folded r.E.icf_bolt_bytes r.E.icf_pct;
+  add_section "icf"
+    (Json.Obj
+       [
+         ("linker_folded", Json.Int r.E.icf_linker_folded);
+         ("linker_bytes", Json.Int r.E.icf_linker_bytes);
+         ("bolt_folded", Json.Int r.E.icf_bolt_folded);
+         ("bolt_bytes", Json.Int r.E.icf_bolt_bytes);
+         ("bolt_pct_of_text", Json.Float r.E.icf_pct);
+       ])
 
 (* ---- Figure 2 ---- *)
 
@@ -170,7 +258,16 @@ let run_fig2 () =
     *. float_of_int (r.E.f2_pgo_taken - r.E.f2_bolt_taken)
     /. float_of_int (max 1 r.E.f2_pgo_taken));
   Printf.printf "  cycles: %d -> %d; behaviour %s\n" r.E.f2_pgo_cycles r.E.f2_bolt_cycles
-    (if r.E.f2_behaviour_ok then "identical" else "MISMATCH!")
+    (if r.E.f2_behaviour_ok then "identical" else "MISMATCH!");
+  add_section "fig2"
+    (Json.Obj
+       [
+         ("pgo_taken", Json.Int r.E.f2_pgo_taken);
+         ("bolt_taken", Json.Int r.E.f2_bolt_taken);
+         ("pgo_cycles", Json.Int r.E.f2_pgo_cycles);
+         ("bolt_cycles", Json.Int r.E.f2_bolt_cycles);
+         ("behaviour_ok", Json.Bool r.E.f2_behaviour_ok);
+       ])
 
 (* ---- ablations ---- *)
 
@@ -187,7 +284,18 @@ let run_ablations ~quick () =
   List.iter
     (fun (name, s, ok) ->
       Printf.printf "  %-28s %6.2f%%  %s\n" name s (if ok then "" else "MISMATCH!"))
-    rows
+    rows;
+  add_section "ablations"
+    (Json.List
+       (List.map
+          (fun (name, s, ok) ->
+            Json.Obj
+              [
+                ("variant", Json.String name);
+                ("speedup_pct", Json.Float s);
+                ("behaviour_ok", Json.Bool ok);
+              ])
+          rows))
 
 (* ---- Bechamel micro-benchmarks ---- *)
 
@@ -284,11 +392,13 @@ let () =
     cc7 := Some (timed "fig7" (fun () -> E.fig7 ~quick ()));
   (match !cc7 with
   | Some cc when want "fig7" ->
-      print_cc "Figure 7: Clang-like compiler speedups (%) [ours (paper)]" E.fig7_paper cc
+      print_cc "Figure 7: Clang-like compiler speedups (%) [ours (paper)]" E.fig7_paper cc;
+      add_section "fig7" (cc_json cc)
   | _ -> ());
   if want "fig8" then begin
     let cc = timed "fig8" (fun () -> E.fig8 ~quick ()) in
-    print_cc "Figure 8: GCC-like compiler speedups (%) [ours (paper)]" E.fig8_paper cc
+    print_cc "Figure 8: GCC-like compiler speedups (%) [ours (paper)]" E.fig8_paper cc;
+    add_section "fig8" (cc_json cc)
   end;
   (match !cc7 with Some cc when want "table2" -> run_table2 cc | _ -> ());
   if want "fig10" then run_fig10 ~quick ();
@@ -298,4 +408,9 @@ let () =
   if want "fig2" then run_fig2 ();
   if all || List.mem "ablations" args then run_ablations ~quick ();
   if List.mem "micro" args then run_micro ();
-  Printf.printf "\nDone.\n"
+  let out = "BENCH_results.json" in
+  Bolt_obs.Manifest.save out
+    (Bolt_obs.Manifest.make ~tool:"bench" ~argv:(Array.to_list Sys.argv)
+       ~sections:(("quick", Json.Bool quick) :: List.rev !bench_sections)
+       obs);
+  Printf.printf "\nwrote %s\nDone.\n" out

@@ -51,7 +51,37 @@ let dump_function exe (s : Types.symbol) =
         incr pos
   done
 
-let run path disas func relocs fdes lsdas =
+(* --manifest: inspect a telemetry run manifest instead of a BELF file —
+   top-N slowest spans, headline metrics, quarantine count. *)
+let dump_manifest path top =
+  let m = Bolt_obs.Manifest.load path in
+  Fmt.pr "%a" (Bolt_obs.Manifest.pp_slowest ~n:top) m;
+  (match Bolt_obs.Json.member "metrics" m with
+  | Some (Bolt_obs.Json.Obj fields) when fields <> [] ->
+      Fmt.pr "metrics (%d):@." (List.length fields);
+      List.iter
+        (fun (name, body) ->
+          match
+            ( Bolt_obs.Json.member "type" body |> Bolt_obs.Json.get_string
+              |> fun t -> Option.value ~default:"" t,
+              Bolt_obs.Json.member "value" body )
+          with
+          | "counter", Some (Bolt_obs.Json.Int v) -> Fmt.pr "  %-40s %12d@." name v
+          | "gauge", Some v ->
+              Fmt.pr "  %-40s %12.4f@." name
+                (Option.value ~default:0.0 (Bolt_obs.Json.get_float (Some v)))
+          | _ -> ())
+        fields
+  | _ -> ());
+  (match Bolt_obs.Json.member "quarantine" m with
+  | Some (Bolt_obs.Json.List (_ :: _ as q)) ->
+      Fmt.pr "quarantined functions: %d@." (List.length q)
+  | _ -> ());
+  0
+
+let run path disas func relocs fdes lsdas manifest top =
+  if manifest then dump_manifest path top
+  else begin
   let exe = Objfile.load path in
   Printf.printf "%s: %s, entry %#x\n" path
     (match exe.Objfile.kind with Objfile.Executable -> "executable" | Objfile.Object -> "relocatable")
@@ -115,6 +145,7 @@ let run path disas func relocs fdes lsdas =
     List.iter (dump_function exe) selected
   end;
   0
+  end
 
 let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 let disas = Arg.(value & flag & info [ "d"; "disassemble" ])
@@ -123,9 +154,18 @@ let relocs = Arg.(value & flag & info [ "relocs" ])
 let fdes = Arg.(value & flag & info [ "fdes" ])
 let lsdas = Arg.(value & flag & info [ "lsdas" ])
 
+let manifest =
+  Arg.(
+    value & flag
+    & info [ "manifest" ]
+        ~doc:"Treat $(i,FILE) as a telemetry run manifest (JSON) and print its slowest spans and metrics.")
+
+let top =
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Spans to show with --manifest.")
+
 let cmd =
   Cmd.v
     (Cmd.info "bdump" ~doc:"inspect BELF objects and executables")
-    Term.(const run $ path $ disas $ func $ relocs $ fdes $ lsdas)
+    Term.(const run $ path $ disas $ func $ relocs $ fdes $ lsdas $ manifest $ top)
 
 let () = exit (Cmd.eval' cmd)

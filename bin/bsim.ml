@@ -8,10 +8,40 @@
 
 open Cmdliner
 module Machine = Bolt_sim.Machine
+module Obs = Bolt_obs.Obs
+module Json = Bolt_obs.Json
+
+(* Export the performance counters into the metrics registry under the
+   shared `sim.` namespace, so bsim manifests diff against each other
+   and against obolt's dyno-stats predictions. *)
+let record_counters obs (c : Machine.counters) =
+  let pairs =
+    [
+      ("sim.instructions", c.Machine.instructions);
+      ("sim.cycles", Machine.cycles c);
+      ("sim.branches", c.Machine.branches);
+      ("sim.cond_branches", c.Machine.cond_branches);
+      ("sim.cond_taken", c.Machine.cond_taken);
+      ("sim.taken_branches", c.Machine.taken_branches);
+      ("sim.calls", c.Machine.calls);
+      ("sim.branch_misses", c.Machine.branch_misses);
+      ("sim.l1i_accesses", c.Machine.l1i_accesses);
+      ("sim.l1i_misses", c.Machine.l1i_misses);
+      ("sim.l1d_accesses", c.Machine.l1d_accesses);
+      ("sim.l1d_misses", c.Machine.l1d_misses);
+      ("sim.l2_misses", c.Machine.l2_misses);
+      ("sim.llc_misses", c.Machine.llc_misses);
+      ("sim.itlb_misses", c.Machine.itlb_misses);
+      ("sim.dtlb_misses", c.Machine.dtlb_misses);
+      ("sim.throws", c.Machine.throws);
+    ]
+  in
+  List.iter (fun (k, v) -> Obs.incr obs ~by:v k) pairs
 
 let run exe_path record event period lbr precise counters_flag heat_csv input_str
-    dump_counters_sym =
-  let exe = Bolt_obj.Objfile.load exe_path in
+    dump_counters_sym trace_out =
+  let obs = Obs.create ~enabled:(trace_out <> None) ~name:"bsim" () in
+  let exe = Obs.span obs "load-binary" (fun () -> Bolt_obj.Objfile.load exe_path) in
   let input =
     match input_str with
     | "" -> [||]
@@ -33,7 +63,19 @@ let run exe_path record event period lbr precise counters_flag heat_csv input_st
         }
     else None
   in
-  let o = Machine.run ?sampling ~heatmap:(heat_csv <> None) exe ~input in
+  let o =
+    Obs.span obs "simulate" (fun () ->
+        let o =
+          Machine.run ?sampling
+            ~heatmap:(heat_csv <> None || trace_out <> None)
+            exe ~input
+        in
+        record_counters obs o.Machine.counters;
+        (match o.Machine.profile with
+        | Some p -> Obs.incr obs ~by:p.Machine.rp_samples "sim.samples"
+        | None -> ());
+        o)
+  in
   List.iter (fun v -> Printf.printf "%d\n" v) o.Machine.output;
   if o.Machine.uncaught_exception then Fmt.epr "uncaught exception@.";
   (match (record, o.Machine.profile) with
@@ -65,6 +107,37 @@ let run exe_path record event period lbr precise counters_flag heat_csv input_st
           | None -> Fmt.epr "no symbol %s@." sym)
       | _ -> Fmt.epr "bad --dump-counters spec@.")
   | None -> ());
+  (match trace_out with
+  | Some path ->
+      let sections =
+        [
+          ( "run",
+            Json.Obj
+              [
+                ("exe", Json.String exe_path);
+                ("exit_code", Json.Int o.Machine.exit_code);
+                ("uncaught_exception", Json.Bool o.Machine.uncaught_exception);
+                ("sampling", Json.Bool (sampling <> None));
+                ("event", Json.String event);
+                ("period", Json.Int period);
+                ("lbr", Json.Bool lbr);
+              ] );
+        ]
+        @
+        match (o.Machine.heat, Bolt_obj.Objfile.find_section exe ".text") with
+        | Some heat, Some text ->
+            let hm =
+              Bolt_core.Heatmap.build ~base:text.Bolt_obj.Types.sec_addr
+                ~span:text.Bolt_obj.Types.sec_size heat
+            in
+            [ ("heatmap", Bolt_core.Heatmap.summary_json hm) ]
+        | _ -> []
+      in
+      Bolt_obs.Manifest.save path
+        (Bolt_obs.Manifest.make ~tool:"bsim" ~argv:(Array.to_list Sys.argv)
+           ~sections obs);
+      Fmt.epr "wrote manifest %s@." path
+  | None -> ());
   if counters_flag then begin
     let c = o.Machine.counters in
     Fmt.epr "instructions      %d@." c.Machine.instructions;
@@ -91,11 +164,20 @@ let heat_csv = Arg.(value & opt (some string) None & info [ "heatmap" ] ~doc:"Wr
 let input = Arg.(value & opt string "" & info [ "input" ] ~doc:"Comma-separated input tape.")
 let dump_counters = Arg.(value & opt (some string) None & info [ "dump-counters" ] ~doc:"SYMBOL:N memory dump.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON run manifest (spans, `sim.*` counter metrics, \
+           heat-map summary) to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "bsim" ~doc:"BISA simulator with sampling profiler")
     Term.(
       const run $ exe_path $ record $ event $ period $ lbr $ precise $ counters
-      $ heat_csv $ input $ dump_counters)
+      $ heat_csv $ input $ dump_counters $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,8 @@
        -split-functions=3 -split-all-cold -split-eh -icf=1 -dyno-stats  *)
 
 open Cmdliner
+module Obs = Bolt_obs.Obs
+module Json = Bolt_obs.Json
 
 (* Exit codes: 0 success, 3 invalid input (binary or profile), 4 a
    --strict violation, 5 the --max-quarantine budget was exceeded.
@@ -17,10 +19,20 @@ let exit_quarantine = 5
 let run exe_path fdata out reorder_blocks reorder_functions split_functions
     split_all_cold split_eh icf icp inline_small plt sro frame_opts shrink sctc
     strip_nops dyno_stats report_bad_layout use_relocs strict max_quarantine
-    print_funcs =
+    print_funcs trace_out time_opts =
   try
-  let exe = Bolt_obj.Objfile.load exe_path in
-  let prof, prof_warnings = Bolt_profile.Fdata.load_with_warnings ~strict fdata in
+  (* telemetry is free when neither --trace-out nor --time-opts asks for
+     it; enabled, it costs a handful of spans per run *)
+  let obs = Obs.create ~enabled:(trace_out <> None || time_opts) ~name:"obolt" () in
+  let exe = Obs.span obs "load-binary" (fun () -> Bolt_obj.Objfile.load exe_path) in
+  let prof, prof_warnings =
+    Obs.span obs "load-profile" (fun () ->
+        let prof, warnings = Bolt_profile.Fdata.load_with_warnings ~strict fdata in
+        Obs.incr obs ~by:(List.length warnings) "profile.parse_warnings";
+        Obs.incr obs ~by:(List.length prof.Bolt_profile.Fdata.branches)
+          "profile.branch_records";
+        (prof, warnings))
+  in
   List.iter (Fmt.epr "obolt: %a@." Bolt_profile.Fdata.pp_warning) prof_warnings;
   let opts =
     {
@@ -59,9 +71,22 @@ let run exe_path fdata out reorder_blocks reorder_functions split_functions
       use_relocations = use_relocs;
     }
   in
-  let exe', report = Bolt_core.Bolt.optimize ~opts exe prof in
-  Bolt_obj.Objfile.save out exe';
+  let exe', report = Bolt_core.Bolt.optimize ~opts ~obs exe prof in
+  Obs.span obs "save-binary" (fun () -> Bolt_obj.Objfile.save out exe');
   Fmt.pr "wrote %s@." out;
+  Obs.finish obs;
+  if time_opts then Fmt.pr "%a" Bolt_obs.Trace.pp_table obs.Obs.trace;
+  (match trace_out with
+  | Some path ->
+      let manifest =
+        Bolt_obs.Manifest.make ~tool:"obolt"
+          ~argv:(Array.to_list Sys.argv)
+          ~sections:(Bolt_core.Bolt.manifest_sections report)
+          obs
+      in
+      Bolt_obs.Manifest.save path manifest;
+      Fmt.pr "wrote manifest %s@." path
+  | None -> ());
   if dyno_stats then Fmt.pr "%a@." Bolt_core.Bolt.pp_report report;
   if report_bad_layout then begin
     Fmt.pr "bad-layout findings (original layout):@.";
@@ -141,6 +166,22 @@ let max_quarantine =
 let print_funcs =
   Arg.(value & opt_all string [] & info [ "print-cfg" ] ~docv:"FUNC" ~doc:"Dump a function's CFG.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable run manifest (trace spans, metrics \
+           registry, dyno-stats, profile quality, quarantine diagnostics) \
+           as JSON to $(docv).")
+
+let time_opts =
+  Arg.(
+    value & flag
+    & info [ "time-opts" ]
+        ~doc:"Print a per-pass wall-clock timing table (llvm-bolt's -time-opts).")
+
 let cmd =
   Cmd.v
     (Cmd.info "obolt" ~doc:"post-link binary optimizer (BOLT reproduction)")
@@ -148,6 +189,6 @@ let cmd =
       const run $ exe_path $ fdata $ out $ reorder_blocks $ reorder_functions
       $ split_functions $ split_all_cold $ split_eh $ icf $ icp $ inline_small $ plt
       $ sro $ frame_opts $ shrink $ sctc $ strip_nops $ dyno_stats $ report_bad_layout
-      $ use_relocs $ strict $ max_quarantine $ print_funcs)
+      $ use_relocs $ strict $ max_quarantine $ print_funcs $ trace_out $ time_opts)
 
 let () = exit (Cmd.eval' cmd)

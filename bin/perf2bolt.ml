@@ -4,16 +4,54 @@
      perf2bolt -p samples.bprf -o prog.fdata prog.x            *)
 
 open Cmdliner
+module Obs = Bolt_obs.Obs
+module Json = Bolt_obs.Json
 
-let run exe_path samples_path out =
-  let exe = Bolt_obj.Objfile.load exe_path in
-  let raw = Bolt_profile.Samples.load samples_path in
-  let fdata = Bolt_profile.Perf2bolt.convert exe raw in
-  Bolt_profile.Fdata.save out fdata;
+let run exe_path samples_path out trace_out =
+  let obs = Obs.create ~enabled:(trace_out <> None) ~name:"perf2bolt" () in
+  let exe = Obs.span obs "load-binary" (fun () -> Bolt_obj.Objfile.load exe_path) in
+  let raw =
+    Obs.span obs "load-samples" (fun () ->
+        let raw = Bolt_profile.Samples.load samples_path in
+        Obs.incr obs ~by:raw.Bolt_sim.Machine.rp_samples "samples.raw";
+        raw)
+  in
+  let fdata =
+    Obs.span obs "aggregate" (fun () ->
+        let fdata = Bolt_profile.Perf2bolt.convert exe raw in
+        Obs.incr obs
+          ~by:(List.length fdata.Bolt_profile.Fdata.branches)
+          "fdata.branch_records";
+        Obs.incr obs ~by:(List.length fdata.Bolt_profile.Fdata.ranges) "fdata.ranges";
+        Obs.incr obs
+          ~by:(List.length fdata.Bolt_profile.Fdata.samples)
+          "fdata.ip_samples";
+        fdata)
+  in
+  Obs.span obs "save-fdata" (fun () -> Bolt_profile.Fdata.save out fdata);
   Fmt.pr "wrote %s: %d branch records, %d ranges, %d ip samples@." out
     (List.length fdata.Bolt_profile.Fdata.branches)
     (List.length fdata.Bolt_profile.Fdata.ranges)
     (List.length fdata.Bolt_profile.Fdata.samples);
+  (match trace_out with
+  | Some path ->
+      let sections =
+        [
+          ( "run",
+            Json.Obj
+              [
+                ("exe", Json.String exe_path);
+                ("samples", Json.String samples_path);
+                ("out", Json.String out);
+                ("lbr", Json.Bool raw.Bolt_sim.Machine.rp_lbr);
+              ] );
+        ]
+      in
+      Bolt_obs.Manifest.save path
+        (Bolt_obs.Manifest.make ~tool:"perf2bolt" ~argv:(Array.to_list Sys.argv)
+           ~sections obs);
+      Fmt.pr "wrote manifest %s@." path
+  | None -> ());
   0
 
 let exe_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"EXE")
@@ -23,9 +61,16 @@ let samples =
 
 let out = Arg.(value & opt string "out.fdata" & info [ "o" ] ~doc:"Output profile.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a JSON run manifest (spans, fdata record metrics) to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "perf2bolt" ~doc:"convert raw samples to an fdata profile")
-    Term.(const run $ exe_path $ samples $ out)
+    Term.(const run $ exe_path $ samples $ out $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

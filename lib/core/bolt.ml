@@ -18,6 +18,9 @@
    unchanged — rather than failing.  [Opts.strict] inverts the policy and
    [Opts.max_quarantine] bounds how much degradation is acceptable. *)
 
+module Obs = Bolt_obs.Obs
+module Json = Bolt_obs.Json
+
 type report = {
   r_funcs : int;
   r_simple : int;
@@ -31,6 +34,7 @@ type report = {
   r_profile_branches_unmatched : int;
   r_profile_stale_records : int;
   r_profile_unknown_funcs : int;
+  r_profile_staleness : float; (* stale records / all branch records *)
   r_dyno_before : Dyno_stats.t;
   r_dyno_after : Dyno_stats.t;
   r_text_before : int;
@@ -57,16 +61,36 @@ let text_bytes (e : Bolt_obj.Objfile.t) =
    pathological input, not correctness. *)
 let max_rewrite_retries = 8
 
-let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
+(* Run one pipeline stage inside a trace span.  The span records wall
+   time, the number of functions the stage modified (via
+   [Context.touch]), and — through [Obs.span] — whichever registry
+   counters moved while it ran. *)
+let stage ctx name f =
+  Hashtbl.reset ctx.Context.touched;
+  Obs.span ctx.Context.obs name (fun () ->
+      let r = f () in
+      Obs.set_attr ctx.Context.obs "funcs_modified"
+        (Json.Int (Hashtbl.length ctx.Context.touched));
+      let n = Hashtbl.length ctx.Context.touched in
+      if n > 0 then Obs.incr ctx.Context.obs ~by:n ("pass." ^ name ^ ".funcs_modified");
+      r)
+
+let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
     (prof : Bolt_profile.Fdata.t) : Bolt_obj.Objfile.t * report =
+  let obs = match obs with Some o -> o | None -> Obs.create ~name:"bolt" () in
   (* Figure 3, stage 0: validate the container before trusting it.
      Structural damage is a clean rejection; lesser oddities are
      diagnostics (or, under --strict, also rejections). *)
-  let issues = Bolt_obj.Verify.run exe in
+  let issues =
+    Obs.span obs "verify" (fun () ->
+        let issues = Bolt_obj.Verify.run exe in
+        Obs.incr obs ~by:(List.length issues) "verify.issues";
+        issues)
+  in
   (match Bolt_obj.Verify.fatal issues with
   | [] -> ()
   | i :: _ -> Context.err "invalid input: %s" i.Bolt_obj.Verify.v_what);
-  let ctx = Context.create ~opts exe in
+  let ctx = Context.create ~opts ~obs exe in
   let diag = ctx.Context.diag in
   List.iter
     (fun (i : Bolt_obj.Verify.issue) ->
@@ -79,7 +103,10 @@ let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
             (List.hd issues).Bolt_obj.Verify.v_what));
   (* Figure 3: discover functions, read debug info and profile,
      disassemble, build CFGs *)
-  Build.run ctx;
+  stage ctx "build-cfg" (fun () ->
+      Build.run ctx;
+      Obs.incr obs ~by:(List.length ctx.Context.order) "build.funcs";
+      Obs.incr obs ~by:(List.length (Context.simple_funcs ctx)) "build.simple_funcs");
   let zero_mstats () =
     {
       Match_profile.matched_branches = 0;
@@ -91,61 +118,108 @@ let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
     }
   in
   let mstats =
-    Quarantine.pass ctx ~stage:"match-profile" ~default:(zero_mstats ())
-      (fun () ->
-        let s = Match_profile.attach ctx prof in
-        Match_profile.finalize ctx ~lbr:prof.lbr
-          ~trust_fallthrough:opts.trust_fallthrough;
+    stage ctx "match-profile" (fun () ->
+        let s =
+          Quarantine.pass ctx ~stage:"match-profile" ~default:(zero_mstats ())
+            (fun () ->
+              let s = Match_profile.attach ctx prof in
+              Match_profile.finalize ctx ~lbr:prof.lbr
+                ~trust_fallthrough:opts.trust_fallthrough;
+              s)
+        in
+        Obs.incr obs ~by:s.Match_profile.matched_branches "profile.matched_branches";
+        Obs.incr obs ~by:s.Match_profile.unmatched_branches "profile.unmatched_branches";
+        Obs.incr obs ~by:s.Match_profile.matched_count "profile.matched_count";
+        Obs.incr obs ~by:s.Match_profile.unmatched_count "profile.unmatched_count";
+        Obs.incr obs ~by:s.Match_profile.stale_records "profile.stale_records";
+        Obs.incr obs ~by:s.Match_profile.unknown_funcs "profile.unknown_funcs";
+        let total = s.matched_branches + s.unmatched_branches in
+        Obs.set obs "profile.staleness_ratio"
+          (if total = 0 then 0.0
+           else float_of_int s.stale_records /. float_of_int total);
         s)
   in
   let bad_layout =
-    Quarantine.pass ctx ~stage:"bad-layout" ~default:[] (fun () ->
-        Report.bad_layout ctx ~top:20)
+    stage ctx "bad-layout" (fun () ->
+        Quarantine.pass ctx ~stage:"bad-layout" ~default:[] (fun () ->
+            Report.bad_layout ctx ~top:20))
   in
   let dyno_before =
-    Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
-      (fun () -> Dyno_stats.collect ctx)
+    stage ctx "dyno-stats-before" (fun () ->
+        Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
+          (fun () -> Dyno_stats.collect ctx))
   in
   (* Table 1 pipeline.  Per-function passes carry their own quarantine
      barriers; the whole-program passes (ICF, ICP site profiling,
      function reordering) degrade pass-wise. *)
-  if opts.strip_rep_ret then Passes_simple.strip_rep_ret ctx;
-  let icf_folded1, icf_bytes1 =
+  if opts.strip_rep_ret then
+    stage ctx "strip-rep-ret" (fun () -> Passes_simple.strip_rep_ret ctx);
+  let run_icf name =
     if opts.icf then
-      Quarantine.pass ctx ~stage:"icf" ~default:(0, 0) (fun () -> Icf.run ctx)
+      stage ctx name (fun () ->
+          let folded, bytes =
+            Quarantine.pass ctx ~stage:"icf" ~default:(0, 0) (fun () -> Icf.run ctx)
+          in
+          Obs.incr obs ~by:folded "pass.icf.folded";
+          Obs.incr obs ~by:bytes "pass.icf.bytes_saved";
+          (folded, bytes))
     else (0, 0)
   in
+  let icf_folded1, icf_bytes1 = run_icf "icf" in
   let icp_promoted =
     if opts.icp then
-      Quarantine.pass ctx ~stage:"icp" ~default:0 (fun () ->
-          Icp.run ctx (Icp.build_site_profile ctx prof))
+      stage ctx "icp" (fun () ->
+          let promoted =
+            Quarantine.pass ctx ~stage:"icp" ~default:0 (fun () ->
+                Icp.run ctx (Icp.build_site_profile ctx prof))
+          in
+          Obs.incr obs ~by:promoted "pass.icp.promoted";
+          promoted)
     else 0
   in
-  if opts.peepholes then Passes_simple.peepholes ctx;
-  let inlined = if opts.inline_small then Inline_small.run ctx else 0 in
-  if opts.simplify_ro_loads then Passes_simple.simplify_ro_loads ctx;
-  let icf_folded2, icf_bytes2 =
-    if opts.icf then
-      Quarantine.pass ctx ~stage:"icf" ~default:(0, 0) (fun () -> Icf.run ctx)
-    else (0, 0)
+  if opts.peepholes then stage ctx "peepholes" (fun () -> Passes_simple.peepholes ctx);
+  let inlined =
+    if opts.inline_small then
+      stage ctx "inline-small" (fun () ->
+          let n = Inline_small.run ctx in
+          Obs.incr obs ~by:n "pass.inline-small.inlined";
+          n)
+    else 0
   in
-  if opts.plt then Passes_simple.plt ctx;
-  Layout_bbs.reorder ctx;
-  Layout_bbs.split ctx;
-  if opts.peepholes then Passes_simple.peepholes ctx;
-  if opts.uce then Passes_simple.uce ctx;
+  if opts.simplify_ro_loads then
+    stage ctx "simplify-ro-loads" (fun () -> Passes_simple.simplify_ro_loads ctx);
+  let icf_folded2, icf_bytes2 = run_icf "icf-2" in
+  if opts.plt then stage ctx "plt" (fun () -> Passes_simple.plt ctx);
+  stage ctx "reorder-bbs" (fun () -> Layout_bbs.reorder ctx);
+  stage ctx "split-functions" (fun () -> Layout_bbs.split ctx);
+  if opts.peepholes then stage ctx "peepholes-2" (fun () -> Passes_simple.peepholes ctx);
+  if opts.uce then stage ctx "uce" (fun () -> Passes_simple.uce ctx);
   (* fixup-branches happens structurally at emission *)
-  ctx.Context.func_layout <-
-    Quarantine.pass ctx ~stage:"reorder-functions" ~default:None (fun () ->
-        Some (Reorder_funcs.run ctx prof));
-  if opts.sctc then Passes_simple.sctc ctx;
-  let frames_removed = if opts.frame_opts then Frame_opts.frame_opts ctx else 0 in
+  stage ctx "reorder-functions" (fun () ->
+      ctx.Context.func_layout <-
+        Quarantine.pass ctx ~stage:"reorder-functions" ~default:None (fun () ->
+            Some (Reorder_funcs.run ctx prof)));
+  if opts.sctc then stage ctx "sctc" (fun () -> Passes_simple.sctc ctx);
+  let frames_removed =
+    if opts.frame_opts then
+      stage ctx "frame-opts" (fun () ->
+          let n = Frame_opts.frame_opts ctx in
+          Obs.incr obs ~by:n "pass.frame-opts.saves_removed";
+          n)
+    else 0
+  in
   let shrink_wrapped =
-    if opts.shrink_wrapping then Frame_opts.shrink_wrapping ctx else 0
+    if opts.shrink_wrapping then
+      stage ctx "shrink-wrapping" (fun () ->
+          let n = Frame_opts.shrink_wrapping ctx in
+          Obs.incr obs ~by:n "pass.shrink-wrapping.moved";
+          n)
+    else 0
   in
   let dyno_after =
-    Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
-      (fun () -> Dyno_stats.collect ctx)
+    stage ctx "dyno-stats-after" (fun () ->
+        Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
+          (fun () -> Dyno_stats.collect ctx))
   in
   (* emit, link, rewrite — with the fragment-failure retry loop: a
      function whose fragment cannot be finalized is quarantined and the
@@ -161,22 +235,35 @@ let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
   in
   let identity_fallback = ref false in
   let rw =
-    try rewrite_retry max_rewrite_retries
-    with exn when (not opts.strict) && not (Quarantine.fatal exn) ->
-      (* last rung of the degradation ladder: ship the input unchanged *)
-      Diag.errorf diag ~stage:"rewrite"
-        "rewrite failed (%s); falling back to the identity rewrite"
-        (Printexc.to_string exn);
-      identity_fallback := true;
-      let tb = text_bytes exe in
-      {
-        Rewrite.out = exe;
-        hot_size = 0;
-        cold_size = 0;
-        text_size_before = tb;
-        text_size_after = tb;
-      }
+    stage ctx "rewrite" (fun () ->
+        let rw =
+          try rewrite_retry max_rewrite_retries
+          with exn when (not opts.strict) && not (Quarantine.fatal exn) ->
+            (* last rung of the degradation ladder: ship the input unchanged *)
+            Diag.errorf diag ~stage:"rewrite"
+              "rewrite failed (%s); falling back to the identity rewrite"
+              (Printexc.to_string exn);
+            Obs.event obs "identity-fallback";
+            identity_fallback := true;
+            let tb = text_bytes exe in
+            {
+              Rewrite.out = exe;
+              hot_size = 0;
+              cold_size = 0;
+              text_size_before = tb;
+              text_size_after = tb;
+            }
+        in
+        Obs.incr obs ~by:rw.Rewrite.text_size_after "rewrite.bytes_emitted";
+        Obs.set_attr obs "hot_bytes" (Json.Int rw.Rewrite.hot_size);
+        Obs.set_attr obs "cold_bytes" (Json.Int rw.Rewrite.cold_size);
+        Obs.set_attr obs "text_before" (Json.Int rw.Rewrite.text_size_before);
+        Obs.set_attr obs "text_after" (Json.Int rw.Rewrite.text_size_after);
+        rw)
   in
+  Obs.incr obs ~by:(Diag.quarantined_count diag) "quarantine.funcs";
+  Obs.incr obs ~by:(Diag.count diag Diag.Error) "diag.errors";
+  Obs.incr obs ~by:(Diag.count diag Diag.Warning) "diag.warnings";
   let simple = List.length (Context.simple_funcs ctx) in
   ( rw.Rewrite.out,
     {
@@ -192,6 +279,13 @@ let optimize ?(opts = Opts.default) (exe : Bolt_obj.Objfile.t)
       r_profile_branches_unmatched = mstats.Match_profile.unmatched_branches;
       r_profile_stale_records = mstats.Match_profile.stale_records;
       r_profile_unknown_funcs = mstats.Match_profile.unknown_funcs;
+      r_profile_staleness =
+        (let total =
+           mstats.Match_profile.matched_branches
+           + mstats.Match_profile.unmatched_branches
+         in
+         if total = 0 then 0.0
+         else float_of_int mstats.Match_profile.stale_records /. float_of_int total);
       r_dyno_before = dyno_before;
       r_dyno_after = dyno_after;
       r_text_before = rw.Rewrite.text_size_before;
@@ -215,9 +309,10 @@ let pp_report ppf (r : report) =
     r.r_icp_promoted r.r_inlined r.r_frame_saves_removed r.r_shrink_wrapped;
   Fmt.pf ppf "  profile: %d branch records matched, %d unmatched@."
     r.r_profile_branches_matched r.r_profile_branches_unmatched;
-  if r.r_profile_stale_records > 0 || r.r_profile_unknown_funcs > 0 then
-    Fmt.pf ppf "  profile decay: %d stale records, %d unknown functions@."
-      r.r_profile_stale_records r.r_profile_unknown_funcs;
+  Fmt.pf ppf
+    "  profile decay: %d stale records, %d unknown functions (staleness %.2f%%)@."
+    r.r_profile_stale_records r.r_profile_unknown_funcs
+    (100.0 *. r.r_profile_staleness);
   Fmt.pf ppf "  text: %d -> %d bytes (cold %d)@." r.r_text_before r.r_text_after
     r.r_cold_size;
   if r.r_quarantined <> [] then begin
@@ -233,3 +328,86 @@ let pp_report ppf (r : report) =
       r.r_diag_warnings;
   Fmt.pf ppf "  dyno-stats (profile-weighted, before -> after):@.";
   Dyno_stats.pp_comparison ppf ~before:r.r_dyno_before ~after:r.r_dyno_after
+
+(* The report's contribution to the run manifest: everything a later
+   perf PR wants to diff — pass outcomes, profile quality, dyno-stats
+   deltas, quarantine and diagnostics — as stable JSON sections. *)
+let manifest_sections (r : report) : (string * Json.t) list =
+  [
+    ( "report",
+      Json.Obj
+        [
+          ("funcs", Json.Int r.r_funcs);
+          ("simple", Json.Int r.r_simple);
+          ("icf_folded", Json.Int r.r_icf_folded);
+          ("icf_bytes", Json.Int r.r_icf_bytes);
+          ("icp_promoted", Json.Int r.r_icp_promoted);
+          ("inlined", Json.Int r.r_inlined);
+          ("frame_saves_removed", Json.Int r.r_frame_saves_removed);
+          ("shrink_wrapped", Json.Int r.r_shrink_wrapped);
+          ("text_before", Json.Int r.r_text_before);
+          ("text_after", Json.Int r.r_text_after);
+          ("hot_size", Json.Int r.r_hot_size);
+          ("cold_size", Json.Int r.r_cold_size);
+          ("identity_fallback", Json.Bool r.r_identity_fallback);
+        ] );
+    ( "profile_quality",
+      Json.Obj
+        [
+          ("branches_matched", Json.Int r.r_profile_branches_matched);
+          ("branches_unmatched", Json.Int r.r_profile_branches_unmatched);
+          ("stale_records", Json.Int r.r_profile_stale_records);
+          ("unknown_funcs", Json.Int r.r_profile_unknown_funcs);
+          ("staleness_ratio", Json.Float r.r_profile_staleness);
+        ] );
+    ( "dyno_stats",
+      Json.Obj
+        [
+          ("before", Dyno_stats.to_json r.r_dyno_before);
+          ("after", Dyno_stats.to_json r.r_dyno_after);
+          ( "delta",
+            Dyno_stats.comparison_to_json ~before:r.r_dyno_before
+              ~after:r.r_dyno_after );
+        ] );
+    ( "quarantine",
+      Json.List
+        (List.map
+           (fun (func, stage) ->
+             Json.Obj
+               [ ("func", Json.String func); ("stage", Json.String stage) ])
+           r.r_quarantined) );
+    ( "diagnostics",
+      Json.Obj
+        [
+          ("errors", Json.Int r.r_diag_errors);
+          ("warnings", Json.Int r.r_diag_warnings);
+          ( "records",
+            Json.List
+              (List.map
+                 (fun (d : Diag.record) ->
+                   Json.Obj
+                     ([
+                        ("severity", Json.String (Diag.severity_name d.d_severity));
+                        ("stage", Json.String d.d_stage);
+                        ("msg", Json.String d.d_msg);
+                      ]
+                     @
+                     match d.d_func with
+                     | Some f -> [ ("func", Json.String f) ]
+                     | None -> []))
+                 r.r_diagnostics) );
+        ] );
+    ( "bad_layout",
+      Json.List
+        (List.map
+           (fun (f : Report.finding) ->
+             Json.Obj
+               [
+                 ("func", Json.String f.Report.bl_func);
+                 ("block", Json.String f.Report.bl_block);
+                 ("offset", Json.Int f.Report.bl_offset);
+                 ("prev_count", Json.Int f.Report.bl_prev_count);
+                 ("next_count", Json.Int f.Report.bl_next_count);
+               ])
+           r.r_bad_layout) );
+  ]

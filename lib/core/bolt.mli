@@ -26,6 +26,9 @@ type report = {
       (** profile records whose offsets fall outside the named function *)
   r_profile_unknown_funcs : int;
       (** distinct profile names with no function in the binary *)
+  r_profile_staleness : float;
+      (** fraction (0..1) of branch records that were stale — the §7
+          profile-decay measure, also exported to the run manifest *)
   r_dyno_before : Dyno_stats.t;  (** profile-weighted stats, input layout *)
   r_dyno_after : Dyno_stats.t;  (** same, final layout *)
   r_text_before : int;  (** code bytes before rewriting *)
@@ -62,9 +65,16 @@ type report = {
     [r_identity_fallback] set.  Only three exceptions escape:
     {!Context.Bolt_error} on structurally invalid input,
     {!Diag.Strict_error} when [opts.strict] forbids degradation, and
-    {!Diag.Quarantine_limit} when [opts.max_quarantine] is exceeded. *)
+    {!Diag.Quarantine_limit} when [opts.max_quarantine] is exceeded.
+
+    When [obs] is supplied, every pipeline stage runs inside a trace
+    span on it (wall time, functions modified, registry-counter deltas)
+    and profile-quality metrics are recorded — the data behind
+    [--trace-out] and [--time-opts]; omitted, a private handle is
+    created so instrumentation stays on for in-process callers. *)
 val optimize :
   ?opts:Opts.t ->
+  ?obs:Bolt_obs.Obs.t ->
   Bolt_obj.Objfile.t ->
   Bolt_profile.Fdata.t ->
   Bolt_obj.Objfile.t * report
@@ -72,3 +82,8 @@ val optimize :
 (** Render the report in the style of BOLT's console output, including the
     dyno-stats before/after table. *)
 val pp_report : Format.formatter -> report -> unit
+
+(** The report as stable JSON manifest sections ([report],
+    [profile_quality], [dyno_stats], [quarantine], [diagnostics],
+    [bad_layout]) for {!Bolt_obs.Manifest.make}. *)
+val manifest_sections : report -> (string * Bolt_obs.Json.t) list

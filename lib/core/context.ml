@@ -19,9 +19,15 @@ type t = {
   mutable func_layout : (string list * string list) option; (* hot, cold order *)
   mutable log : string list; (* pass log, newest first *)
   diag : Diag.t; (* structured diagnostics for the whole run *)
+  obs : Bolt_obs.Obs.t; (* trace spans + metrics registry for the run *)
+  touched : (string, unit) Hashtbl.t; (* functions modified by the current pass *)
 }
 
 let logf ctx fmt = Fmt.kstr (fun s -> ctx.log <- s :: ctx.log) fmt
+
+(* Mark [name] as modified by the pass currently running; the per-pass
+   span reads (and resets) the set to report functions-touched counts. *)
+let touch ctx name = Hashtbl.replace ctx.touched name ()
 
 exception Bolt_error of string
 
@@ -57,7 +63,10 @@ let resolve_code ctx addr =
   done;
   !res
 
-let create ~(opts : Opts.t) (exe : Objfile.t) : t =
+let create ~(opts : Opts.t) ?obs (exe : Objfile.t) : t =
+  let obs =
+    match obs with Some o -> o | None -> Bolt_obs.Obs.create ~name:"bolt" ()
+  in
   let text =
     match Objfile.find_section exe ".text" with
     | Some s -> s
@@ -100,6 +109,8 @@ let create ~(opts : Opts.t) (exe : Objfile.t) : t =
       func_layout = None;
       log = [];
       diag = Diag.create ();
+      obs;
+      touched = Hashtbl.create 64;
     }
   in
   (match plt with

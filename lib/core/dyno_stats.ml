@@ -130,9 +130,32 @@ let rows (t : t) =
 let pct_delta before after =
   if before = 0 then 0.0 else 100.0 *. float_of_int (after - before) /. float_of_int before
 
-(* BOLT-style before/after report. *)
+(* BOLT-style before/after delta table (Table 2): one row per statistic,
+   before, after and the percentage change side by side. *)
 let pp_comparison ppf ~(before : t) ~(after : t) =
+  Fmt.pf ppf "  %-34s %12s %12s %9s@." "metric" "before" "after" "delta";
   List.iter2
     (fun (name, b) (_, a) ->
-      Fmt.pf ppf "  %-34s %12d -> %12d (%+.1f%%)@." name b a (pct_delta b a))
+      Fmt.pf ppf "  %-34s %12d %12d %+8.1f%%@." name b a (pct_delta b a))
     (rows before) (rows after)
+
+let to_json (t : t) : Bolt_obs.Json.t =
+  Bolt_obs.Json.Obj
+    (List.map
+       (fun (name, v) ->
+         (String.map (fun c -> if c = ' ' then '_' else c) name, Bolt_obs.Json.Int v))
+       (rows t))
+
+(* Before/after/delta rows as one JSON object per metric. *)
+let comparison_to_json ~(before : t) ~(after : t) : Bolt_obs.Json.t =
+  Bolt_obs.Json.List
+    (List.map2
+       (fun (name, b) (_, a) ->
+         Bolt_obs.Json.Obj
+           [
+             ("metric", Bolt_obs.Json.String name);
+             ("before", Bolt_obs.Json.Int b);
+             ("after", Bolt_obs.Json.Int a);
+             ("delta_pct", Bolt_obs.Json.Float (pct_delta b a));
+           ])
+       (rows before) (rows after))

@@ -99,7 +99,8 @@ let frame_opts ctx =
             (fun (r, _) ->
               if (not (Reg.equal r Reg.fp)) && not (Dataflow.references_reg fb r) then begin
                 remove_save fb r plan;
-                incr removed
+                incr removed;
+                Context.touch ctx fb.fb_name
               end)
             plan.saves);
   Context.logf ctx "frame-opts: %d dead register saves removed" !removed;
@@ -173,7 +174,8 @@ let shrink_wrapping ctx =
                               | x :: rest -> insert_pop (x :: acc) rest
                             in
                             b.insns <- push :: insert_pop [] b.insns;
-                            incr moved
+                            incr moved;
+                            Context.touch ctx fb.fb_name
                         | _ -> ()
                       end)
                   | _ -> ())

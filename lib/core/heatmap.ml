@@ -45,11 +45,12 @@ let heat_in_prefix t frac =
   end
 
 (* Address of the highest-index cell with any heat: the extent of code
-   that is actually touched. *)
+   that is actually touched.  0 when nothing was fetched at all — an
+   empty histogram must not report one phantom bucket of heat. *)
 let hot_extent t =
-  let last = ref 0 in
+  let last = ref (-1) in
   Array.iteri (fun i v -> if v > 0.0 then last := i) t.cells;
-  (!last + 1) * t.bucket
+  if !last < 0 then 0 else (!last + 1) * t.bucket
 
 let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
 
@@ -66,6 +67,25 @@ let render ppf t =
     done;
     Fmt.pf ppf "@."
   done
+
+(* Scalar summary of a heat map for the run manifest: geometry, how far
+   heat extends, how much of it lands in the first 1/16 of the span
+   (Figure 9's packing measure), and the cell population. *)
+let summary_json t : Bolt_obs.Json.t =
+  let hot_cells = Array.fold_left (fun a v -> if v > 0.0 then a + 1 else a) 0 t.cells in
+  let max_cell = Array.fold_left max 0.0 t.cells in
+  Bolt_obs.Json.Obj
+    [
+      ("base", Bolt_obs.Json.Int t.base);
+      ("span", Bolt_obs.Json.Int t.span);
+      ("bucket", Bolt_obs.Json.Int t.bucket);
+      ("rows", Bolt_obs.Json.Int t.rows);
+      ("cols", Bolt_obs.Json.Int t.cols);
+      ("hot_extent", Bolt_obs.Json.Int (hot_extent t));
+      ("heat_in_prefix_16th", Bolt_obs.Json.Float (heat_in_prefix t (1.0 /. 16.0)));
+      ("hot_cells", Bolt_obs.Json.Int hot_cells);
+      ("max_cell_log10", Bolt_obs.Json.Float max_cell);
+    ]
 
 let to_csv t =
   let b = Buffer.create 4096 in

@@ -24,8 +24,12 @@ val build :
 val heat_in_prefix : t -> float -> float
 
 (** Bytes from [base] to the last cell with any heat: the extent of code
-    actually touched. *)
+    actually touched.  0 for an empty histogram. *)
 val hot_extent : t -> int
+
+(** Scalar summary (geometry, hot extent, prefix packing, cell
+    population) as a JSON section for the run manifest. *)
+val summary_json : t -> Bolt_obs.Json.t
 
 (** ASCII rendering, one glyph per cell, log-scaled like Figure 9. *)
 val render : Format.formatter -> t -> unit

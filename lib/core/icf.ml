@@ -82,7 +82,9 @@ let run ctx =
               | Some sf -> sf.exec_count <- sf.exec_count + fb.exec_count
               | None -> ());
               incr folded_now;
-              bytes_saved := !bytes_saved + fb.fb_size
+              bytes_saved := !bytes_saved + fb.fb_size;
+              Context.touch ctx fb.fb_name;
+              Context.touch ctx survivor
           | Some _ -> ()
           | None -> Hashtbl.add seen key fb.fb_name
         end)

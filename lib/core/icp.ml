@@ -167,7 +167,8 @@ let run ctx (sites : site_profile) =
                       (fun l' ->
                         if l' = l then [ l; direct_l; indirect_l; cont_l ] else [ l' ])
                       fb.layout;
-                  incr promoted))
+                  incr promoted;
+                  Context.touch ctx fb.fb_name))
         !candidates);
   Context.logf ctx "icp: %d indirect calls promoted" !promoted;
   !promoted

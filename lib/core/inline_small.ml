@@ -75,6 +75,7 @@ let run ctx =
                     when resolve callee <> fb.fb_name
                          && Hashtbl.mem bodies (resolve callee) ->
                       incr inlined;
+                      Context.touch ctx fb.fb_name;
                       List.map
                         (fun (bi : minsn) -> { bi with m_off = -1; loc = bi.loc })
                         (Hashtbl.find bodies (resolve callee))

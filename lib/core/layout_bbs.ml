@@ -110,7 +110,8 @@ let reorder ctx =
           List.iter (fun l -> Hashtbl.replace seen l ()) order;
           let stragglers = List.filter (fun l -> not (Hashtbl.mem seen l)) fb.layout in
           fb.layout <- order @ stragglers;
-          incr reordered
+          incr reordered;
+          Context.touch ctx fb.fb_name
         end
       end);
   Context.logf ctx "reorder-bbs(%s): %d functions reordered"
@@ -146,7 +147,8 @@ let split ctx =
                 in
                 if cold then begin
                   Hashtbl.replace fb.cold_set l ();
-                  incr split_blocks
+                  incr split_blocks;
+                  Context.touch ctx fb.fb_name
                 end)
               fb.layout;
             (* a cold block that can fall into a hot one needs a jump; the

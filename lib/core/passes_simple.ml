@@ -16,7 +16,8 @@ let strip_rep_ret ctx =
             (fun (i : minsn) ->
               if i.op = Insn.Repz_ret then begin
                 i.op <- Insn.Ret;
-                incr n
+                incr n;
+                Context.touch ctx fb.fb_name
               end)
             b.insns)
         fb.blocks);
@@ -35,6 +36,7 @@ let peepholes ctx =
                 match i.op with
                 | Insn.Mov_rr (d, s) when Reg.equal d s ->
                     incr removed;
+                    Context.touch ctx fb.fb_name;
                     false
                 | _ -> true)
               b.insns
@@ -45,7 +47,8 @@ let peepholes ctx =
               | Insn.Alu_ri (Insn.Cmp, r, Insn.Imm 0) ->
                   (* cmp r, 0 (6 bytes) -> test r, r (2 bytes) *)
                   i.op <- Insn.Alu_rr (Insn.Test, r, r);
-                  incr mutated
+                  incr mutated;
+                  Context.touch ctx fb.fb_name
               | _ -> ())
             keep;
           b.insns <- keep)
@@ -72,7 +75,8 @@ let uce ctx =
       List.iter
         (fun l ->
           Hashtbl.remove fb.blocks l;
-          incr n)
+          incr n;
+          Context.touch ctx fb.fb_name)
         !dead;
       fb.layout <- List.filter (Hashtbl.mem reach) fb.layout);
   Context.logf ctx "uce: %d unreachable blocks removed" !n
@@ -95,14 +99,16 @@ let sctc ctx =
                       let cnt = edge_count fb l taken in
                       b.term <- T_cond (c, t2, fall);
                       add_edge_count fb l t2 cnt 0;
-                      incr n
+                      incr n;
+                      Context.touch ctx fb.fb_name
                   | _ -> ())
               | Some tb when not tb.is_lp -> (
                   (* a lone direct tail call: jcc straight to the callee *)
                   match (tb.insns, tb.term) with
                   | [ { op = Insn.Jmp (Insn.Sym (fn, 0), _); _ } ], T_stop ->
                       b.term <- T_condtail (c, fn, fall);
-                      incr n
+                      incr n;
+                      Context.touch ctx fb.fb_name
                   | _ -> ())
               | _ -> ())
           | T_jump t -> (
@@ -113,7 +119,8 @@ let sctc ctx =
                       let cnt = edge_count fb l t in
                       b.term <- T_jump t2;
                       add_edge_count fb l t2 cnt 0;
-                      incr n
+                      incr n;
+                      Context.touch ctx fb.fb_name
                   | _ -> ())
               | _ -> ())
           | _ -> ())
@@ -149,7 +156,8 @@ let simplify_ro_loads ctx =
                       if Codec.fits_i32 v then begin
                         (* same 6-byte encoding: a pure win *)
                         i.op <- Insn.Mov_ri (r, Insn.Imm v, Insn.I32);
-                        incr n
+                        incr n;
+                        Context.touch ctx fb.fb_name
                       end
                       else incr aborted (* movabs would be 10 > 6 bytes *)
                   | None -> ())
@@ -172,7 +180,8 @@ let plt ctx =
                   match Hashtbl.find_opt ctx.Context.plt_target s with
                   | Some target ->
                       i.op <- Insn.Call (Insn.Sym (target, 0));
-                      incr n
+                      incr n;
+                      Context.touch ctx fb.fb_name
                   | None -> ())
               | _ -> ())
             b.insns)

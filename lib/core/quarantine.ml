@@ -33,6 +33,12 @@ let demote ctx ~stage (fb : Bfunc.t) msg =
   Hashtbl.reset fb.cold_set;
   Build.redecode ctx fb;
   Diag.quarantine ctx.Context.diag ~stage ~func:fb.Bfunc.fb_name msg;
+  Bolt_obs.Obs.event ctx.Context.obs "quarantine"
+    ~attrs:
+      [
+        ("func", Bolt_obs.Json.String fb.Bfunc.fb_name);
+        ("stage", Bolt_obs.Json.String stage);
+      ];
   if ctx.Context.opts.Opts.strict then
     raise
       (Diag.Strict_error
@@ -64,6 +70,8 @@ let pass ctx ~stage ~default f =
   with exn when not (fatal exn) ->
     Diag.errorf ctx.Context.diag ~stage "pass failed (%s); skipped"
       (Printexc.to_string exn);
+    Bolt_obs.Obs.event ctx.Context.obs "pass-skipped"
+      ~attrs:[ ("stage", Bolt_obs.Json.String stage) ];
     if ctx.Context.opts.Opts.strict then
       raise
         (Diag.Strict_error

@@ -1,0 +1,267 @@
+(* Minimal JSON: the manifest's wire format.
+
+   The container has no JSON package, so this module carries its own
+   value type, printer and parser.  The printer and parser are exact
+   inverses for every value the telemetry layer produces (integers kept
+   distinct from floats, strings escaped per RFC 8259), which the
+   manifest round-trip tests rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---- printing ---- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Shortest decimal that reads back as the same float, always with a
+   decimal point or exponent so the parser keeps the int/float split. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_buffer ?(indent = false) b t =
+  let pad n = if indent then Buffer.add_string b (String.make n ' ') in
+  let nl () = if indent then Buffer.add_char b '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_nan f || Float.abs f = infinity then
+          Buffer.add_string b "null"
+        else Buffer.add_string b (float_repr f)
+    | String s -> escape b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        nl ();
+        List.iteri
+          (fun i v ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad ((depth + 1) * 2);
+            go (depth + 1) v)
+          items;
+        nl ();
+        pad (depth * 2);
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_char b '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad ((depth + 1) * 2);
+            escape b k;
+            Buffer.add_string b (if indent then ": " else ":");
+            go (depth + 1) v)
+          fields;
+        nl ();
+        pad (depth * 2);
+        Buffer.add_char b '}'
+  in
+  go 0 t
+
+let to_string ?indent t =
+  let b = Buffer.create 4096 in
+  to_buffer ?indent b t;
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (to_string ~indent:true t)
+
+(* ---- parsing ---- *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let fail p msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      p.pos <- p.pos + 1;
+      skip_ws p
+  | _ -> ()
+
+let expect p c =
+  if peek p = Some c then p.pos <- p.pos + 1
+  else fail p (Printf.sprintf "expected '%c'" c)
+
+let literal p word value =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else fail p ("expected " ^ word)
+
+let parse_string p =
+  expect p '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> p.pos <- p.pos + 1
+    | Some '\\' -> (
+        p.pos <- p.pos + 1;
+        match peek p with
+        | Some '"' -> Buffer.add_char b '"'; p.pos <- p.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char b '\\'; p.pos <- p.pos + 1; go ()
+        | Some '/' -> Buffer.add_char b '/'; p.pos <- p.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char b '\n'; p.pos <- p.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char b '\r'; p.pos <- p.pos + 1; go ()
+        | Some 't' -> Buffer.add_char b '\t'; p.pos <- p.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char b '\b'; p.pos <- p.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char b '\012'; p.pos <- p.pos + 1; go ()
+        | Some 'u' ->
+            if p.pos + 5 > String.length p.src then fail p "bad \\u escape";
+            let hex = String.sub p.src (p.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail p "bad \\u escape"
+            in
+            (* the printer only emits \u for control chars; decode the
+               BMP code point as UTF-8 for general inputs *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+            end;
+            p.pos <- p.pos + 5;
+            go ()
+        | _ -> fail p "bad escape")
+    | Some c ->
+        Buffer.add_char b c;
+        p.pos <- p.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c when is_num_char c -> true | _ -> false) do
+    p.pos <- p.pos + 1
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+    try Float (float_of_string s) with _ -> fail p "bad number"
+  else try Int (int_of_string s) with _ -> fail p "bad number"
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> literal p "null" Null
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some '"' -> String (parse_string p)
+  | Some '[' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value p ] in
+        skip_ws p;
+        while peek p = Some ',' do
+          p.pos <- p.pos + 1;
+          items := parse_value p :: !items;
+          skip_ws p
+        done;
+        expect p ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws p;
+        while peek p = Some ',' do
+          p.pos <- p.pos + 1;
+          fields := field () :: !fields;
+          skip_ws p
+        done;
+        expect p '}';
+        Obj (List.rev !fields)
+      end
+  | Some _ -> parse_number p
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail p "trailing garbage";
+  v
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_string = function Some (String s) -> Some s | _ -> None
+let get_int = function Some (Int i) -> Some i | _ -> None
+
+let get_float = function
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let get_list = function Some (List l) -> Some l | _ -> None

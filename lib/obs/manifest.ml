@@ -1,0 +1,106 @@
+(* The machine-readable run manifest: one JSON document per tool run,
+   carrying the trace, the metrics registry, the event log, and
+   tool-specific sections (dyno-stats, quarantine diagnostics, heat-map
+   summaries, ...).
+
+   Schema (`obolt-manifest/1`):
+
+     { "schema":  "obolt-manifest/1",
+       "tool":    "obolt" | "bsim" | "perf2bolt" | "bench",
+       "argv":    [...],
+       "trace":   { "name", "start_s", "dur_s", "attrs"?, "children"? },
+       "metrics": { "<dotted.name>": {"type":"counter","value":N} | ... },
+       "events":  [ {"t_s","name","attrs"?}, ... ],
+       ...tool sections... }
+
+   Every future perf PR diffs these artifacts; keep additions
+   backward-compatible (new fields, never repurposed ones). *)
+
+let schema = "obolt-manifest/1"
+
+let make ~tool ?(argv = []) ?(sections = []) (obs : Obs.t) : Json.t =
+  Obs.finish obs;
+  Json.Obj
+    ([
+       ("schema", Json.String schema);
+       ("tool", Json.String tool);
+       ("argv", Json.List (List.map (fun a -> Json.String a) argv));
+       ("trace", Trace.to_json obs.Obs.trace);
+       ("metrics", Metrics.to_json obs.Obs.metrics);
+       ("events", Trace.events_to_json obs.Obs.trace);
+     ]
+    @ sections)
+
+let save path (manifest : Json.t) =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:true manifest);
+  output_char oc '\n';
+  close_out oc
+
+let load path : Json.t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.of_string s
+
+(* ---- reading spans back out of a serialized manifest ---- *)
+
+type flat_span = {
+  fs_name : string;
+  fs_depth : int;
+  fs_dur : float;
+  fs_attrs : (string * Json.t) list;
+}
+
+let flat_spans (manifest : Json.t) : flat_span list =
+  let out = ref [] in
+  let rec go depth j =
+    let name = Option.value ~default:"?" (Json.get_string (Json.member "name" j)) in
+    let dur = Option.value ~default:0.0 (Json.get_float (Json.member "dur_s" j)) in
+    let attrs =
+      match Json.member "attrs" j with Some (Json.Obj f) -> f | _ -> []
+    in
+    out := { fs_name = name; fs_depth = depth; fs_dur = dur; fs_attrs = attrs } :: !out;
+    match Json.get_list (Json.member "children" j) with
+    | Some kids -> List.iter (go (depth + 1)) kids
+    | None -> ()
+  in
+  (match Json.member "trace" manifest with Some tr -> go 0 tr | None -> ());
+  List.rev !out
+
+(* Leaf-biased "top-N slowest": spans sorted by duration, the root
+   excluded (it is the whole run by construction). *)
+let slowest ?(n = 10) (manifest : Json.t) : flat_span list =
+  flat_spans manifest
+  |> List.filter (fun s -> s.fs_depth > 0)
+  |> List.stable_sort (fun a b -> compare b.fs_dur a.fs_dur)
+  |> List.filteri (fun i _ -> i < n)
+
+let pp_slowest ?(n = 10) ppf (manifest : Json.t) =
+  let tool = Option.value ~default:"?" (Json.get_string (Json.member "tool" manifest)) in
+  let total =
+    match Json.member "trace" manifest with
+    | Some tr -> Option.value ~default:0.0 (Json.get_float (Json.member "dur_s" tr))
+    | None -> 0.0
+  in
+  Fmt.pf ppf "manifest: tool=%s total=%.3f ms@." tool (total *. 1000.0);
+  let spans = slowest ~n manifest in
+  if spans = [] then Fmt.pf ppf "  (no spans)@."
+  else
+    List.iter
+      (fun s ->
+        let pct = if total > 0.0 then 100.0 *. s.fs_dur /. total else 0.0 in
+        Fmt.pf ppf "  %8.3f ms %5.1f%%  %s%s@." (s.fs_dur *. 1000.0) pct s.fs_name
+          (match Json.member "metrics" (Json.Obj s.fs_attrs) with
+          | Some (Json.Obj moved) ->
+              "  ["
+              ^ String.concat ", "
+                  (List.map
+                     (fun (k, v) ->
+                       Printf.sprintf "%s%s" k
+                         (match v with Json.Int i -> Printf.sprintf "=%d" i | _ -> ""))
+                     moved)
+              ^ "]"
+          | _ -> ""))
+      spans

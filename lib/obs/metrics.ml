@@ -1,0 +1,150 @@
+(* Typed metrics registry: counters, gauges and distributions, keyed by
+   a dotted name ("pass.icf.folded", "sim.l1i_misses", ...).
+
+   Naming convention (documented in DESIGN.md): lowercase dotted paths,
+   first segment the owning subsystem (pass/profile/sim/rewrite/bench),
+   counters named after the thing counted, never the unit.  A name is
+   bound to one metric kind for the registry's lifetime; re-registering
+   it with another kind raises [Invalid_argument] so type confusion is a
+   bug at the recording site, not a silently corrupted manifest. *)
+
+type dist = {
+  mutable d_n : int;
+  mutable d_sum : float;
+  mutable d_min : float;
+  mutable d_max : float;
+}
+
+type value = Counter of int ref | Gauge of float ref | Dist of dist
+
+type t = { tbl : (string, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Dist _ -> "distribution"
+
+let mismatch name v wanted =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name v) wanted)
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter r) -> r := !r + by
+  | Some v -> mismatch name v "counter"
+  | None -> Hashtbl.replace t.tbl name (Counter (ref by))
+
+let set t name x =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge r) -> r := x
+  | Some v -> mismatch name v "gauge"
+  | None -> Hashtbl.replace t.tbl name (Gauge (ref x))
+
+let observe t name x =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Dist d) ->
+      d.d_n <- d.d_n + 1;
+      d.d_sum <- d.d_sum +. x;
+      if x < d.d_min then d.d_min <- x;
+      if x > d.d_max then d.d_max <- x
+  | Some v -> mismatch name v "distribution"
+  | None ->
+      Hashtbl.replace t.tbl name
+        (Dist { d_n = 1; d_sum = x; d_min = x; d_max = x })
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with Some (Counter r) -> !r | _ -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with Some (Gauge r) -> !r | _ -> 0.0
+
+let dist t name =
+  match Hashtbl.find_opt t.tbl name with Some (Dist d) -> Some d | _ -> None
+
+(* Fold [other] into [into]: counters add, distributions combine, a gauge
+   takes [other]'s (most recent) value.  Used to aggregate per-stage or
+   per-workload registries into one run-level registry. *)
+let merge ~into other =
+  Hashtbl.iter
+    (fun name v ->
+      match (Hashtbl.find_opt into.tbl name, v) with
+      | None, Counter r -> Hashtbl.replace into.tbl name (Counter (ref !r))
+      | None, Gauge r -> Hashtbl.replace into.tbl name (Gauge (ref !r))
+      | None, Dist d ->
+          Hashtbl.replace into.tbl name
+            (Dist { d_n = d.d_n; d_sum = d.d_sum; d_min = d.d_min; d_max = d.d_max })
+      | Some (Counter a), Counter b -> a := !a + !b
+      | Some (Gauge a), Gauge b -> a := !b
+      | Some (Dist a), Dist b ->
+          a.d_n <- a.d_n + b.d_n;
+          a.d_sum <- a.d_sum +. b.d_sum;
+          if b.d_min < a.d_min then a.d_min <- b.d_min;
+          if b.d_max > a.d_max then a.d_max <- b.d_max
+      | Some existing, _ -> mismatch name existing (kind_name v))
+    other.tbl
+
+(* Snapshot of every counter, for computing per-span deltas. *)
+let counters t =
+  Hashtbl.fold
+    (fun name v acc ->
+      match v with Counter r -> (name, !r) :: acc | _ -> acc)
+    t.tbl []
+
+(* Counters that moved since [before] (a [counters] snapshot). *)
+let counter_delta t ~before =
+  let old = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace old k v) before;
+  counters t
+  |> List.filter_map (fun (k, v) ->
+         let prev = Option.value ~default:0 (Hashtbl.find_opt old k) in
+         if v <> prev then Some (k, v - prev) else None)
+  |> List.sort compare
+
+let sorted_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json t : Json.t =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         let body =
+           match v with
+           | Counter r -> [ ("type", Json.String "counter"); ("value", Json.Int !r) ]
+           | Gauge r -> [ ("type", Json.String "gauge"); ("value", Json.Float !r) ]
+           | Dist d ->
+               [
+                 ("type", Json.String "dist");
+                 ("n", Json.Int d.d_n);
+                 ("sum", Json.Float d.d_sum);
+                 ("min", Json.Float d.d_min);
+                 ("max", Json.Float d.d_max);
+               ]
+         in
+         (name, Json.Obj body))
+       (sorted_bindings t))
+
+let of_json (j : Json.t) : t =
+  let t = create () in
+  (match j with
+  | Json.Obj fields ->
+      List.iter
+        (fun (name, body) ->
+          match Json.get_string (Json.member "type" body) with
+          | Some "counter" ->
+              incr t name
+                ~by:(Option.value ~default:0 (Json.get_int (Json.member "value" body)))
+          | Some "gauge" ->
+              set t name
+                (Option.value ~default:0.0 (Json.get_float (Json.member "value" body)))
+          | Some "dist" ->
+              let f k = Option.value ~default:0.0 (Json.get_float (Json.member k body)) in
+              let n = Option.value ~default:0 (Json.get_int (Json.member "n" body)) in
+              Hashtbl.replace t.tbl name
+                (Dist { d_n = n; d_sum = f "sum"; d_min = f "min"; d_max = f "max" })
+          | _ -> ())
+        fields
+  | _ -> ());
+  t

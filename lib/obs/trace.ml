@@ -1,0 +1,152 @@
+(* Hierarchical trace spans — the `-time-opts` analog.
+
+   A span is a named, monotonic-clock wall-time interval with typed
+   attributes and child spans; every pipeline stage runs inside one.  A
+   structured event log rides along for point-in-time facts (a function
+   quarantined, a retry taken).
+
+   The clock is injectable so tests drive the timeline deterministically.
+   Whatever the clock does, readings are clamped to be non-decreasing:
+   a span can never have a negative duration and siblings can never
+   appear to run backwards. *)
+
+type span = {
+  sp_name : string;
+  sp_start : float; (* seconds since the trace epoch *)
+  mutable sp_dur : float; (* -1.0 while still open *)
+  mutable sp_attrs : (string * Json.t) list; (* newest first *)
+  mutable sp_children : span list; (* newest first while building *)
+}
+
+type event = {
+  ev_time : float;
+  ev_name : string;
+  ev_attrs : (string * Json.t) list;
+}
+
+type t = {
+  clock : unit -> float;
+  epoch : float;
+  root : span;
+  mutable stack : span list; (* innermost open span first; root is last *)
+  mutable events : event list; (* newest first *)
+  mutable last : float; (* monotonic clamp *)
+}
+
+let default_clock = Unix.gettimeofday
+
+let create ?(clock = default_clock) ?(name = "run") () =
+  let epoch = clock () in
+  let root =
+    { sp_name = name; sp_start = 0.0; sp_dur = -1.0; sp_attrs = []; sp_children = [] }
+  in
+  { clock; epoch; root; stack = [ root ]; events = []; last = 0.0 }
+
+(* Monotonic "now", relative to the epoch. *)
+let now t =
+  let v = t.clock () -. t.epoch in
+  if v > t.last then t.last <- v;
+  t.last
+
+let current t = match t.stack with s :: _ -> s | [] -> t.root
+
+let set_attr t key v =
+  let s = current t in
+  s.sp_attrs <- (key, v) :: List.remove_assoc key s.sp_attrs
+
+let event t ?(attrs = []) name =
+  t.events <- { ev_time = now t; ev_name = name; ev_attrs = attrs } :: t.events
+
+let close_span t s =
+  s.sp_dur <- now t -. s.sp_start;
+  s.sp_children <- List.rev s.sp_children;
+  s.sp_attrs <- List.rev s.sp_attrs
+
+(* Run [f] inside a fresh child of the current span.  Exception-safe: the
+   span is closed (and marked failed) even if [f] raises. *)
+let with_span t name ?(attrs = []) f =
+  let s =
+    {
+      sp_name = name;
+      sp_start = now t;
+      sp_dur = -1.0;
+      sp_attrs = List.rev attrs;
+      sp_children = [];
+    }
+  in
+  let parent = current t in
+  parent.sp_children <- s :: parent.sp_children;
+  t.stack <- s :: t.stack;
+  let pop () =
+    (match t.stack with
+    | top :: rest when top == s -> t.stack <- rest
+    | _ -> () (* unbalanced close: drop nothing, keep the trace usable *));
+    close_span t s
+  in
+  match f () with
+  | r -> pop (); r
+  | exception exn ->
+      s.sp_attrs <- ("error", Json.String (Printexc.to_string exn)) :: s.sp_attrs;
+      pop ();
+      raise exn
+
+(* Close the root (idempotent); call once the run is over. *)
+let finish t =
+  List.iter (fun s -> if s.sp_dur < 0.0 then close_span t s) t.stack;
+  t.stack <- []
+
+let root t = t.root
+let events t = List.rev t.events
+
+(* Pre-order (depth, span) listing; the root is depth 0. *)
+let flatten t =
+  let out = ref [] in
+  (* child lists are newest-first while a span is open, oldest-first
+     after close_span reverses them *)
+  let rec go depth s =
+    out := (depth, s) :: !out;
+    List.iter (go (depth + 1))
+      (if s.sp_dur < 0.0 then List.rev s.sp_children else s.sp_children)
+  in
+  go 0 t.root;
+  List.rev !out
+
+(* ---- serialization ---- *)
+
+let rec span_to_json (s : span) : Json.t =
+  Json.Obj
+    ([
+       ("name", Json.String s.sp_name);
+       ("start_s", Json.Float s.sp_start);
+       ("dur_s", Json.Float (if s.sp_dur < 0.0 then 0.0 else s.sp_dur));
+     ]
+    @ (if s.sp_attrs = [] then [] else [ ("attrs", Json.Obj s.sp_attrs) ])
+    @
+    if s.sp_children = [] then []
+    else [ ("children", Json.List (List.map span_to_json s.sp_children)) ])
+
+let to_json t : Json.t = span_to_json t.root
+
+let events_to_json t : Json.t =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           ([ ("t_s", Json.Float e.ev_time); ("name", Json.String e.ev_name) ]
+           @ if e.ev_attrs = [] then [] else [ ("attrs", Json.Obj e.ev_attrs) ]))
+       (events t))
+
+(* ---- the -time-opts terminal table ---- *)
+
+let pp_table ppf t =
+  let total = if t.root.sp_dur > 0.0 then t.root.sp_dur else 1e-9 in
+  Fmt.pf ppf "pass timing (wall clock, total %.3f ms):@." (total *. 1000.0);
+  List.iter
+    (fun (depth, (s : span)) ->
+      if depth > 0 then
+        let dur = if s.sp_dur < 0.0 then 0.0 else s.sp_dur in
+        Fmt.pf ppf "  %7.3f ms %5.1f%%  %s%s@." (dur *. 1000.0)
+          (100.0 *. dur /. total)
+          (String.make ((depth - 1) * 2) ' ')
+          s.sp_name)
+    (flatten t)

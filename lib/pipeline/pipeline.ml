@@ -10,15 +10,25 @@
    use. *)
 
 module Machine = Bolt_sim.Machine
+module Obs = Bolt_obs.Obs
+
+(* Every stage helper takes an optional telemetry bundle; when present the
+   stage runs inside a span so an experiment driver gets one trace across
+   compile -> profile -> bolt -> re-run.  Omitted, the helpers cost
+   nothing (a null no-op handle). *)
+let opt_obs = function Some obs -> obs | None -> Obs.null ()
 
 type build = {
   exe : Bolt_obj.Objfile.t;
   cc : Bolt_minic.Driver.options;
 }
 
-let compile ?(cc = Bolt_minic.Driver.default_options) sources : build =
-  let r = Bolt_minic.Driver.compile ~options:cc sources in
-  { exe = r.exe; cc }
+let compile ?obs ?(cc = Bolt_minic.Driver.default_options) sources : build =
+  let obs = opt_obs obs in
+  Obs.span obs "compile" (fun () ->
+      let r = Bolt_minic.Driver.compile ~options:cc sources in
+      Obs.incr obs ~by:(List.length sources) "build.sources";
+      { exe = r.exe; cc })
 
 let default_sampling =
   {
@@ -29,21 +39,34 @@ let default_sampling =
   }
 
 (* Run under the sampling profiler and convert to fdata. *)
-let profile ?(sampling = default_sampling) ?config (b : build) ~input :
+let profile ?obs ?(sampling = default_sampling) ?config (b : build) ~input :
     Bolt_profile.Fdata.t * Machine.outcome =
-  let o = Machine.run ?config ~sampling b.exe ~input in
-  match o.Machine.profile with
-  | Some raw -> (Bolt_profile.Perf2bolt.convert b.exe raw, o)
-  | None -> (Bolt_profile.Fdata.empty, o)
+  let obs = opt_obs obs in
+  Obs.span obs "profile" (fun () ->
+      let o = Machine.run ?config ~sampling b.exe ~input in
+      match o.Machine.profile with
+      | Some raw ->
+          Obs.incr obs ~by:raw.Machine.rp_samples "samples.raw";
+          let fdata = Bolt_profile.Perf2bolt.convert b.exe raw in
+          Obs.incr obs
+            ~by:(List.length fdata.Bolt_profile.Fdata.branches)
+            "fdata.branch_records";
+          (fdata, o)
+      | None -> (Bolt_profile.Fdata.empty, o))
 
-(* Apply BOLT and return the rewritten binary plus its report. *)
-let bolt ?(opts = Bolt_core.Opts.default) (b : build) (prof : Bolt_profile.Fdata.t) :
+(* Apply BOLT and return the rewritten binary plus its report.  The obs
+   handle is threaded straight into the optimizer, so the experiment
+   trace nests every pass span under "bolt". *)
+let bolt ?obs ?(opts = Bolt_core.Opts.default) (b : build) (prof : Bolt_profile.Fdata.t) :
     build * Bolt_core.Bolt.report =
-  let exe', report = Bolt_core.Bolt.optimize ~opts b.exe prof in
-  ({ b with exe = exe' }, report)
+  let obs = opt_obs obs in
+  Obs.span obs "bolt" (fun () ->
+      let exe', report = Bolt_core.Bolt.optimize ~opts ~obs b.exe prof in
+      ({ b with exe = exe' }, report))
 
-let run ?config ?heatmap (b : build) ~input : Machine.outcome =
-  Machine.run ?config ?heatmap b.exe ~input
+let run ?obs ?config ?heatmap (b : build) ~input : Machine.outcome =
+  let obs = opt_obs obs in
+  Obs.span obs "run" (fun () -> Machine.run ?config ?heatmap b.exe ~input)
 
 (* ---- compiler PGO leg ---- *)
 

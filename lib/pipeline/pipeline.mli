@@ -10,33 +10,49 @@
     ]} *)
 
 module Machine = Bolt_sim.Machine
+module Obs = Bolt_obs.Obs
 
 (** A built executable together with the compiler options that produced it
     (profiling re-runs need the same options). *)
 type build = { exe : Bolt_obj.Objfile.t; cc : Bolt_minic.Driver.options }
 
-val compile : ?cc:Bolt_minic.Driver.options -> (string * string) list -> build
+(** Every stage accepts an optional telemetry bundle ([?obs]); given one,
+    the stage runs inside a span ("compile", "profile", "bolt", "run") and
+    records stage metrics, so a driver gets a single trace across the whole
+    experiment. Omitted, the helpers are telemetry-free. *)
+
+val compile :
+  ?obs:Obs.t -> ?cc:Bolt_minic.Driver.options -> (string * string) list -> build
 
 (** LBR sampling on cycles, the paper's [-e cycles:u -j any,u]. *)
 val default_sampling : Machine.sample_cfg
 
 (** Run under the sampling profiler and aggregate to an fdata profile. *)
 val profile :
+  ?obs:Obs.t ->
   ?sampling:Machine.sample_cfg ->
   ?config:Machine.config ->
   build ->
   input:int array ->
   Bolt_profile.Fdata.t * Machine.outcome
 
-(** Apply BOLT, returning the rewritten build and its report. *)
+(** Apply BOLT, returning the rewritten build and its report. With [?obs]
+    the per-pass spans of the optimizer nest under this stage's "bolt"
+    span. *)
 val bolt :
+  ?obs:Obs.t ->
   ?opts:Bolt_core.Opts.t ->
   build ->
   Bolt_profile.Fdata.t ->
   build * Bolt_core.Bolt.report
 
 val run :
-  ?config:Machine.config -> ?heatmap:bool -> build -> input:int array -> Machine.outcome
+  ?obs:Obs.t ->
+  ?config:Machine.config ->
+  ?heatmap:bool ->
+  build ->
+  input:int array ->
+  Machine.outcome
 
 (** Instrumentation-based compiler PGO: build with edge counters, run on
     the training input, and return the edge profile for

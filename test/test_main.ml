@@ -8,6 +8,7 @@ let () =
       ("profile-hfsort", Test_profile_hfsort.suite);
       ("minic-units", Test_minic_units.suite);
       ("minic-e2e", Test_minic.suite);
+      ("obs", Test_obs.suite);
       ("bolt-core", Test_bolt_core.suite);
       ("dataflow-emit", Test_dataflow_emit.suite);
       ("cli-tools", Test_cli_tools.suite);
