@@ -297,6 +297,64 @@ let run_ablations ~quick () =
               ])
           rows))
 
+(* ---- domain scaling ---- *)
+
+(* Rewrite wall-time at -j1/2/4 on the hhvm-like workload.  The output is
+   byte-identical at every level (asserted), so the only variable is the
+   per-function fan-out of the Table 1 passes. *)
+let run_scaling ~quick () =
+  section "Scaling: rewrite wall-time vs worker domains (hhvm-like)";
+  let params =
+    {
+      Bolt_workloads.Workloads.hhvm_like with
+      Bolt_workloads.Gen.iterations = (if quick then 2_000 else 6_000);
+      funcs = (if quick then 1_200 else 2_200);
+    }
+  in
+  let w = Bolt_workloads.Gen.gen params in
+  let cc = Bolt_minic.Driver.default_options in
+  let b =
+    Bolt_minic.Driver.compile ~options:cc ~externals:w.Bolt_workloads.Gen.externals
+      ~extra_objs:w.Bolt_workloads.Gen.extra_objs w.Bolt_workloads.Gen.sources
+  in
+  let build = { P.exe = b.exe; cc } in
+  let prof, _ = P.profile build ~input:w.Bolt_workloads.Gen.input in
+  let time_at jobs =
+    let t0 = Unix.gettimeofday () in
+    let b', _ = P.bolt ~jobs build prof in
+    (Unix.gettimeofday () -. t0, Bolt_obj.Objfile.to_string b'.P.exe)
+  in
+  ignore (time_at 1) (* warm-up: heap growth, code loading *);
+  let levels = [ 1; 2; 4 ] in
+  let runs = List.map (fun j -> (j, time_at j)) levels in
+  let base_t, base_out = List.assoc 1 runs in
+  Printf.printf "  (machine reports %d recommended domain(s))\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "  %-6s %10s %10s  %s\n" "jobs" "wall(s)" "speedup" "output";
+  List.iter
+    (fun (j, (t, out)) ->
+      Printf.printf "  %-6d %10.2f %9.2fx  %s\n" j t
+        (if t > 0.0 then base_t /. t else 0.0)
+        (if out = base_out then "identical" else "DIFFERS!"))
+    runs;
+  add_section "scaling"
+    (Json.Obj
+       [
+         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+         ( "runs",
+           Json.List
+             (List.map
+                (fun (j, (t, out)) ->
+                  Json.Obj
+                    [
+                      ("jobs", Json.Int j);
+                      ("wall_s", Json.Float t);
+                      ("speedup", Json.Float (if t > 0.0 then base_t /. t else 0.0));
+                      ("output_identical", Json.Bool (out = base_out));
+                    ])
+                runs) );
+       ])
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let run_micro () =
@@ -407,6 +465,7 @@ let () =
   if want "icf" then run_icf ();
   if want "fig2" then run_fig2 ();
   if all || List.mem "ablations" args then run_ablations ~quick ();
+  if want "scaling" then run_scaling ~quick ();
   if List.mem "micro" args then run_micro ();
   let out = "BENCH_results.json" in
   Bolt_obs.Manifest.save out

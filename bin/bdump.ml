@@ -73,6 +73,33 @@ let dump_manifest path top =
           | _ -> ())
         fields
   | _ -> ());
+  (* passes that fanned out over worker domains carry a "jobs" attr and
+     per-function time distribution; their per-domain child spans show
+     the load balance *)
+  (match
+     Bolt_obs.Manifest.flat_spans m
+     |> List.filter (fun (s : Bolt_obs.Manifest.flat_span) ->
+            List.mem_assoc "jobs" s.fs_attrs)
+   with
+  | [] -> ()
+  | parallel ->
+      Fmt.pr "parallel sections:@.";
+      List.iter
+        (fun (s : Bolt_obs.Manifest.flat_span) ->
+          let geti k =
+            match List.assoc_opt k s.fs_attrs with
+            | Some (Bolt_obs.Json.Int i) -> i
+            | _ -> 0
+          in
+          let getf k =
+            match List.assoc_opt k s.fs_attrs with
+            | Some (Bolt_obs.Json.Float f) -> f
+            | _ -> 0.0
+          in
+          Fmt.pr "  %-20s jobs=%d fns=%d fn_p50=%.3f ms fn_p99=%.3f ms@."
+            s.fs_name (geti "jobs") (geti "fn_n") (getf "fn_p50_ms")
+            (getf "fn_p99_ms"))
+        parallel);
   (match Bolt_obs.Json.member "quarantine" m with
   | Some (Bolt_obs.Json.List (_ :: _ as q)) ->
       Fmt.pr "quarantined functions: %d@." (List.length q)

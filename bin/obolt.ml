@@ -19,7 +19,7 @@ let exit_quarantine = 5
 let run exe_path fdata out reorder_blocks reorder_functions split_functions
     split_all_cold split_eh icf icp inline_small plt sro frame_opts shrink sctc
     strip_nops dyno_stats report_bad_layout use_relocs strict max_quarantine
-    print_funcs trace_out time_opts =
+    print_funcs trace_out time_opts jobs =
   try
   (* telemetry is free when neither --trace-out nor --time-opts asks for
      it; enabled, it costs a handful of spans per run *)
@@ -69,6 +69,10 @@ let run exe_path fdata out reorder_blocks reorder_functions split_functions
       sctc;
       strip_nops;
       use_relocations = use_relocs;
+      jobs =
+        (match jobs with
+        | Some j -> j
+        | None -> Bolt_core.Pool.default_jobs ());
     }
   in
   let exe', report = Bolt_core.Bolt.optimize ~opts ~obs exe prof in
@@ -180,7 +184,25 @@ let time_opts =
   Arg.(
     value & flag
     & info [ "time-opts" ]
-        ~doc:"Print a per-pass wall-clock timing table (llvm-bolt's -time-opts).")
+        ~doc:
+          "Print a per-pass wall-clock timing table (llvm-bolt's -time-opts), \
+           including a per-function p50/p99 column for parallel passes.")
+
+let jobs =
+  let jobs_conv =
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some j when j >= 1 -> `Ok j
+        | _ -> `Error (s ^ ": need at least one domain")),
+      Format.pp_print_int )
+  in
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for per-function passes (default: the machine's \
+           recommended domain count). Output is byte-identical for any $(docv).")
 
 let cmd =
   Cmd.v
@@ -189,6 +211,7 @@ let cmd =
       const run $ exe_path $ fdata $ out $ reorder_blocks $ reorder_functions
       $ split_functions $ split_all_cold $ split_eh $ icf $ icp $ inline_small $ plt
       $ sro $ frame_opts $ shrink $ sctc $ strip_nops $ dyno_stats $ report_bad_layout
-      $ use_relocs $ strict $ max_quarantine $ print_funcs $ trace_out $ time_opts)
+      $ use_relocs $ strict $ max_quarantine $ print_funcs $ trace_out $ time_opts
+      $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,25 +1,24 @@
 (* The BOLT driver: rewriting pipeline of Figure 3 with the optimization
    sequence of Table 1.
 
-     1. strip-rep-ret     5. inline-small      9. reorder-bbs (+split)
-     2. icf               6. simplify-ro-loads 10. peepholes
-     3. icp               7. icf               11. uce
-     4. peepholes         8. plt               12. fixup-branches (emission)
-                                               13. reorder-functions
-                                               14. sctc
-                                               15. frame-opts
-                                               16. shrink-wrapping
+   The pipeline itself lives in [Passman]: Table 1 is a declarative pass
+   registry, each pass uniformly wrapped in trace spans, quarantine
+   barriers and metrics, with per-function passes fanned out over a
+   domain pool ([Opts.jobs]).  This driver is only the frame around it:
+   verify the input, build the context, run the registry, rewrite, and
+   assemble the report from [Context.stats].
 
-   The pipeline is hardened (§7's production stance): the input is
-   verified before anything touches it, every optimization pass and the
-   emitter run under per-function quarantine, a failing fragment is
-   demoted and the rewrite retried, and if the rewrite still cannot
-   complete the run degrades to the identity rewrite — the input binary
-   unchanged — rather than failing.  [Opts.strict] inverts the policy and
-   [Opts.max_quarantine] bounds how much degradation is acceptable. *)
+   Hardening (§7's production stance) is unchanged: the input is
+   verified before anything touches it, every pass and the emitter run
+   under per-function quarantine, a failing fragment is demoted and the
+   rewrite retried, and if the rewrite still cannot complete the run
+   degrades to the identity rewrite ([Rewrite.run_protected]).
+   [Opts.strict] inverts the policy and [Opts.max_quarantine] bounds how
+   much degradation is acceptable. *)
 
 module Obs = Bolt_obs.Obs
 module Json = Bolt_obs.Json
+module Metrics = Bolt_obs.Metrics
 
 type report = {
   r_funcs : int;
@@ -50,31 +49,6 @@ type report = {
   r_log : string list;
 }
 
-let text_bytes (e : Bolt_obj.Objfile.t) =
-  e.Bolt_obj.Objfile.sections
-  |> List.filter (fun (s : Bolt_obj.Types.section) -> s.sec_kind = Bolt_obj.Types.Text)
-  |> List.fold_left (fun a (s : Bolt_obj.Types.section) -> a + s.sec_size) 0
-
-(* How many times a Frag_error may quarantine a function and retry the
-   whole rewrite before giving up.  Each retry removes at least one
-   function from the optimized set, so this bounds wasted work on a
-   pathological input, not correctness. *)
-let max_rewrite_retries = 8
-
-(* Run one pipeline stage inside a trace span.  The span records wall
-   time, the number of functions the stage modified (via
-   [Context.touch]), and — through [Obs.span] — whichever registry
-   counters moved while it ran. *)
-let stage ctx name f =
-  Hashtbl.reset ctx.Context.touched;
-  Obs.span ctx.Context.obs name (fun () ->
-      let r = f () in
-      Obs.set_attr ctx.Context.obs "funcs_modified"
-        (Json.Int (Hashtbl.length ctx.Context.touched));
-      let n = Hashtbl.length ctx.Context.touched in
-      if n > 0 then Obs.incr ctx.Context.obs ~by:n ("pass." ^ name ^ ".funcs_modified");
-      r)
-
 let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
     (prof : Bolt_profile.Fdata.t) : Bolt_obj.Objfile.t * report =
   let obs = match obs with Some o -> o | None -> Obs.create ~name:"bolt" () in
@@ -99,193 +73,52 @@ let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
   if opts.strict && issues <> [] then
     raise
       (Diag.Strict_error
-         (Printf.sprintf "verify: %s"
-            (List.hd issues).Bolt_obj.Verify.v_what));
-  (* Figure 3: discover functions, read debug info and profile,
-     disassemble, build CFGs *)
-  stage ctx "build-cfg" (fun () ->
-      Build.run ctx;
-      Obs.incr obs ~by:(List.length ctx.Context.order) "build.funcs";
-      Obs.incr obs ~by:(List.length (Context.simple_funcs ctx)) "build.simple_funcs");
-  let zero_mstats () =
-    {
-      Match_profile.matched_branches = 0;
-      unmatched_branches = 0;
-      matched_count = 0;
-      unmatched_count = 0;
-      stale_records = 0;
-      unknown_funcs = 0;
-    }
-  in
-  let mstats =
-    stage ctx "match-profile" (fun () ->
-        let s =
-          Quarantine.pass ctx ~stage:"match-profile" ~default:(zero_mstats ())
-            (fun () ->
-              let s = Match_profile.attach ctx prof in
-              Match_profile.finalize ctx ~lbr:prof.lbr
-                ~trust_fallthrough:opts.trust_fallthrough;
-              s)
-        in
-        Obs.incr obs ~by:s.Match_profile.matched_branches "profile.matched_branches";
-        Obs.incr obs ~by:s.Match_profile.unmatched_branches "profile.unmatched_branches";
-        Obs.incr obs ~by:s.Match_profile.matched_count "profile.matched_count";
-        Obs.incr obs ~by:s.Match_profile.unmatched_count "profile.unmatched_count";
-        Obs.incr obs ~by:s.Match_profile.stale_records "profile.stale_records";
-        Obs.incr obs ~by:s.Match_profile.unknown_funcs "profile.unknown_funcs";
-        let total = s.matched_branches + s.unmatched_branches in
-        Obs.set obs "profile.staleness_ratio"
-          (if total = 0 then 0.0
-           else float_of_int s.stale_records /. float_of_int total);
-        s)
-  in
+         (Printf.sprintf "verify: %s" (List.hd issues).Bolt_obj.Verify.v_what));
+  let env = Passman.make_env ctx prof in
+  (* Figure 3 front half: discover, disassemble, build CFGs, attach the
+     profile — then the Table 1 registry, then the rewrite. *)
+  Passman.run env Passman.pre_passes;
   let bad_layout =
-    stage ctx "bad-layout" (fun () ->
+    Passman.stage env "bad-layout" (fun () ->
         Quarantine.pass ctx ~stage:"bad-layout" ~default:[] (fun () ->
             Report.bad_layout ctx ~top:20))
   in
-  let dyno_before =
-    stage ctx "dyno-stats-before" (fun () ->
+  let dyno ctx name =
+    Passman.stage env name (fun () ->
         Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
           (fun () -> Dyno_stats.collect ctx))
   in
-  (* Table 1 pipeline.  Per-function passes carry their own quarantine
-     barriers; the whole-program passes (ICF, ICP site profiling,
-     function reordering) degrade pass-wise. *)
-  if opts.strip_rep_ret then
-    stage ctx "strip-rep-ret" (fun () -> Passes_simple.strip_rep_ret ctx);
-  let run_icf name =
-    if opts.icf then
-      stage ctx name (fun () ->
-          let folded, bytes =
-            Quarantine.pass ctx ~stage:"icf" ~default:(0, 0) (fun () -> Icf.run ctx)
-          in
-          Obs.incr obs ~by:folded "pass.icf.folded";
-          Obs.incr obs ~by:bytes "pass.icf.bytes_saved";
-          (folded, bytes))
-    else (0, 0)
-  in
-  let icf_folded1, icf_bytes1 = run_icf "icf" in
-  let icp_promoted =
-    if opts.icp then
-      stage ctx "icp" (fun () ->
-          let promoted =
-            Quarantine.pass ctx ~stage:"icp" ~default:0 (fun () ->
-                Icp.run ctx (Icp.build_site_profile ctx prof))
-          in
-          Obs.incr obs ~by:promoted "pass.icp.promoted";
-          promoted)
-    else 0
-  in
-  if opts.peepholes then stage ctx "peepholes" (fun () -> Passes_simple.peepholes ctx);
-  let inlined =
-    if opts.inline_small then
-      stage ctx "inline-small" (fun () ->
-          let n = Inline_small.run ctx in
-          Obs.incr obs ~by:n "pass.inline-small.inlined";
-          n)
-    else 0
-  in
-  if opts.simplify_ro_loads then
-    stage ctx "simplify-ro-loads" (fun () -> Passes_simple.simplify_ro_loads ctx);
-  let icf_folded2, icf_bytes2 = run_icf "icf-2" in
-  if opts.plt then stage ctx "plt" (fun () -> Passes_simple.plt ctx);
-  stage ctx "reorder-bbs" (fun () -> Layout_bbs.reorder ctx);
-  stage ctx "split-functions" (fun () -> Layout_bbs.split ctx);
-  if opts.peepholes then stage ctx "peepholes-2" (fun () -> Passes_simple.peepholes ctx);
-  if opts.uce then stage ctx "uce" (fun () -> Passes_simple.uce ctx);
-  (* fixup-branches happens structurally at emission *)
-  stage ctx "reorder-functions" (fun () ->
-      ctx.Context.func_layout <-
-        Quarantine.pass ctx ~stage:"reorder-functions" ~default:None (fun () ->
-            Some (Reorder_funcs.run ctx prof)));
-  if opts.sctc then stage ctx "sctc" (fun () -> Passes_simple.sctc ctx);
-  let frames_removed =
-    if opts.frame_opts then
-      stage ctx "frame-opts" (fun () ->
-          let n = Frame_opts.frame_opts ctx in
-          Obs.incr obs ~by:n "pass.frame-opts.saves_removed";
-          n)
-    else 0
-  in
-  let shrink_wrapped =
-    if opts.shrink_wrapping then
-      stage ctx "shrink-wrapping" (fun () ->
-          let n = Frame_opts.shrink_wrapping ctx in
-          Obs.incr obs ~by:n "pass.shrink-wrapping.moved";
-          n)
-    else 0
-  in
-  let dyno_after =
-    stage ctx "dyno-stats-after" (fun () ->
-        Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
-          (fun () -> Dyno_stats.collect ctx))
-  in
-  (* emit, link, rewrite — with the fragment-failure retry loop: a
-     function whose fragment cannot be finalized is quarantined and the
-     rewrite re-run without it *)
-  let rec rewrite_retry budget =
-    try Rewrite.run ctx
-    with Rewrite.Frag_error (func, msg) ->
-      (match Context.func ctx func with
-      | Some fb when fb.Bfunc.simple && budget > 0 ->
-          Quarantine.demote ctx ~stage:"rewrite" fb msg
-      | _ -> Context.err "rewrite: %s: %s" func msg);
-      rewrite_retry (budget - 1)
-  in
-  let identity_fallback = ref false in
-  let rw =
-    stage ctx "rewrite" (fun () ->
-        let rw =
-          try rewrite_retry max_rewrite_retries
-          with exn when (not opts.strict) && not (Quarantine.fatal exn) ->
-            (* last rung of the degradation ladder: ship the input unchanged *)
-            Diag.errorf diag ~stage:"rewrite"
-              "rewrite failed (%s); falling back to the identity rewrite"
-              (Printexc.to_string exn);
-            Obs.event obs "identity-fallback";
-            identity_fallback := true;
-            let tb = text_bytes exe in
-            {
-              Rewrite.out = exe;
-              hot_size = 0;
-              cold_size = 0;
-              text_size_before = tb;
-              text_size_after = tb;
-            }
-        in
-        Obs.incr obs ~by:rw.Rewrite.text_size_after "rewrite.bytes_emitted";
-        Obs.set_attr obs "hot_bytes" (Json.Int rw.Rewrite.hot_size);
-        Obs.set_attr obs "cold_bytes" (Json.Int rw.Rewrite.cold_size);
-        Obs.set_attr obs "text_before" (Json.Int rw.Rewrite.text_size_before);
-        Obs.set_attr obs "text_after" (Json.Int rw.Rewrite.text_size_after);
-        rw)
+  let dyno_before = dyno ctx "dyno-stats-before" in
+  Passman.run env Passman.table1;
+  let dyno_after = dyno ctx "dyno-stats-after" in
+  let rw, identity_fallback =
+    Passman.stage env "rewrite" (fun () -> Rewrite.run_protected ctx)
   in
   Obs.incr obs ~by:(Diag.quarantined_count diag) "quarantine.funcs";
   Obs.incr obs ~by:(Diag.count diag Diag.Error) "diag.errors";
   Obs.incr obs ~by:(Diag.count diag Diag.Warning) "diag.warnings";
-  let simple = List.length (Context.simple_funcs ctx) in
+  let stat = Metrics.counter ctx.Context.stats in
+  let branches_matched = stat "profile.matched_branches" in
+  let branches_unmatched = stat "profile.unmatched_branches" in
+  let stale_records = stat "profile.stale_records" in
   ( rw.Rewrite.out,
     {
       r_funcs = List.length ctx.Context.order;
-      r_simple = simple;
-      r_icf_folded = icf_folded1 + icf_folded2;
-      r_icf_bytes = icf_bytes1 + icf_bytes2;
-      r_icp_promoted = icp_promoted;
-      r_inlined = inlined;
-      r_frame_saves_removed = frames_removed;
-      r_shrink_wrapped = shrink_wrapped;
-      r_profile_branches_matched = mstats.Match_profile.matched_branches;
-      r_profile_branches_unmatched = mstats.Match_profile.unmatched_branches;
-      r_profile_stale_records = mstats.Match_profile.stale_records;
-      r_profile_unknown_funcs = mstats.Match_profile.unknown_funcs;
+      r_simple = List.length (Context.simple_funcs ctx);
+      r_icf_folded = stat "pass.icf.folded";
+      r_icf_bytes = stat "pass.icf.bytes_saved";
+      r_icp_promoted = stat "pass.icp.promoted";
+      r_inlined = stat "pass.inline-small.inlined";
+      r_frame_saves_removed = stat "pass.frame-opts.saves_removed";
+      r_shrink_wrapped = stat "pass.shrink-wrapping.moved";
+      r_profile_branches_matched = branches_matched;
+      r_profile_branches_unmatched = branches_unmatched;
+      r_profile_stale_records = stale_records;
+      r_profile_unknown_funcs = stat "profile.unknown_funcs";
       r_profile_staleness =
-        (let total =
-           mstats.Match_profile.matched_branches
-           + mstats.Match_profile.unmatched_branches
-         in
+        (let total = branches_matched + branches_unmatched in
          if total = 0 then 0.0
-         else float_of_int mstats.Match_profile.stale_records /. float_of_int total);
+         else float_of_int stale_records /. float_of_int total);
       r_dyno_before = dyno_before;
       r_dyno_after = dyno_after;
       r_text_before = rw.Rewrite.text_size_before;
@@ -297,7 +130,7 @@ let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
       r_diagnostics = Diag.records diag;
       r_diag_errors = Diag.count diag Diag.Error;
       r_diag_warnings = Diag.count diag Diag.Warning;
-      r_identity_fallback = !identity_fallback;
+      r_identity_fallback = identity_fallback;
       r_log = List.rev ctx.Context.log;
     } )
 

@@ -456,18 +456,25 @@ let discover ctx =
   ctx.Context.order <-
     List.sort compare !order |> List.map snd
 
+(* Visitor form for the pass manager: build one function's CFG, parking
+   any failure diagnostic on the worker's shard.  CFG construction must
+   never take the run down: on an escaping exception the function keeps
+   its input bytes. *)
+let build_fn ctx sh (fb : Bfunc.t) =
+  try build_function ctx fb
+  with exn ->
+    Context.sh_diag sh Diag.Error ~stage:"build" ~func:fb.fb_name
+      "CFG construction failed (%s); function kept verbatim"
+      (Printexc.to_string exn);
+    if fb.simple then mark_non_simple fb "CFG construction failed";
+    Hashtbl.reset fb.blocks;
+    fb.layout <- [];
+    redecode ctx fb
+
 let run ctx =
   discover ctx;
-  Context.iter_funcs ctx (fun fb ->
-      try build_function ctx fb
-      with exn ->
-        (* CFG construction must never take the run down: keep the bytes *)
-        Diag.errorf ctx.Context.diag ~stage:"build" ~func:fb.fb_name
-          "CFG construction failed (%s); function kept verbatim"
-          (Printexc.to_string exn);
-        if fb.simple then mark_non_simple fb "CFG construction failed";
-        Hashtbl.reset fb.blocks;
-        fb.layout <- [];
-        redecode ctx fb);
+  let sh = Context.new_shard () in
+  Context.iter_funcs ctx (build_fn ctx sh);
+  Context.apply_shard_diags ctx [ sh ];
   let simple = List.length (Context.simple_funcs ctx) in
   Context.logf ctx "build: %d functions, %d simple" (List.length ctx.Context.order) simple

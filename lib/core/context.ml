@@ -20,14 +20,22 @@ type t = {
   mutable log : string list; (* pass log, newest first *)
   diag : Diag.t; (* structured diagnostics for the whole run *)
   obs : Bolt_obs.Obs.t; (* trace spans + metrics registry for the run *)
+  stats : Bolt_obs.Metrics.t;
+      (* always-on run statistics the final report is built from; the
+         (possibly disabled) [obs] registry mirrors it for manifests *)
   touched : (string, unit) Hashtbl.t; (* functions modified by the current pass *)
+  m : Mutex.t; (* guards [log] and [touched] under parallel passes *)
 }
 
-let logf ctx fmt = Fmt.kstr (fun s -> ctx.log <- s :: ctx.log) fmt
+let logf ctx fmt =
+  Fmt.kstr (fun s -> Mutex.protect ctx.m (fun () -> ctx.log <- s :: ctx.log)) fmt
 
 (* Mark [name] as modified by the pass currently running; the per-pass
-   span reads (and resets) the set to report functions-touched counts. *)
-let touch ctx name = Hashtbl.replace ctx.touched name ()
+   span reads (and resets) the set to report functions-touched counts.
+   Safe to call from worker domains, but parallel passes should prefer
+   [sh_touch] on their shard — uncontended, merged at join. *)
+let touch ctx name =
+  Mutex.protect ctx.m (fun () -> Hashtbl.replace ctx.touched name ())
 
 exception Bolt_error of string
 
@@ -110,7 +118,9 @@ let create ~(opts : Opts.t) ?obs (exe : Objfile.t) : t =
       log = [];
       diag = Diag.create ();
       obs;
+      stats = Bolt_obs.Metrics.create ();
       touched = Hashtbl.create 64;
+      m = Mutex.create ();
     }
   in
   (match plt with
@@ -146,9 +156,63 @@ let func ctx name = Hashtbl.find_opt ctx.funcs name
 let iter_funcs ctx g =
   List.iter (fun name -> g (Hashtbl.find ctx.funcs name)) ctx.order
 
+let all_funcs ctx = List.map (fun name -> Hashtbl.find ctx.funcs name) ctx.order
+
 let simple_funcs ctx =
   List.filter_map
     (fun name ->
       let f = Hashtbl.find ctx.funcs name in
       if f.Bfunc.simple && f.Bfunc.folded_into = None then Some f else None)
     ctx.order
+
+(* Rank of a function name in the original address order; [max_int] for
+   names outside it.  Used to fold per-domain results deterministically. *)
+let order_rank ctx =
+  let tbl = Hashtbl.create 256 in
+  List.iteri (fun i n -> Hashtbl.replace tbl n i) ctx.order;
+  fun n -> match Hashtbl.find_opt tbl n with Some i -> i | None -> max_int
+
+(* ---- per-domain shards ----
+
+   A parallel pass hands each worker domain a private shard; workers
+   record metrics, touched functions, diagnostics and quarantine verdicts
+   there without synchronization.  At pool join the shards are folded
+   back into the context in stable function order, so the visible result
+   is independent of how items were scheduled across domains. *)
+
+type shard = {
+  sh_stats : Bolt_obs.Metrics.t; (* merged into the pass registry at join *)
+  sh_touched : (string, unit) Hashtbl.t;
+  mutable sh_verdicts : (Bfunc.t * string) list; (* demoted function, reason *)
+  mutable sh_diags : (Diag.severity * string * string option * string) list;
+      (* severity, stage, func, message *)
+  mutable sh_times : float list; (* per-function wall seconds, when traced *)
+}
+
+let new_shard () =
+  {
+    sh_stats = Bolt_obs.Metrics.create ();
+    sh_touched = Hashtbl.create 64;
+    sh_verdicts = [];
+    sh_diags = [];
+    sh_times = [];
+  }
+
+let sh_touch sh (fb : Bfunc.t) = Hashtbl.replace sh.sh_touched fb.Bfunc.fb_name ()
+let sh_incr sh ?by name = Bolt_obs.Metrics.incr sh.sh_stats ?by name
+
+let sh_diag sh severity ~stage ?func fmt =
+  Fmt.kstr (fun msg -> sh.sh_diags <- (severity, stage, func, msg) :: sh.sh_diags) fmt
+
+(* Replay shard diagnostics into [ctx.diag], sorted by function rank
+   (then stage/severity/message) so the record order matches what a
+   sequential run in address order would have produced. *)
+let apply_shard_diags ctx shards =
+  let rank = order_rank ctx in
+  shards
+  |> List.concat_map (fun sh -> List.rev sh.sh_diags)
+  |> List.map (fun ((_sev, stage, func, msg) as d) ->
+         ((Option.fold ~none:max_int ~some:rank func, stage, msg), d))
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  |> List.iter (fun (_, (sev, stage, func, msg)) ->
+         Diag.add ctx.diag sev ~stage ?func msg)

@@ -88,23 +88,25 @@ let remove_save (fb : Bfunc.t) (r : Reg.t) (plan : plan) =
         })
     fb.blocks
 
+(* Visitor form for the pass manager. *)
+let frame_opts_fn _ctx sh (fb : Bfunc.t) =
+  match prologue_plan fb with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun (r, _) ->
+          if (not (Reg.equal r Reg.fp)) && not (Dataflow.references_reg fb r) then begin
+            remove_save fb r plan;
+            Context.sh_incr sh "pass.frame-opts.saves_removed";
+            Context.sh_touch sh fb
+          end)
+        plan.saves
+
 let frame_opts ctx =
-  let removed = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"frame-opts"
-    (fun fb ->
-      match prologue_plan fb with
-      | None -> ()
-      | Some plan ->
-          List.iter
-            (fun (r, _) ->
-              if (not (Reg.equal r Reg.fp)) && not (Dataflow.references_reg fb r) then begin
-                remove_save fb r plan;
-                incr removed;
-                Context.touch ctx fb.fb_name
-              end)
-            plan.saves);
-  Context.logf ctx "frame-opts: %d dead register saves removed" !removed;
-  !removed
+  let s = Quarantine.run_fns ctx ~stage:"frame-opts" (frame_opts_fn ctx) in
+  let removed = Bolt_obs.Metrics.counter s "pass.frame-opts.saves_removed" in
+  Context.logf ctx "frame-opts: %d dead register saves removed" removed;
+  removed
 
 (* ---- shrink wrapping ---- *)
 
@@ -119,66 +121,67 @@ let final_transfer_uses (b : bb) r =
   | ({ op = Insn.Jmp_ind r'; _ } : minsn) :: _ -> Reg.equal r r'
   | _ -> false
 
+let shrink_wrapping_fn _ctx sh (fb : Bfunc.t) =
+  if has_profile fb && fb.exec_count > 0 then
+    match prologue_plan fb with
+    | None -> ()
+    | Some plan ->
+        List.iter
+          (fun (r, _) ->
+            if not (Reg.equal r Reg.fp) then
+              match Dataflow.blocks_referencing fb r with
+              | [ bl ] when bl <> fb.entry -> (
+                  let b = block fb bl in
+                  if
+                    b.ecount = 0
+                    && (not b.is_lp)
+                    && (not (block_has_call_or_throw b))
+                    && not (final_transfer_uses b r)
+                  then begin
+                    (* recompute the plan: earlier removals shift slots *)
+                    match prologue_plan fb with
+                    | Some plan' when List.mem_assoc r plan'.saves ->
+                        remove_save fb r plan';
+                        let nsaved =
+                          List.length plan'.saves - 1 (* after removal *)
+                        in
+                        let slot = plan'.locals + (8 * nsaved) + 8 in
+                        let push =
+                          {
+                            op = Insn.Push r;
+                            lp = None;
+                            loc = None;
+                            cfi_after = [ Cfi_save (r, slot) ];
+                            m_off = -1;
+                          }
+                        in
+                        let pop =
+                          {
+                            op = Insn.Pop r;
+                            lp = None;
+                            loc = None;
+                            cfi_after = [ Cfi_restore r ];
+                            m_off = -1;
+                          }
+                        in
+                        (* pop goes before a trailing control transfer *)
+                        let rec insert_pop acc = function
+                          | [ (last : minsn) ] when Insn.is_terminator last.op ->
+                              List.rev acc @ [ pop; last ]
+                          | [ last ] -> List.rev acc @ [ last; pop ]
+                          | [] -> [ pop ]
+                          | x :: rest -> insert_pop (x :: acc) rest
+                        in
+                        b.insns <- push :: insert_pop [] b.insns;
+                        Context.sh_incr sh "pass.shrink-wrapping.moved";
+                        Context.sh_touch sh fb
+                    | _ -> ()
+                  end)
+              | _ -> ())
+          plan.saves
+
 let shrink_wrapping ctx =
-  let moved = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"shrink-wrapping"
-    (fun fb ->
-      if has_profile fb && fb.exec_count > 0 then
-        match prologue_plan fb with
-        | None -> ()
-        | Some plan ->
-            List.iter
-              (fun (r, _) ->
-                if not (Reg.equal r Reg.fp) then
-                  match Dataflow.blocks_referencing fb r with
-                  | [ bl ] when bl <> fb.entry -> (
-                      let b = block fb bl in
-                      if
-                        b.ecount = 0
-                        && (not b.is_lp)
-                        && (not (block_has_call_or_throw b))
-                        && not (final_transfer_uses b r)
-                      then begin
-                        (* recompute the plan: earlier removals shift slots *)
-                        match prologue_plan fb with
-                        | Some plan' when List.mem_assoc r plan'.saves ->
-                            remove_save fb r plan';
-                            let nsaved =
-                              List.length plan'.saves - 1 (* after removal *)
-                            in
-                            let slot = plan'.locals + (8 * nsaved) + 8 in
-                            let push =
-                              {
-                                op = Insn.Push r;
-                                lp = None;
-                                loc = None;
-                                cfi_after = [ Cfi_save (r, slot) ];
-                                m_off = -1;
-                              }
-                            in
-                            let pop =
-                              {
-                                op = Insn.Pop r;
-                                lp = None;
-                                loc = None;
-                                cfi_after = [ Cfi_restore r ];
-                                m_off = -1;
-                              }
-                            in
-                            (* pop goes before a trailing control transfer *)
-                            let rec insert_pop acc = function
-                              | [ (last : minsn) ] when Insn.is_terminator last.op ->
-                                  List.rev acc @ [ pop; last ]
-                              | [ last ] -> List.rev acc @ [ last; pop ]
-                              | [] -> [ pop ]
-                              | x :: rest -> insert_pop (x :: acc) rest
-                            in
-                            b.insns <- push :: insert_pop [] b.insns;
-                            incr moved;
-                            Context.touch ctx fb.fb_name
-                        | _ -> ()
-                      end)
-                  | _ -> ())
-              plan.saves);
-  Context.logf ctx "shrink-wrapping: %d saves moved to cold blocks" !moved;
-  !moved
+  let s = Quarantine.run_fns ctx ~stage:"shrink-wrapping" (shrink_wrapping_fn ctx) in
+  let moved = Bolt_obs.Metrics.counter s "pass.shrink-wrapping.moved" in
+  Context.logf ctx "shrink-wrapping: %d saves moved to cold blocks" moved;
+  moved

@@ -76,84 +76,87 @@ let order_cache_plus fb =
     (edges_desc fb);
   (chain_of, !all)
 
+let algo_name = function
+  | Opts.Rb_none -> "none"
+  | Opts.Rb_cache -> "cache"
+  | Opts.Rb_cache_plus -> "cache+"
+
+(* Visitor form for the pass manager: reorder one function's layout.
+   No-op under Rb_none (the registry also disables the pass then). *)
+let reorder_fn ctx sh (fb : Bfunc.t) =
+  let algo = ctx.Context.opts.Opts.reorder_blocks in
+  if
+    algo <> Opts.Rb_none
+    && has_profile fb
+    && Hashtbl.length fb.Bfunc.blocks > 1
+  then begin
+    let _, all =
+      match algo with
+      | Opts.Rb_cache -> order_cache fb
+      | _ -> order_cache_plus fb
+    in
+    let chains = List.filter (fun c -> c.blocks <> []) all in
+    (* entry chain first, then by weight *)
+    let entry_c, rest =
+      List.partition (fun c -> List.mem fb.entry c.blocks) chains
+    in
+    let rest =
+      List.sort
+        (fun a b ->
+          if a.weight <> b.weight then compare b.weight a.weight
+          else compare a.blocks b.blocks)
+        rest
+    in
+    let order = List.concat_map (fun c -> c.blocks) (entry_c @ rest) in
+    (* keep any stragglers (unreached blocks) *)
+    let seen = Hashtbl.create 32 in
+    List.iter (fun l -> Hashtbl.replace seen l ()) order;
+    let stragglers = List.filter (fun l -> not (Hashtbl.mem seen l)) fb.layout in
+    fb.layout <- order @ stragglers;
+    Context.sh_incr sh "pass.reorder-bbs.reordered";
+    Context.sh_touch sh fb
+  end
+
 let reorder ctx =
-  let opts = ctx.Context.opts in
-  let algo = opts.Opts.reorder_blocks in
-  let reordered = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"reorder-bbs"
-    (fun fb ->
-      if has_profile fb && Hashtbl.length fb.Bfunc.blocks > 1 then begin
-        let _, all =
-          match algo with
-          | Opts.Rb_cache -> order_cache fb
-          | Opts.Rb_cache_plus -> order_cache_plus fb
-          | Opts.Rb_none ->
-              let c, a = chains_of fb in
-              (c, !a)
-        in
-        if algo <> Opts.Rb_none then begin
-          let chains = List.filter (fun c -> c.blocks <> []) all in
-          (* entry chain first, then by weight *)
-          let entry_c, rest =
-            List.partition (fun c -> List.mem fb.entry c.blocks) chains
-          in
-          let rest =
-            List.sort
-              (fun a b ->
-                if a.weight <> b.weight then compare b.weight a.weight
-                else compare a.blocks b.blocks)
-              rest
-          in
-          let order = List.concat_map (fun c -> c.blocks) (entry_c @ rest) in
-          (* keep any stragglers (unreached blocks) *)
-          let seen = Hashtbl.create 32 in
-          List.iter (fun l -> Hashtbl.replace seen l ()) order;
-          let stragglers = List.filter (fun l -> not (Hashtbl.mem seen l)) fb.layout in
-          fb.layout <- order @ stragglers;
-          incr reordered;
-          Context.touch ctx fb.fb_name
-        end
-      end);
+  let s = Quarantine.run_fns ctx ~stage:"reorder-bbs" (reorder_fn ctx) in
   Context.logf ctx "reorder-bbs(%s): %d functions reordered"
-    (match algo with
-    | Opts.Rb_none -> "none"
-    | Opts.Rb_cache -> "cache"
-    | Opts.Rb_cache_plus -> "cache+")
-    !reordered
+    (algo_name ctx.Context.opts.Opts.reorder_blocks)
+    (Bolt_obs.Metrics.counter s "pass.reorder-bbs.reordered")
 
 (* Hot/cold splitting: cold blocks go to the function's cold fragment,
    which the rewriter emits in the cold code area. *)
-let split ctx =
+let split_fn ctx sh (fb : Bfunc.t) =
   let opts = ctx.Context.opts in
-  let split_blocks = ref 0 in
-  (match opts.Opts.split_functions with
+  match opts.Opts.split_functions with
   | Opts.Split_none -> ()
   | mode ->
-      Quarantine.iter_simple ctx ~stage:"split-functions"
-        (fun fb ->
-          let size_ok =
-            match mode with
-            | Opts.Split_all -> true
-            | Opts.Split_large -> fb.fb_size > 256
-            | Opts.Split_none -> false
-          in
-          if size_ok && has_profile fb && fb.exec_count > 0 then begin
-            List.iter
-              (fun l ->
-                let b = block fb l in
-                let cold =
-                  b.ecount = 0 && l <> fb.entry
-                  && (opts.Opts.split_eh || not b.is_lp)
-                in
-                if cold then begin
-                  Hashtbl.replace fb.cold_set l ();
-                  incr split_blocks;
-                  Context.touch ctx fb.fb_name
-                end)
-              fb.layout;
-            (* a cold block that can fall into a hot one needs a jump; the
-               emitter handles that, but keep cold blocks grouped at the end
-               of the layout for deterministic output *)
-            fb.layout <- hot_layout fb @ cold_layout fb
-          end));
-  Context.logf ctx "split-functions: %d blocks moved to cold fragments" !split_blocks
+      let size_ok =
+        match mode with
+        | Opts.Split_all -> true
+        | Opts.Split_large -> fb.fb_size > 256
+        | Opts.Split_none -> false
+      in
+      if size_ok && has_profile fb && fb.exec_count > 0 then begin
+        List.iter
+          (fun l ->
+            let b = block fb l in
+            let cold =
+              b.ecount = 0 && l <> fb.entry
+              && (opts.Opts.split_eh || not b.is_lp)
+            in
+            if cold then begin
+              Hashtbl.replace fb.cold_set l ();
+              Context.sh_incr sh "pass.split-functions.blocks_split";
+              Context.sh_touch sh fb
+            end)
+          fb.layout;
+        (* a cold block that can fall into a hot one needs a jump; the
+           emitter handles that, but keep cold blocks grouped at the end
+           of the layout for deterministic output *)
+        fb.layout <- hot_layout fb @ cold_layout fb
+      end
+
+let split ctx =
+  let s = Quarantine.run_fns ctx ~stage:"split-functions" (split_fn ctx) in
+  Context.logf ctx "split-functions: %d blocks moved to cold fragments"
+    (Bolt_obs.Metrics.counter s "pass.split-functions.blocks_split")

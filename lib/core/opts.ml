@@ -44,6 +44,9 @@ type t = {
   max_quarantine : int option;
       (* abort (Diag.Quarantine_limit) when more functions than this are
          quarantined: a badly corrupted input is better rejected *)
+  jobs : int;
+      (* worker domains for per-function passes (obolt -j); output is
+         byte-identical regardless of the value.  1 = fully sequential *)
 }
 
 let default =
@@ -75,6 +78,7 @@ let default =
     verbose = false;
     strict = false;
     max_quarantine = None;
+    jobs = 1;
   }
 
 (* Everything off: the identity rewrite, useful for testing the pipeline. *)

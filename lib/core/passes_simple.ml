@@ -1,136 +1,151 @@
 (* The small transformation passes of Table 1: strip-rep-ret, peepholes,
    unreachable-code elimination, simplification of conditional tail calls,
-   read-only load simplification and PLT de-indirection. *)
+   read-only load simplification and PLT de-indirection.
+
+   Each pass comes in two forms.  The [*_fn] visitor
+   ([Context.t -> Context.shard -> Bfunc.t -> unit]) transforms one
+   function and records counts/touches on the worker's shard — this is
+   what the pass manager fans out over domains, and the contract is that
+   a visitor mutates nothing but its own [Bfunc.t] and shard (shared
+   context state is read-only).  The classic [Context.t -> unit] entry
+   point remains as a sequential wrapper over the same visitor, for
+   direct callers and tests. *)
 
 open Bolt_isa
 open Bfunc
 
 (* Pass 1: strip the legacy-AMD repz prefix from returns (2 bytes -> 1). *)
+let strip_rep_ret_fn _ctx sh (fb : Bfunc.t) =
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter
+        (fun (i : minsn) ->
+          if i.op = Insn.Repz_ret then begin
+            i.op <- Insn.Ret;
+            Context.sh_incr sh "pass.strip-rep-ret.stripped";
+            Context.sh_touch sh fb
+          end)
+        b.insns)
+    fb.blocks
+
 let strip_rep_ret ctx =
-  let n = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"strip-rep-ret"
-    (fun fb ->
-      Hashtbl.iter
-        (fun _ b ->
-          List.iter
-            (fun (i : minsn) ->
-              if i.op = Insn.Repz_ret then begin
-                i.op <- Insn.Ret;
-                incr n;
-                Context.touch ctx fb.fb_name
-              end)
-            b.insns)
-        fb.blocks);
-  Context.logf ctx "strip-rep-ret: %d returns stripped" !n
+  let s = Quarantine.run_fns ctx ~stage:"strip-rep-ret" (strip_rep_ret_fn ctx) in
+  Context.logf ctx "strip-rep-ret: %d returns stripped"
+    (Bolt_obs.Metrics.counter s "pass.strip-rep-ret.stripped")
 
 (* Passes 4/10: peephole simplifications. *)
+let peepholes_fn _ctx sh (fb : Bfunc.t) =
+  Hashtbl.iter
+    (fun _ b ->
+      let keep =
+        List.filter
+          (fun (i : minsn) ->
+            match i.op with
+            | Insn.Mov_rr (d, s) when Reg.equal d s ->
+                Context.sh_incr sh "pass.peepholes.removed";
+                Context.sh_touch sh fb;
+                false
+            | _ -> true)
+          b.insns
+      in
+      List.iter
+        (fun (i : minsn) ->
+          match i.op with
+          | Insn.Alu_ri (Insn.Cmp, r, Insn.Imm 0) ->
+              (* cmp r, 0 (6 bytes) -> test r, r (2 bytes) *)
+              i.op <- Insn.Alu_rr (Insn.Test, r, r);
+              Context.sh_incr sh "pass.peepholes.shortened";
+              Context.sh_touch sh fb
+          | _ -> ())
+        keep;
+      b.insns <- keep)
+    fb.blocks
+
 let peepholes ctx =
-  let removed = ref 0 and mutated = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"peepholes"
-    (fun fb ->
-      Hashtbl.iter
-        (fun _ b ->
-          let keep =
-            List.filter
-              (fun (i : minsn) ->
-                match i.op with
-                | Insn.Mov_rr (d, s) when Reg.equal d s ->
-                    incr removed;
-                    Context.touch ctx fb.fb_name;
-                    false
-                | _ -> true)
-              b.insns
-          in
-          List.iter
-            (fun (i : minsn) ->
-              match i.op with
-              | Insn.Alu_ri (Insn.Cmp, r, Insn.Imm 0) ->
-                  (* cmp r, 0 (6 bytes) -> test r, r (2 bytes) *)
-                  i.op <- Insn.Alu_rr (Insn.Test, r, r);
-                  incr mutated;
-                  Context.touch ctx fb.fb_name
-              | _ -> ())
-            keep;
-          b.insns <- keep)
-        fb.blocks);
-  Context.logf ctx "peepholes: %d removed, %d shortened" !removed !mutated
+  let s = Quarantine.run_fns ctx ~stage:"peepholes" (peepholes_fn ctx) in
+  Context.logf ctx "peepholes: %d removed, %d shortened"
+    (Bolt_obs.Metrics.counter s "pass.peepholes.removed")
+    (Bolt_obs.Metrics.counter s "pass.peepholes.shortened")
 
 (* Pass 11: eliminate unreachable basic blocks. *)
+let uce_fn _ctx sh (fb : Bfunc.t) =
+  let reach = Hashtbl.create 32 in
+  let rec go l =
+    if not (Hashtbl.mem reach l) then begin
+      Hashtbl.replace reach l ();
+      match block_opt fb l with
+      | Some b -> List.iter go (successors_eh fb b)
+      | None -> ()
+    end
+  in
+  go fb.entry;
+  let dead = ref [] in
+  Hashtbl.iter (fun l _ -> if not (Hashtbl.mem reach l) then dead := l :: !dead) fb.blocks;
+  List.iter
+    (fun l ->
+      Hashtbl.remove fb.blocks l;
+      Context.sh_incr sh "pass.uce.blocks_removed";
+      Context.sh_touch sh fb)
+    !dead;
+  fb.layout <- List.filter (Hashtbl.mem reach) fb.layout
+
 let uce ctx =
-  let n = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"uce"
-    (fun fb ->
-      let reach = Hashtbl.create 32 in
-      let rec go l =
-        if not (Hashtbl.mem reach l) then begin
-          Hashtbl.replace reach l ();
-          match block_opt fb l with
-          | Some b -> List.iter go (successors_eh fb b)
-          | None -> ()
-        end
-      in
-      go fb.entry;
-      let dead = ref [] in
-      Hashtbl.iter (fun l _ -> if not (Hashtbl.mem reach l) then dead := l :: !dead) fb.blocks;
-      List.iter
-        (fun l ->
-          Hashtbl.remove fb.blocks l;
-          incr n;
-          Context.touch ctx fb.fb_name)
-        !dead;
-      fb.layout <- List.filter (Hashtbl.mem reach) fb.layout);
-  Context.logf ctx "uce: %d unreachable blocks removed" !n
+  let s = Quarantine.run_fns ctx ~stage:"uce" (uce_fn ctx) in
+  Context.logf ctx "uce: %d unreachable blocks removed"
+    (Bolt_obs.Metrics.counter s "pass.uce.blocks_removed")
 
 (* Pass 14: simplify conditional tail calls — a conditional branch to a
    block that only forwards (an empty block jumping elsewhere, or a lone
    direct tail call) is retargeted, removing a jump from the hot path. *)
-let sctc ctx =
-  let n = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"sctc"
-    (fun fb ->
-      Hashtbl.iter
-        (fun l b ->
-          match b.term with
-          | T_cond (c, taken, fall) when taken <> fall -> (
-              match block_opt fb taken with
-              | Some tb when tb.insns = [] && not tb.is_lp -> (
-                  match tb.term with
-                  | T_jump t2 when t2 <> taken ->
-                      let cnt = edge_count fb l taken in
-                      b.term <- T_cond (c, t2, fall);
-                      add_edge_count fb l t2 cnt 0;
-                      incr n;
-                      Context.touch ctx fb.fb_name
-                  | _ -> ())
-              | Some tb when not tb.is_lp -> (
-                  (* a lone direct tail call: jcc straight to the callee *)
-                  match (tb.insns, tb.term) with
-                  | [ { op = Insn.Jmp (Insn.Sym (fn, 0), _); _ } ], T_stop ->
-                      b.term <- T_condtail (c, fn, fall);
-                      incr n;
-                      Context.touch ctx fb.fb_name
-                  | _ -> ())
+let sctc_fn _ctx sh (fb : Bfunc.t) =
+  Hashtbl.iter
+    (fun l b ->
+      match b.term with
+      | T_cond (c, taken, fall) when taken <> fall -> (
+          match block_opt fb taken with
+          | Some tb when tb.insns = [] && not tb.is_lp -> (
+              match tb.term with
+              | T_jump t2 when t2 <> taken ->
+                  let cnt = edge_count fb l taken in
+                  b.term <- T_cond (c, t2, fall);
+                  add_edge_count fb l t2 cnt 0;
+                  Context.sh_incr sh "pass.sctc.simplified";
+                  Context.sh_touch sh fb
               | _ -> ())
-          | T_jump t -> (
-              match block_opt fb t with
-              | Some tb when tb.insns = [] && (not tb.is_lp) && t <> l -> (
-                  match tb.term with
-                  | T_jump t2 when t2 <> t ->
-                      let cnt = edge_count fb l t in
-                      b.term <- T_jump t2;
-                      add_edge_count fb l t2 cnt 0;
-                      incr n;
-                      Context.touch ctx fb.fb_name
-                  | _ -> ())
+          | Some tb when not tb.is_lp -> (
+              (* a lone direct tail call: jcc straight to the callee *)
+              match (tb.insns, tb.term) with
+              | [ { op = Insn.Jmp (Insn.Sym (fn, 0), _); _ } ], T_stop ->
+                  b.term <- T_condtail (c, fn, fall);
+                  Context.sh_incr sh "pass.sctc.simplified";
+                  Context.sh_touch sh fb
               | _ -> ())
           | _ -> ())
-        fb.blocks);
-  Context.logf ctx "sctc: %d branches simplified" !n
+      | T_jump t -> (
+          match block_opt fb t with
+          | Some tb when tb.insns = [] && (not tb.is_lp) && t <> l -> (
+              match tb.term with
+              | T_jump t2 when t2 <> t ->
+                  let cnt = edge_count fb l t in
+                  b.term <- T_jump t2;
+                  add_edge_count fb l t2 cnt 0;
+                  Context.sh_incr sh "pass.sctc.simplified";
+                  Context.sh_touch sh fb
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    fb.blocks
+
+let sctc ctx =
+  let s = Quarantine.run_fns ctx ~stage:"sctc" (sctc_fn ctx) in
+  Context.logf ctx "sctc: %d branches simplified"
+    (Bolt_obs.Metrics.counter s "pass.sctc.simplified")
 
 (* Pass 6: loads from statically-known read-only cells become immediate
-   moves, unless the new encoding would be larger (the paper's policy). *)
-let simplify_ro_loads ctx =
-  let n = ref 0 and aborted = ref 0 in
+   moves, unless the new encoding would be larger (the paper's policy).
+   The jump-table cell index is the pass's sequential prelude: built once
+   from every simple function, then read-only by the workers. *)
+let simplify_ro_loads_fn ctx =
   let jt_cells = Hashtbl.create 64 in
   List.iter
     (fun fb ->
@@ -141,49 +156,58 @@ let simplify_ro_loads ctx =
             jt.jt_targets)
         fb.Bfunc.jts)
     (Context.simple_funcs ctx);
-  Quarantine.iter_simple ctx ~stage:"simplify-ro-loads"
-    (fun fb ->
-      Hashtbl.iter
-        (fun _ b ->
-          List.iter
-            (fun (i : minsn) ->
-              match i.op with
-              | Insn.Load_abs (r, Insn.Imm a)
-                when Context.in_section ctx.Context.rodata a
-                     && not (Hashtbl.mem jt_cells a) -> (
-                  match Context.section_value ctx ctx.Context.rodata a with
-                  | Some v ->
-                      if Codec.fits_i32 v then begin
-                        (* same 6-byte encoding: a pure win *)
-                        i.op <- Insn.Mov_ri (r, Insn.Imm v, Insn.I32);
-                        incr n;
-                        Context.touch ctx fb.fb_name
-                      end
-                      else incr aborted (* movabs would be 10 > 6 bytes *)
-                  | None -> ())
-              | _ -> ())
-            b.insns)
-        fb.blocks);
-  Context.logf ctx "simplify-ro-loads: %d converted, %d aborted (size)" !n !aborted
+  fun sh (fb : Bfunc.t) ->
+    Hashtbl.iter
+      (fun _ b ->
+        List.iter
+          (fun (i : minsn) ->
+            match i.op with
+            | Insn.Load_abs (r, Insn.Imm a)
+              when Context.in_section ctx.Context.rodata a
+                   && not (Hashtbl.mem jt_cells a) -> (
+                match Context.section_value ctx ctx.Context.rodata a with
+                | Some v ->
+                    if Codec.fits_i32 v then begin
+                      (* same 6-byte encoding: a pure win *)
+                      i.op <- Insn.Mov_ri (r, Insn.Imm v, Insn.I32);
+                      Context.sh_incr sh "pass.simplify-ro-loads.converted";
+                      Context.sh_touch sh fb
+                    end
+                    else
+                      (* movabs would be 10 > 6 bytes *)
+                      Context.sh_incr sh "pass.simplify-ro-loads.aborted"
+                | None -> ())
+            | _ -> ())
+          b.insns)
+      fb.blocks
+
+let simplify_ro_loads ctx =
+  let s =
+    Quarantine.run_fns ctx ~stage:"simplify-ro-loads" (simplify_ro_loads_fn ctx)
+  in
+  Context.logf ctx "simplify-ro-loads: %d converted, %d aborted (size)"
+    (Bolt_obs.Metrics.counter s "pass.simplify-ro-loads.converted")
+    (Bolt_obs.Metrics.counter s "pass.simplify-ro-loads.aborted")
 
 (* Pass 8: remove PLT indirection from calls whose stub target is known. *)
+let plt_fn ctx sh (fb : Bfunc.t) =
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter
+        (fun (i : minsn) ->
+          match i.op with
+          | Insn.Call (Insn.Sym (s, 0)) -> (
+              match Hashtbl.find_opt ctx.Context.plt_target s with
+              | Some target ->
+                  i.op <- Insn.Call (Insn.Sym (target, 0));
+                  Context.sh_incr sh "pass.plt.deindirected";
+                  Context.sh_touch sh fb
+              | None -> ())
+          | _ -> ())
+        b.insns)
+    fb.blocks
+
 let plt ctx =
-  let n = ref 0 in
-  Quarantine.iter_simple ctx ~stage:"plt"
-    (fun fb ->
-      Hashtbl.iter
-        (fun _ b ->
-          List.iter
-            (fun (i : minsn) ->
-              match i.op with
-              | Insn.Call (Insn.Sym (s, 0)) -> (
-                  match Hashtbl.find_opt ctx.Context.plt_target s with
-                  | Some target ->
-                      i.op <- Insn.Call (Insn.Sym (target, 0));
-                      incr n;
-                      Context.touch ctx fb.fb_name
-                  | None -> ())
-              | _ -> ())
-            b.insns)
-        fb.blocks);
-  Context.logf ctx "plt: %d calls de-indirected" !n
+  let s = Quarantine.run_fns ctx ~stage:"plt" (plt_fn ctx) in
+  Context.logf ctx "plt: %d calls de-indirected"
+    (Bolt_obs.Metrics.counter s "pass.plt.deindirected")

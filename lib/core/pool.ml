@@ -1,0 +1,81 @@
+(* Domain pool for per-function passes.
+
+   The work model is deliberately narrow: an array of items, a worker
+   that mutates only its own item (plus the per-domain shard it is
+   handed), and nothing to return.  Items are claimed in contiguous
+   chunks off an atomic cursor, so the schedule is dynamic (a domain
+   that draws expensive functions takes fewer chunks) but the set of
+   items each worker sees never affects the output — determinism is the
+   caller's contract: workers write only per-item state and per-domain
+   shards, and the caller folds shards in a stable order at join.
+
+   Exceptions escaping a worker are collected with the item index that
+   raised them; after the join the one with the smallest index is
+   re-raised, so a fatal error surfaces identically at any -j. *)
+
+type stats = {
+  st_domain : int; (* worker index, 0 = the calling domain *)
+  st_items : int; (* items this worker processed *)
+  st_busy_s : float; (* wall time spent inside the worker function *)
+}
+
+type t = { jobs : int }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let create ?(jobs = 1) () = { jobs = max 1 jobs }
+
+let jobs t = t.jobs
+
+(* Number of worker domains a run over [n] items will actually use. *)
+let domains_for t n = if n <= 1 then 1 else min t.jobs n
+
+let run t ~(worker : int -> 'a -> unit) (items : 'a array) : stats list =
+  let n = Array.length items in
+  let d = domains_for t n in
+  if d = 1 then begin
+    (* Inline fast path: no domains, no atomics, exceptions propagate
+       as-is.  This is also the only path when the pool is sequential,
+       so -j1 has zero parallel-runtime overhead. *)
+    let t0 = Unix.gettimeofday () in
+    Array.iter (worker 0) items;
+    [ { st_domain = 0; st_items = n; st_busy_s = Unix.gettimeofday () -. t0 } ]
+  end
+  else begin
+    let cursor = Atomic.make 0 in
+    let chunk = max 1 (n / (d * 8)) in
+    let failures = Atomic.make ([] : (int * exn) list) in
+    let record_failure i exn =
+      let rec push () =
+        let old = Atomic.get failures in
+        if not (Atomic.compare_and_set failures old ((i, exn) :: old)) then push ()
+      in
+      push ()
+    in
+    let drain dom =
+      let t0 = Unix.gettimeofday () in
+      let processed = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n then continue := false
+        else
+          for i = start to min (start + chunk) n - 1 do
+            (try worker dom items.(i)
+             with exn ->
+               record_failure i exn;
+               (* stop claiming work: the run is going down anyway *)
+               Atomic.set cursor n);
+            incr processed
+          done
+      done;
+      { st_domain = dom; st_items = !processed; st_busy_s = Unix.gettimeofday () -. t0 }
+    in
+    let spawned = Array.init (d - 1) (fun i -> Domain.spawn (fun () -> drain (i + 1))) in
+    let s0 = drain 0 in
+    let rest = Array.to_list (Array.map Domain.join spawned) in
+    (match List.sort compare (Atomic.get failures) with
+    | (_, exn) :: _ -> raise exn
+    | [] -> ());
+    s0 :: rest
+  end

@@ -1,0 +1,27 @@
+(* Domain pool for per-function passes.  See pool.ml for the work model
+   and the determinism contract. *)
+
+type t
+
+type stats = {
+  st_domain : int; (* worker index, 0 = the calling domain *)
+  st_items : int; (* items this worker processed *)
+  st_busy_s : float; (* wall time spent inside the worker function *)
+}
+
+(* [Domain.recommended_domain_count], the obolt -j default. *)
+val default_jobs : unit -> int
+
+(* [create ~jobs ()] — clamped to >= 1; [jobs] defaults to 1. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(* Worker domains a run over [n] items will actually use (<= jobs). *)
+val domains_for : t -> int -> int
+
+(* [run t ~worker items] fans [items] out over the pool.  [worker dom x]
+   is called with the worker index [dom] in [0, domains_for t n).  Returns
+   one [stats] per worker.  If any worker raised, the exception attached
+   to the smallest item index is re-raised after all workers joined. *)
+val run : t -> worker:(int -> 'a -> unit) -> 'a array -> stats list

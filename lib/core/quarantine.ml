@@ -23,15 +23,23 @@ let fatal = function
    the input bytes.  The CFG may be half-mutated by the failing pass, so
    everything derived from it is dropped; [fb.jts] is kept because the
    rewriter still needs the table addresses to repoint the cells at the
-   function's final location. *)
-let demote ctx ~stage (fb : Bfunc.t) msg =
+   function's final location.
+
+   This half only mutates [fb] itself, so a worker domain can run it for
+   a function it owns; the run-level bookkeeping ([record]) is deferred
+   to the join, where verdicts fold in stable order. *)
+let demote_quiet ctx ~stage (fb : Bfunc.t) =
   Bfunc.mark_non_simple fb (Printf.sprintf "quarantined in %s" stage);
   Hashtbl.reset fb.blocks;
   fb.layout <- [];
   fb.entry <- "";
   Hashtbl.reset fb.edge_counts;
   Hashtbl.reset fb.cold_set;
-  Build.redecode ctx fb;
+  Build.redecode ctx fb
+
+(* Run-level half of a demotion: diagnostics, the trace event, and the
+   strict / quarantine-budget escalation.  Single-domain only. *)
+let record ctx ~stage (fb : Bfunc.t) msg =
   Diag.quarantine ctx.Context.diag ~stage ~func:fb.Bfunc.fb_name msg;
   Bolt_obs.Obs.event ctx.Context.obs "quarantine"
     ~attrs:
@@ -48,6 +56,10 @@ let demote ctx ~stage (fb : Bfunc.t) msg =
       raise (Diag.Quarantine_limit (Diag.quarantined_count ctx.Context.diag))
   | _ -> ()
 
+let demote ctx ~stage (fb : Bfunc.t) msg =
+  demote_quiet ctx ~stage fb;
+  record ctx ~stage fb msg
+
 (* Run [f fb] under the barrier: any non-fatal exception quarantines [fb]
    instead of propagating. *)
 let protect ctx ~stage (fb : Bfunc.t) f =
@@ -61,6 +73,45 @@ let protect ctx ~stage (fb : Bfunc.t) f =
    iteration. *)
 let iter_simple ctx ~stage f =
   List.iter (fun fb -> protect ctx ~stage fb f) (Context.simple_funcs ctx)
+
+(* The barrier for worker domains: the function is demoted in place (a
+   worker owns its function), but the verdict is parked on the shard and
+   replayed by [fold_shards] at the join. *)
+let protect_sharded ctx (sh : Context.shard) ~stage (fb : Bfunc.t) f =
+  try f fb
+  with exn when not (fatal exn) ->
+    demote_quiet ctx ~stage fb;
+    sh.Context.sh_verdicts <- (fb, Printexc.to_string exn) :: sh.Context.sh_verdicts
+
+(* Fold per-domain shards back into the run, deterministically: replay
+   diagnostics, then quarantine verdicts, each sorted by the function's
+   original address order — the order a sequential run would have hit
+   them in.  [record] re-raises Strict_error / Quarantine_limit here, so
+   a fatal verdict surfaces with the same exception (and obolt exit
+   code) at any -j, pinned to the lowest-ranked failing function. *)
+let fold_shards ctx ~stage (shards : Context.shard list) =
+  Context.apply_shard_diags ctx shards;
+  let rank = Context.order_rank ctx in
+  shards
+  |> List.concat_map (fun sh -> List.rev sh.Context.sh_verdicts)
+  |> List.sort (fun ((a : Bfunc.t), _) ((b : Bfunc.t), _) ->
+         compare (rank a.Bfunc.fb_name) (rank b.Bfunc.fb_name))
+  |> List.iter (fun (fb, msg) -> record ctx ~stage fb msg)
+
+(* Sequential driver for the visitor form of a per-function pass: the
+   compatibility entry points (Passes_simple.strip_rep_ret & co.) run
+   their visitor over one shard and fold it immediately.  Returns the
+   shard registry so the caller can log counts from it. *)
+let run_fns ctx ~stage ?(funcs = fun c -> Context.simple_funcs c)
+    (visit : Context.shard -> Bfunc.t -> unit) : Bolt_obs.Metrics.t =
+  let sh = Context.new_shard () in
+  List.iter (fun fb -> protect_sharded ctx sh ~stage fb (visit sh)) (funcs ctx);
+  fold_shards ctx ~stage [ sh ];
+  Hashtbl.iter
+    (fun k () -> Hashtbl.replace ctx.Context.touched k ())
+    sh.Context.sh_touched;
+  Bolt_obs.Metrics.merge ~into:ctx.Context.stats sh.Context.sh_stats;
+  sh.Context.sh_stats
 
 (* Pass-level barrier for whole-program passes (ICF, function reordering)
    whose failure cannot be pinned on one function: skip the pass, keep

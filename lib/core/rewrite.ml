@@ -577,3 +577,63 @@ let run ctx : result =
     text_size_before;
     text_size_after;
   }
+
+(* ---- the hardened rewrite driver ----
+
+   The emit/link/rewrite step with the degradation ladder that used to
+   live in the Bolt driver: a function whose fragment cannot be finalized
+   is quarantined and the rewrite re-run without it; if the rewrite still
+   cannot complete (and we are not strict) the run degrades to the
+   identity rewrite — the input binary unchanged. *)
+
+let text_bytes (e : Objfile.t) =
+  e.Objfile.sections
+  |> List.filter (fun (s : section) -> s.sec_kind = Text)
+  |> List.fold_left (fun a (s : section) -> a + s.sec_size) 0
+
+(* How many times a Frag_error may quarantine a function and retry the
+   whole rewrite before giving up.  Each retry removes at least one
+   function from the optimized set, so this bounds wasted work on a
+   pathological input, not correctness. *)
+let max_retries = 8
+
+(* Returns the result and whether the identity fallback was taken. *)
+let run_protected ctx : result * bool =
+  let obs = ctx.Context.obs in
+  let rec retry budget =
+    try run ctx
+    with Frag_error (func, msg) ->
+      (match Context.func ctx func with
+      | Some fb when fb.Bfunc.simple && budget > 0 ->
+          Quarantine.demote ctx ~stage:"rewrite" fb msg
+      | _ -> Context.err "rewrite: %s: %s" func msg);
+      retry (budget - 1)
+  in
+  let rw, identity_fallback =
+    try (retry max_retries, false)
+    with
+    | exn
+      when (not ctx.Context.opts.Opts.strict) && not (Quarantine.fatal exn) ->
+      (* last rung of the degradation ladder: ship the input unchanged *)
+      Diag.errorf ctx.Context.diag ~stage:"rewrite"
+        "rewrite failed (%s); falling back to the identity rewrite"
+        (Printexc.to_string exn);
+      Bolt_obs.Obs.event obs "identity-fallback";
+      let tb = text_bytes ctx.Context.exe in
+      ( {
+          out = ctx.Context.exe;
+          hot_size = 0;
+          cold_size = 0;
+          text_size_before = tb;
+          text_size_after = tb;
+        },
+        true )
+  in
+  Bolt_obs.Obs.incr obs ~by:rw.text_size_after "rewrite.bytes_emitted";
+  Bolt_obs.Obs.set_attr obs "hot_bytes" (Bolt_obs.Json.Int rw.hot_size);
+  Bolt_obs.Obs.set_attr obs "cold_bytes" (Bolt_obs.Json.Int rw.cold_size);
+  Bolt_obs.Obs.set_attr obs "text_before" (Bolt_obs.Json.Int rw.text_size_before);
+  Bolt_obs.Obs.set_attr obs "text_after" (Bolt_obs.Json.Int rw.text_size_after);
+  Bolt_obs.Metrics.incr ctx.Context.stats ~by:rw.text_size_after
+    "rewrite.bytes_emitted";
+  (rw, identity_fallback)

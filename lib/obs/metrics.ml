@@ -17,9 +17,16 @@ type dist = {
 
 type value = Counter of int ref | Gauge of float ref | Dist of dist
 
-type t = { tbl : (string, value) Hashtbl.t }
+(* The mutex makes every recording and snapshot operation atomic, so a
+   registry shared across domains never tears a count.  The parallel
+   rewriter still prefers one registry per domain (uncontended locks)
+   merged at pool join; the lock is the safety net for stray shared
+   writers, not the scaling strategy. *)
+type t = { tbl : (string, value) Hashtbl.t; m : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; m = Mutex.create () }
+
+let locked t f = Mutex.protect t.m f
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -31,66 +38,85 @@ let mismatch name v wanted =
     (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name v) wanted)
 
 let incr t ?(by = 1) name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Counter r) -> r := !r + by
-  | Some v -> mismatch name v "counter"
-  | None -> Hashtbl.replace t.tbl name (Counter (ref by))
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter r) -> r := !r + by
+      | Some v -> mismatch name v "counter"
+      | None -> Hashtbl.replace t.tbl name (Counter (ref by)))
 
 let set t name x =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Gauge r) -> r := x
-  | Some v -> mismatch name v "gauge"
-  | None -> Hashtbl.replace t.tbl name (Gauge (ref x))
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Gauge r) -> r := x
+      | Some v -> mismatch name v "gauge"
+      | None -> Hashtbl.replace t.tbl name (Gauge (ref x)))
 
 let observe t name x =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Dist d) ->
-      d.d_n <- d.d_n + 1;
-      d.d_sum <- d.d_sum +. x;
-      if x < d.d_min then d.d_min <- x;
-      if x > d.d_max then d.d_max <- x
-  | Some v -> mismatch name v "distribution"
-  | None ->
-      Hashtbl.replace t.tbl name
-        (Dist { d_n = 1; d_sum = x; d_min = x; d_max = x })
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Dist d) ->
+          d.d_n <- d.d_n + 1;
+          d.d_sum <- d.d_sum +. x;
+          if x < d.d_min then d.d_min <- x;
+          if x > d.d_max then d.d_max <- x
+      | Some v -> mismatch name v "distribution"
+      | None ->
+          Hashtbl.replace t.tbl name
+            (Dist { d_n = 1; d_sum = x; d_min = x; d_max = x }))
 
 let counter t name =
-  match Hashtbl.find_opt t.tbl name with Some (Counter r) -> !r | _ -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with Some (Counter r) -> !r | _ -> 0)
 
 let gauge t name =
-  match Hashtbl.find_opt t.tbl name with Some (Gauge r) -> !r | _ -> 0.0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with Some (Gauge r) -> !r | _ -> 0.0)
 
 let dist t name =
-  match Hashtbl.find_opt t.tbl name with Some (Dist d) -> Some d | _ -> None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with Some (Dist d) -> Some d | _ -> None)
 
 (* Fold [other] into [into]: counters add, distributions combine, a gauge
-   takes [other]'s (most recent) value.  Used to aggregate per-stage or
-   per-workload registries into one run-level registry. *)
+   takes [other]'s (most recent) value.  Used to aggregate per-stage,
+   per-domain or per-workload registries into one run-level registry.
+   Only [into] is locked: [other] is expected to be quiescent at merge
+   time (a finished shard), and locking both would risk a lock-order
+   deadlock when two registries merge into each other concurrently. *)
 let merge ~into other =
-  Hashtbl.iter
-    (fun name v ->
-      match (Hashtbl.find_opt into.tbl name, v) with
-      | None, Counter r -> Hashtbl.replace into.tbl name (Counter (ref !r))
-      | None, Gauge r -> Hashtbl.replace into.tbl name (Gauge (ref !r))
-      | None, Dist d ->
-          Hashtbl.replace into.tbl name
-            (Dist { d_n = d.d_n; d_sum = d.d_sum; d_min = d.d_min; d_max = d.d_max })
-      | Some (Counter a), Counter b -> a := !a + !b
-      | Some (Gauge a), Gauge b -> a := !b
-      | Some (Dist a), Dist b ->
-          a.d_n <- a.d_n + b.d_n;
-          a.d_sum <- a.d_sum +. b.d_sum;
-          if b.d_min < a.d_min then a.d_min <- b.d_min;
-          if b.d_max > a.d_max then a.d_max <- b.d_max
-      | Some existing, _ -> mismatch name existing (kind_name v))
-    other.tbl
+  locked into (fun () ->
+      Hashtbl.iter
+        (fun name v ->
+          match (Hashtbl.find_opt into.tbl name, v) with
+          | None, Counter r -> Hashtbl.replace into.tbl name (Counter (ref !r))
+          | None, Gauge r -> Hashtbl.replace into.tbl name (Gauge (ref !r))
+          | None, Dist d ->
+              Hashtbl.replace into.tbl name
+                (Dist { d_n = d.d_n; d_sum = d.d_sum; d_min = d.d_min; d_max = d.d_max })
+          | Some (Counter a), Counter b -> a := !a + !b
+          | Some (Gauge a), Gauge b -> a := !b
+          | Some (Dist a), Dist b ->
+              a.d_n <- a.d_n + b.d_n;
+              a.d_sum <- a.d_sum +. b.d_sum;
+              if b.d_min < a.d_min then a.d_min <- b.d_min;
+              if b.d_max > a.d_max then a.d_max <- b.d_max
+          | Some existing, _ -> mismatch name existing (kind_name v))
+        other.tbl)
 
 (* Snapshot of every counter, for computing per-span deltas. *)
 let counters t =
-  Hashtbl.fold
-    (fun name v acc ->
-      match v with Counter r -> (name, !r) :: acc | _ -> acc)
-    t.tbl []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name v acc ->
+          match v with Counter r -> (name, !r) :: acc | _ -> acc)
+        t.tbl [])
+
+(* Snapshot of every gauge, sorted by name. *)
+let gauges t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name v acc -> match v with Gauge r -> (name, !r) :: acc | _ -> acc)
+        t.tbl [])
+  |> List.sort compare
 
 (* Counters that moved since [before] (a [counters] snapshot). *)
 let counter_delta t ~before =
@@ -103,7 +129,7 @@ let counter_delta t ~before =
   |> List.sort compare
 
 let sorted_bindings t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  locked t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let to_json t : Json.t =

@@ -90,6 +90,20 @@ let with_span t name ?(attrs = []) f =
       pop ();
       raise exn
 
+(* Append an already-measured, closed child span under the current span.
+   Used for work that ran outside the trace's own clock discipline — e.g.
+   a worker domain's share of a parallel pass, whose busy time was
+   measured on the worker and reported at pool join.  The span is
+   back-dated so it nests inside (never before) the current span. *)
+let add_child t ?(attrs = []) name ~dur_s =
+  let parent = current t in
+  let dur = if dur_s < 0.0 then 0.0 else dur_s in
+  let start = Float.max parent.sp_start (now t -. dur) in
+  let s =
+    { sp_name = name; sp_start = start; sp_dur = dur; sp_attrs = attrs; sp_children = [] }
+  in
+  parent.sp_children <- s :: parent.sp_children
+
 (* Close the root (idempotent); call once the run is over. *)
 let finish t =
   List.iter (fun s -> if s.sp_dur < 0.0 then close_span t s) t.stack;
@@ -145,8 +159,20 @@ let pp_table ppf t =
     (fun (depth, (s : span)) ->
       if depth > 0 then
         let dur = if s.sp_dur < 0.0 then 0.0 else s.sp_dur in
-        Fmt.pf ppf "  %7.3f ms %5.1f%%  %s%s@." (dur *. 1000.0)
+        (* Per-function time distribution, recorded by parallel passes as
+           fn_p50_ms / fn_p99_ms attrs: shows where a parallel section's
+           critical path is (a fat p99 caps the speedup). *)
+        let dist =
+          match
+            ( List.assoc_opt "fn_p50_ms" s.sp_attrs,
+              List.assoc_opt "fn_p99_ms" s.sp_attrs )
+          with
+          | Some (Json.Float p50), Some (Json.Float p99) ->
+              Printf.sprintf "  [fn p50 %.3f p99 %.3f ms]" p50 p99
+          | _ -> ""
+        in
+        Fmt.pf ppf "  %7.3f ms %5.1f%%  %s%s%s@." (dur *. 1000.0)
           (100.0 *. dur /. total)
           (String.make ((depth - 1) * 2) ' ')
-          s.sp_name)
+          s.sp_name dist)
     (flatten t)

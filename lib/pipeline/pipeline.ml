@@ -56,10 +56,15 @@ let profile ?obs ?(sampling = default_sampling) ?config (b : build) ~input :
 
 (* Apply BOLT and return the rewritten binary plus its report.  The obs
    handle is threaded straight into the optimizer, so the experiment
-   trace nests every pass span under "bolt". *)
-let bolt ?obs ?(opts = Bolt_core.Opts.default) (b : build) (prof : Bolt_profile.Fdata.t) :
-    build * Bolt_core.Bolt.report =
+   trace nests every pass span under "bolt".  [jobs] overrides
+   [opts.jobs] (worker domains for per-function passes); output is
+   byte-identical regardless. *)
+let bolt ?obs ?(opts = Bolt_core.Opts.default) ?jobs (b : build)
+    (prof : Bolt_profile.Fdata.t) : build * Bolt_core.Bolt.report =
   let obs = opt_obs obs in
+  let opts =
+    match jobs with None -> opts | Some j -> { opts with Bolt_core.Opts.jobs = j }
+  in
   Obs.span obs "bolt" (fun () ->
       let exe', report = Bolt_core.Bolt.optimize ~opts ~obs b.exe prof in
       ({ b with exe = exe' }, report))

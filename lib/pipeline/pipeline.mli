@@ -38,10 +38,12 @@ val profile :
 
 (** Apply BOLT, returning the rewritten build and its report. With [?obs]
     the per-pass spans of the optimizer nest under this stage's "bolt"
-    span. *)
+    span. [?jobs] overrides [opts.jobs] (worker domains for per-function
+    passes); output is byte-identical regardless of the value. *)
 val bolt :
   ?obs:Obs.t ->
   ?opts:Bolt_core.Opts.t ->
+  ?jobs:int ->
   build ->
   Bolt_profile.Fdata.t ->
   build * Bolt_core.Bolt.report

@@ -15,5 +15,6 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("fdata", Test_fdata.suite);
       ("fault-injection", Test_fault_injection.suite);
+      ("parallel", Test_parallel.suite);
       ("fuzz", Test_fuzz.suite);
     ]
