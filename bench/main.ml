@@ -249,21 +249,26 @@ let run_icf () =
 (* ---- Figure 2 ---- *)
 
 let run_fig2 () =
-  section "Figure 2: inlined-profile aggregation (PGO) vs binary-level profile (BOLT)";
+  section "Figure 2: compile-time layout (plain, PGO) vs binary-level samples (BOLT)";
   let r = timed "fig2" (fun () -> E.fig2 ()) in
   Printf.printf
-    "  taken conditional branches: PGO build %d -> +BOLT %d (%.1f%% reduction)\n"
-    r.E.f2_pgo_taken r.E.f2_bolt_taken
-    (100.0
-    *. float_of_int (r.E.f2_pgo_taken - r.E.f2_bolt_taken)
-    /. float_of_int (max 1 r.E.f2_pgo_taken));
-  Printf.printf "  cycles: %d -> %d; behaviour %s\n" r.E.f2_pgo_cycles r.E.f2_bolt_cycles
+    "  taken conditional branches: plain %d, +PGO recompile %d, plain+BOLT %d\n"
+    r.E.f2_plain_taken r.E.f2_pgo_taken r.E.f2_bolt_taken;
+  Printf.printf "  total taken branches: plain %d, PGO %d, BOLT %d\n"
+    r.E.f2_plain_branches r.E.f2_pgo_branches r.E.f2_bolt_branches;
+  Printf.printf "  cycles: plain %d, PGO %d, BOLT %d; behaviour %s\n"
+    r.E.f2_plain_cycles r.E.f2_pgo_cycles r.E.f2_bolt_cycles
     (if r.E.f2_behaviour_ok then "identical" else "MISMATCH!");
   add_section "fig2"
     (Json.Obj
        [
+         ("plain_taken", Json.Int r.E.f2_plain_taken);
          ("pgo_taken", Json.Int r.E.f2_pgo_taken);
          ("bolt_taken", Json.Int r.E.f2_bolt_taken);
+         ("plain_branches", Json.Int r.E.f2_plain_branches);
+         ("pgo_branches", Json.Int r.E.f2_pgo_branches);
+         ("bolt_branches", Json.Int r.E.f2_bolt_branches);
+         ("plain_cycles", Json.Int r.E.f2_plain_cycles);
          ("pgo_cycles", Json.Int r.E.f2_pgo_cycles);
          ("bolt_cycles", Json.Int r.E.f2_bolt_cycles);
          ("behaviour_ok", Json.Bool r.E.f2_behaviour_ok);
@@ -354,6 +359,83 @@ let run_scaling ~quick () =
                     ])
                 runs) );
        ])
+
+(* ---- layout quality ---- *)
+
+(* Offline layout evaluation (lib/layout): aggregate ExtTSP score and
+   estimated hot working set of the input layout vs what each
+   -reorder-blocks algorithm produces, plus the dyno-stats taken-branch
+   count, on the hhvm-like workload.  No simulation involved. *)
+let run_layout ~quick () =
+  section "Layout: ExtTSP score and working-set estimates per algorithm (hhvm-like)";
+  let params =
+    {
+      Bolt_workloads.Workloads.hhvm_like with
+      Bolt_workloads.Gen.iterations = (if quick then 2_000 else 6_000);
+      funcs = (if quick then 800 else 2_200);
+    }
+  in
+  let w = Bolt_workloads.Gen.gen params in
+  let cc = Bolt_minic.Driver.default_options in
+  let b =
+    Bolt_minic.Driver.compile ~options:cc ~externals:w.Bolt_workloads.Gen.externals
+      ~extra_objs:w.Bolt_workloads.Gen.extra_objs w.Bolt_workloads.Gen.sources
+  in
+  let build = { P.exe = b.exe; cc } in
+  let prof, _ = P.profile build ~input:w.Bolt_workloads.Gen.input in
+  let totals rows = Bolt_core.Layout_bbs.snapshot_totals rows in
+  let ev_row name (t : Bolt_layout.Evaluator.result) taken =
+    Printf.printf "  %-18s %14.1f %10d %8d %14d\n" name
+      t.Bolt_layout.Evaluator.ev_score t.Bolt_layout.Evaluator.ev_icache_lines
+      t.Bolt_layout.Evaluator.ev_itlb_pages taken
+  in
+  let ev_json (t : Bolt_layout.Evaluator.result) taken =
+    Json.Obj
+      [
+        ("exttsp_score", Json.Float t.Bolt_layout.Evaluator.ev_score);
+        ("hot_icache_lines", Json.Int t.Bolt_layout.Evaluator.ev_icache_lines);
+        ("hot_itlb_pages", Json.Int t.Bolt_layout.Evaluator.ev_itlb_pages);
+        ("hot_bytes", Json.Int t.Bolt_layout.Evaluator.ev_hot_bytes);
+        ("taken_branches", Json.Int taken);
+      ]
+  in
+  let algos =
+    [
+      ("cache", Bolt_core.Opts.Rb_cache);
+      ("cache+", Bolt_core.Opts.Rb_cache_plus);
+      ("ext-tsp", Bolt_core.Opts.Rb_ext_tsp);
+    ]
+  in
+  Printf.printf "  %-18s %14s %10s %8s %14s\n" "layout" "exttsp" "lines"
+    "pages" "taken branches";
+  let before = ref None in
+  let rows =
+    timed "layout" (fun () ->
+        List.map
+          (fun (name, rb) ->
+            let opts = { Bolt_core.Opts.default with reorder_blocks = rb } in
+            let _, r = P.bolt ~opts build prof in
+            if !before = None then
+              before :=
+                Some
+                  ( totals r.Bolt_core.Bolt.r_layout_before,
+                    r.Bolt_core.Bolt.r_dyno_before.Bolt_core.Dyno_stats
+                    .taken_branches );
+            ( name,
+              totals r.Bolt_core.Bolt.r_layout_after,
+              r.Bolt_core.Bolt.r_dyno_after.Bolt_core.Dyno_stats.taken_branches
+            ))
+          algos)
+  in
+  let before_t, before_taken =
+    match !before with Some x -> x | None -> (Bolt_layout.Evaluator.zero, 0)
+  in
+  ev_row "original" before_t before_taken;
+  List.iter (fun (name, t, taken) -> ev_row name t taken) rows;
+  add_section "layout"
+    (Json.Obj
+       (("before", ev_json before_t before_taken)
+       :: List.map (fun (name, t, taken) -> (name, ev_json t taken)) rows))
 
 (* ---- Bechamel micro-benchmarks ---- *)
 
@@ -466,6 +548,7 @@ let () =
   if want "fig2" then run_fig2 ();
   if all || List.mem "ablations" args then run_ablations ~quick ();
   if want "scaling" then run_scaling ~quick ();
+  if want "layout" then run_layout ~quick ();
   if List.mem "micro" args then run_micro ();
   let out = "BENCH_results.json" in
   Bolt_obs.Manifest.save out

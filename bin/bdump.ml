@@ -3,7 +3,8 @@
      bdump prog.x                     # sections + symbols summary
      bdump -d prog.x                  # disassemble all functions
      bdump -d --func main prog.x     # one function, with line info
-     bdump --relocs --fdes prog.x    # relocation and frame records *)
+     bdump --relocs --fdes prog.x    # relocation and frame records
+     bdump --layout-score prog.x prog.fdata   # offline ExtTSP scores *)
 
 open Cmdliner
 open Bolt_obj
@@ -106,8 +107,42 @@ let dump_manifest path top =
   | _ -> ());
   0
 
-let run path disas func relocs fdes lsdas manifest top =
+(* --layout-score: score a binary's current block layout against a
+   profile with lib/layout's offline evaluator — per-function ExtTSP
+   score and estimated i-cache-line / i-TLB-page working sets, hottest
+   functions first, no simulation run needed. *)
+let dump_layout_score path fdata =
+  match fdata with
+  | None ->
+      Fmt.epr "bdump: --layout-score needs a profile: bdump --layout-score EXE FDATA@.";
+      1
+  | Some fdata ->
+      let exe = Objfile.load path in
+      let prof = Bolt_profile.Fdata.load fdata in
+      let ctx = Bolt_core.Context.create ~opts:Bolt_core.Opts.none exe in
+      let env = Bolt_core.Passman.make_env ctx prof in
+      Bolt_core.Passman.run env Bolt_core.Passman.pre_passes;
+      let rows = Bolt_core.Layout_bbs.snapshot ctx in
+      Printf.printf "%-28s %12s %12s %8s %6s %9s\n" "function" "exec count"
+        "exttsp" "lines" "pages" "hot bytes";
+      List.iter
+        (fun (name, exec, (r : Bolt_layout.Evaluator.result)) ->
+          Printf.printf "%-28s %12d %12.1f %8d %6d %9d\n" name exec
+            r.Bolt_layout.Evaluator.ev_score
+            r.Bolt_layout.Evaluator.ev_icache_lines
+            r.Bolt_layout.Evaluator.ev_itlb_pages
+            r.Bolt_layout.Evaluator.ev_hot_bytes)
+        rows;
+      let t = Bolt_core.Layout_bbs.snapshot_totals rows in
+      Printf.printf "%-28s %12s %12.1f %8d %6d %9d\n" "TOTAL" ""
+        t.Bolt_layout.Evaluator.ev_score t.Bolt_layout.Evaluator.ev_icache_lines
+        t.Bolt_layout.Evaluator.ev_itlb_pages
+        t.Bolt_layout.Evaluator.ev_hot_bytes;
+      0
+
+let run path fdata disas func relocs fdes lsdas manifest layout_score top =
   if manifest then dump_manifest path top
+  else if layout_score then dump_layout_score path fdata
   else begin
   let exe = Objfile.load path in
   Printf.printf "%s: %s, entry %#x\n" path
@@ -175,6 +210,12 @@ let run path disas func relocs fdes lsdas manifest top =
   end
 
 let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let fdata =
+  Arg.(
+    value
+    & pos 1 (some file) None
+    & info [] ~docv:"FDATA" ~doc:"Profile for --layout-score.")
 let disas = Arg.(value & flag & info [ "d"; "disassemble" ])
 let func = Arg.(value & opt (some string) None & info [ "func" ] ~doc:"Only this function.")
 let relocs = Arg.(value & flag & info [ "relocs" ])
@@ -187,12 +228,23 @@ let manifest =
     & info [ "manifest" ]
         ~doc:"Treat $(i,FILE) as a telemetry run manifest (JSON) and print its slowest spans and metrics.")
 
+let layout_score =
+  Arg.(
+    value & flag
+    & info [ "layout-score" ]
+        ~doc:
+          "Score $(i,FILE)'s block layout against the $(i,FDATA) profile: \
+           per-function ExtTSP score and estimated i-cache / i-TLB working \
+           sets, hottest first.")
+
 let top =
   Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Spans to show with --manifest.")
 
 let cmd =
   Cmd.v
     (Cmd.info "bdump" ~doc:"inspect BELF objects and executables")
-    Term.(const run $ path $ disas $ func $ relocs $ fdes $ lsdas $ manifest $ top)
+    Term.(
+      const run $ path $ fdata $ disas $ func $ relocs $ fdes $ lsdas $ manifest
+      $ layout_score $ top)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,7 +2,7 @@
    invocation:
 
      obolt prog.x -b prog.fdata -o prog.bolted.x \
-       -reorder-blocks=cache+ -reorder-functions=hfsort+ \
+       -reorder-blocks=ext-tsp -reorder-functions=hfsort+ \
        -split-functions=3 -split-all-cold -split-eh -icf=1 -dyno-stats  *)
 
 open Cmdliner
@@ -44,6 +44,7 @@ let run exe_path fdata out reorder_blocks reorder_functions split_functions
         | "none" -> Bolt_core.Opts.Rb_none
         | "cache" -> Bolt_core.Opts.Rb_cache
         | "cache+" -> Bolt_core.Opts.Rb_cache_plus
+        | "ext-tsp" -> Bolt_core.Opts.Rb_ext_tsp
         | s -> Fmt.failwith "unknown -reorder-blocks=%s" s);
       reorder_functions =
         (match reorder_functions with
@@ -127,7 +128,11 @@ let fdata = Arg.(required & opt (some file) None & info [ "b" ] ~doc:"fdata prof
 let out = Arg.(value & opt string "bolted.x" & info [ "o" ] ~doc:"Output binary.")
 
 let reorder_blocks =
-  Arg.(value & opt string "cache+" & info [ "reorder-blocks" ] ~doc:"none|cache|cache+")
+  Arg.(
+    value
+    & opt string "ext-tsp"
+    & info [ "reorder-blocks" ]
+        ~doc:"none|cache|cache+|ext-tsp (cache/cache+ kept for A/B runs)")
 
 let reorder_functions =
   Arg.(value & opt string "hfsort+" & info [ "reorder-functions" ] ~doc:"none|hfsort|hfsort+|pettis-hansen")

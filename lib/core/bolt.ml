@@ -36,6 +36,10 @@ type report = {
   r_profile_staleness : float; (* stale records / all branch records *)
   r_dyno_before : Dyno_stats.t;
   r_dyno_after : Dyno_stats.t;
+  r_layout_before : (string * int * Bolt_layout.Evaluator.result) list;
+      (* per simple profiled function: name, exec count, offline layout
+         evaluation — hottest first *)
+  r_layout_after : (string * int * Bolt_layout.Evaluator.result) list;
   r_text_before : int;
   r_text_after : int;
   r_hot_size : int;
@@ -88,9 +92,16 @@ let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
         Quarantine.pass ctx ~stage:"dyno-stats" ~default:(Dyno_stats.zero ())
           (fun () -> Dyno_stats.collect ctx))
   in
+  let layout_snap name =
+    Passman.stage env name (fun () ->
+        Quarantine.pass ctx ~stage:"layout-eval" ~default:[] (fun () ->
+            Layout_bbs.snapshot ctx))
+  in
   let dyno_before = dyno ctx "dyno-stats-before" in
+  let layout_before = layout_snap "layout-eval-before" in
   Passman.run env Passman.table1;
   let dyno_after = dyno ctx "dyno-stats-after" in
+  let layout_after = layout_snap "layout-eval-after" in
   let rw, identity_fallback =
     Passman.stage env "rewrite" (fun () -> Rewrite.run_protected ctx)
   in
@@ -121,6 +132,8 @@ let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
          else float_of_int stale_records /. float_of_int total);
       r_dyno_before = dyno_before;
       r_dyno_after = dyno_after;
+      r_layout_before = layout_before;
+      r_layout_after = layout_after;
       r_text_before = rw.Rewrite.text_size_before;
       r_text_after = rw.Rewrite.text_size_after;
       r_hot_size = rw.Rewrite.hot_size;
@@ -159,6 +172,15 @@ let pp_report ppf (r : report) =
   if r.r_diag_errors > 0 || r.r_diag_warnings > 0 then
     Fmt.pf ppf "  diagnostics: %d error(s), %d warning(s)@." r.r_diag_errors
       r.r_diag_warnings;
+  (let b = Layout_bbs.snapshot_totals r.r_layout_before
+   and a = Layout_bbs.snapshot_totals r.r_layout_after in
+   Fmt.pf ppf
+     "  layout: ExtTSP %.1f -> %.1f, hot i-cache lines %d -> %d, hot i-TLB \
+      pages %d -> %d@."
+     b.Bolt_layout.Evaluator.ev_score a.Bolt_layout.Evaluator.ev_score
+     b.Bolt_layout.Evaluator.ev_icache_lines
+     a.Bolt_layout.Evaluator.ev_icache_lines
+     b.Bolt_layout.Evaluator.ev_itlb_pages a.Bolt_layout.Evaluator.ev_itlb_pages);
   Fmt.pf ppf "  dyno-stats (profile-weighted, before -> after):@.";
   Dyno_stats.pp_comparison ppf ~before:r.r_dyno_before ~after:r.r_dyno_after
 
@@ -202,6 +224,45 @@ let manifest_sections (r : report) : (string * Json.t) list =
             Dyno_stats.comparison_to_json ~before:r.r_dyno_before
               ~after:r.r_dyno_after );
         ] );
+    ( "layout",
+      (let ev_json (r : Bolt_layout.Evaluator.result) =
+         Json.Obj
+           [
+             ("exttsp_score", Json.Float r.Bolt_layout.Evaluator.ev_score);
+             ("hot_bytes", Json.Int r.Bolt_layout.Evaluator.ev_hot_bytes);
+             ("icache_lines", Json.Int r.Bolt_layout.Evaluator.ev_icache_lines);
+             ("itlb_pages", Json.Int r.Bolt_layout.Evaluator.ev_itlb_pages);
+           ]
+       in
+       let after_by_name =
+         List.map (fun (n, _, ev) -> (n, ev)) r.r_layout_after
+       in
+       let rec top n l =
+         match (n, l) with
+         | 0, _ | _, [] -> []
+         | n, x :: tl -> x :: top (n - 1) tl
+       in
+       Json.Obj
+         [
+           ( "before",
+             ev_json (Layout_bbs.snapshot_totals r.r_layout_before) );
+           ("after", ev_json (Layout_bbs.snapshot_totals r.r_layout_after));
+           ( "functions",
+             (* hottest 100 functions, before/after paired by name *)
+             Json.List
+               (top 100 r.r_layout_before
+               |> List.map (fun (name, exec, before) ->
+                      Json.Obj
+                        ([
+                           ("func", Json.String name);
+                           ("exec_count", Json.Int exec);
+                           ("before", ev_json before);
+                         ]
+                        @
+                        match List.assoc_opt name after_by_name with
+                        | Some a -> [ ("after", ev_json a) ]
+                        | None -> []))) );
+         ]) );
     ( "quarantine",
       Json.List
         (List.map

@@ -31,6 +31,12 @@ type report = {
           profile-decay measure, also exported to the run manifest *)
   r_dyno_before : Dyno_stats.t;  (** profile-weighted stats, input layout *)
   r_dyno_after : Dyno_stats.t;  (** same, final layout *)
+  r_layout_before : (string * int * Bolt_layout.Evaluator.result) list;
+      (** per-function offline layout evaluation of the input layout
+          (name, exec count, ExtTSP score + working-set estimate),
+          hottest functions first *)
+  r_layout_after : (string * int * Bolt_layout.Evaluator.result) list;
+      (** same, final layout *)
   r_text_before : int;  (** code bytes before rewriting *)
   r_text_after : int;
   r_hot_size : int;  (** bytes in the hot area (relocations mode) *)
@@ -84,6 +90,6 @@ val optimize :
 val pp_report : Format.formatter -> report -> unit
 
 (** The report as stable JSON manifest sections ([report],
-    [profile_quality], [dyno_stats], [quarantine], [diagnostics],
-    [bad_layout]) for {!Bolt_obs.Manifest.make}. *)
+    [profile_quality], [dyno_stats], [layout], [quarantine],
+    [diagnostics], [bad_layout]) for {!Bolt_obs.Manifest.make}. *)
 val manifest_sections : report -> (string * Bolt_obs.Json.t) list

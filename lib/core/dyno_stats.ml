@@ -20,6 +20,12 @@ type t = {
   mutable non_taken_conditional : int;
   mutable taken_conditional : int;
   mutable executed_calls : int;
+  (* layout quality (lib/layout's offline evaluator): summed per-function
+     ExtTSP objective (x1000, so the before/after delta table stays
+     integral) and the estimated hot working set *)
+  mutable layout_score_x1000 : int;
+  mutable hot_icache_lines : int;
+  mutable hot_itlb_pages : int;
 }
 
 let zero () =
@@ -35,6 +41,9 @@ let zero () =
     non_taken_conditional = 0;
     taken_conditional = 0;
     executed_calls = 0;
+    layout_score_x1000 = 0;
+    hot_icache_lines = 0;
+    hot_itlb_pages = 0;
   }
 
 let collect ctx : t =
@@ -108,7 +117,17 @@ let collect ctx : t =
               st.total_branches <- st.total_branches + n;
               st.taken_branches <- st.taken_branches + n
           | T_cond _ | T_stop -> ())
-        fb.layout)
+        fb.layout;
+      if has_profile fb && Hashtbl.length fb.blocks > 0 then begin
+        let r = Layout_bbs.eval_fn fb in
+        st.layout_score_x1000 <-
+          st.layout_score_x1000
+          + int_of_float ((r.Bolt_layout.Evaluator.ev_score *. 1000.0) +. 0.5);
+        st.hot_icache_lines <-
+          st.hot_icache_lines + r.Bolt_layout.Evaluator.ev_icache_lines;
+        st.hot_itlb_pages <-
+          st.hot_itlb_pages + r.Bolt_layout.Evaluator.ev_itlb_pages
+      end)
     (Context.simple_funcs ctx);
   st
 
@@ -125,6 +144,9 @@ let rows (t : t) =
     ("non-taken conditional branches", t.non_taken_conditional);
     ("taken conditional branches", t.taken_conditional);
     ("executed calls", t.executed_calls);
+    ("layout score (ExtTSP x1000)", t.layout_score_x1000);
+    ("hot i-cache lines", t.hot_icache_lines);
+    ("hot i-TLB pages", t.hot_itlb_pages);
   ]
 
 let pct_delta before after =

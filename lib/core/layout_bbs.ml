@@ -1,85 +1,81 @@
 (* Pass 9: reorder basic blocks and split hot/cold code.
 
-   Two algorithms, matching BOLT's -reorder-blocks:
+   The chain building, merging and scoring all live in lib/layout
+   (bolt_layout) now; this pass is an adapter that projects a Bfunc
+   onto Bolt_layout.Cfg, runs the requested algorithm, and writes the
+   resulting order back.  Three algorithms, matching BOLT's
+   -reorder-blocks:
 
-   - "cache": bottom-up Pettis-Hansen chaining on edge weights — a chain
-     is extended only tail-to-head, so the hottest successor becomes the
-     fall-through;
-   - "cache+": an ext-TSP-flavoured variant that scores both
-     concatenation orders of two chains by the fall-through weight they
-     realise plus a bonus for short forward jumps, which recovers layouts
-     plain chaining misses.
+   - "cache": bottom-up Pettis-Hansen chaining on edge weights;
+   - "cache+": the historical seam-scored variant (kept for A/B runs);
+   - "ext-tsp" (default): greedy chain merging with splitting under the
+     real ExtTSP objective, guarded never to score below cache+ or the
+     original layout.
 
    Splitting moves never-executed blocks to the function's cold fragment
    (paper options -split-functions / -split-all-cold / -split-eh). *)
 
 open Bfunc
+module Cfg = Bolt_layout.Cfg
+module Engine = Bolt_layout.Engine
+module Evaluator = Bolt_layout.Evaluator
 
-type chain = { mutable blocks : string list; (* in order *) mutable weight : int }
+(* Project a function's CFG in its current layout order.  The identity
+   permutation of the result scores the layout as it stands.  [cold]
+   marks blocks whose edges should be dropped from the projection (see
+   [sunk_cold]); their nodes stay, as weight-0 singletons. *)
+let cfg_of_fn ?(cold = fun _ -> false) (fb : Bfunc.t) : Cfg.t =
+  let labels = Array.of_list fb.layout in
+  let idx = Hashtbl.create (Array.length labels * 2 + 1) in
+  Array.iteri (fun i l -> Hashtbl.replace idx l i) labels;
+  let nodes =
+    Array.map
+      (fun l ->
+        let b = block fb l in
+        { Cfg.n_label = l; n_size = block_size fb b; n_count = b.ecount })
+      labels
+  in
+  let edges =
+    Hashtbl.fold
+      (fun (s, d) (c, _) acc ->
+        match (Hashtbl.find_opt idx s, Hashtbl.find_opt idx d) with
+        | Some si, Some di when (not (cold s)) && not (cold d) ->
+            (si, di, !c) :: acc
+        | _ -> acc)
+      fb.edge_counts []
+  in
+  let entry = Option.value ~default:(-1) (Hashtbl.find_opt idx fb.entry) in
+  Cfg.make ~nodes ~entry edges
 
-let chains_of fb =
-  let chain_of = Hashtbl.create 32 in
-  let all = ref [] in
-  List.iter
-    (fun l ->
-      let c = { blocks = [ l ]; weight = (block fb l).ecount } in
-      Hashtbl.replace chain_of l c;
-      all := c :: !all)
-    fb.layout;
-  (chain_of, all)
-
-let edges_desc fb =
-  Hashtbl.fold (fun (s, d) (c, _) acc -> ((s, d), !c) :: acc) fb.edge_counts []
-  |> List.filter (fun ((s, d), c) -> s <> d && c > 0 && Hashtbl.mem fb.Bfunc.blocks s && Hashtbl.mem fb.Bfunc.blocks d)
-  |> List.sort (fun ((s1, d1), a) ((s2, d2), b) ->
-         if a <> b then compare b a else compare (s1, d1) (s2, d2))
-
-let last c = List.nth c.blocks (List.length c.blocks - 1)
-
-let merge_chains chain_of a b =
-  a.blocks <- a.blocks @ b.blocks;
-  a.weight <- a.weight + b.weight;
-  List.iter (fun l -> Hashtbl.replace chain_of l a) b.blocks;
-  b.blocks <- []
-
-(* "cache": merge only when the edge source ends chain A and the target
-   heads chain B. *)
-let order_cache fb =
-  let chain_of, all = chains_of fb in
-  List.iter
-    (fun ((s, d), _) ->
-      let ca = Hashtbl.find chain_of s and cb = Hashtbl.find chain_of d in
-      if ca != cb && ca.blocks <> [] && cb.blocks <> [] then
-        if last ca = s && List.hd cb.blocks = d && d <> fb.entry then
-          merge_chains chain_of ca cb)
-    (edges_desc fb);
-  (chain_of, !all)
-
-(* "cache+": also consider putting B before A, scoring both orders. *)
-let order_cache_plus fb =
-  let chain_of, all = chains_of fb in
-  let edge_w s d = edge_count fb s d in
-  List.iter
-    (fun ((s, d), _) ->
-      let ca = Hashtbl.find chain_of s and cb = Hashtbl.find chain_of d in
-      if ca != cb && ca.blocks <> [] && cb.blocks <> [] then begin
-        (* score A++B: fall-through realised across the seam *)
-        let seam_ab = edge_w (last ca) (List.hd cb.blocks) in
-        let seam_ba = edge_w (last cb) (List.hd ca.blocks) in
-        if seam_ab >= seam_ba && List.hd cb.blocks <> fb.entry && seam_ab > 0 then
-          merge_chains chain_of ca cb
-        else if seam_ba > 0 && List.hd ca.blocks <> fb.entry then begin
-          merge_chains chain_of cb ca;
-          ()
-        end
-      end)
-    (edges_desc fb);
-  (chain_of, !all)
+(* Blocks the split-functions pass is about to sink to the cold
+   fragment make worthless fall-through partners: any adjacency the
+   engine buys against one (a stale profile can carry a hot edge into a
+   block that never executed) is destroyed right after reorder-bbs.
+   When splitting is on, project the CFG with such blocks' edges
+   dropped, so every algorithm competes only on adjacencies that
+   survive. *)
+let sunk_cold opts (fb : Bfunc.t) =
+  let size_ok =
+    match opts.Opts.split_functions with
+    | Opts.Split_none -> false
+    | Opts.Split_all -> true
+    | Opts.Split_large -> fb.fb_size > 256
+  in
+  if size_ok && has_profile fb && fb.exec_count > 0 then fun l ->
+    let b = block fb l in
+    b.ecount = 0 && l <> fb.entry && (opts.Opts.split_eh || not b.is_lp)
+  else fun _ -> false
 
 let algo_name = function
   | Opts.Rb_none -> "none"
   | Opts.Rb_cache -> "cache"
   | Opts.Rb_cache_plus -> "cache+"
+  | Opts.Rb_ext_tsp -> "ext-tsp"
+
+let engine_algo = function
+  | Opts.Rb_cache -> Engine.Cache
+  | Opts.Rb_cache_plus -> Engine.Cache_plus
+  | Opts.Rb_none | Opts.Rb_ext_tsp -> Engine.Ext_tsp
 
 (* Visitor form for the pass manager: reorder one function's layout.
    No-op under Rb_none (the registry also disables the pass then). *)
@@ -90,29 +86,9 @@ let reorder_fn ctx sh (fb : Bfunc.t) =
     && has_profile fb
     && Hashtbl.length fb.Bfunc.blocks > 1
   then begin
-    let _, all =
-      match algo with
-      | Opts.Rb_cache -> order_cache fb
-      | _ -> order_cache_plus fb
-    in
-    let chains = List.filter (fun c -> c.blocks <> []) all in
-    (* entry chain first, then by weight *)
-    let entry_c, rest =
-      List.partition (fun c -> List.mem fb.entry c.blocks) chains
-    in
-    let rest =
-      List.sort
-        (fun a b ->
-          if a.weight <> b.weight then compare b.weight a.weight
-          else compare a.blocks b.blocks)
-        rest
-    in
-    let order = List.concat_map (fun c -> c.blocks) (entry_c @ rest) in
-    (* keep any stragglers (unreached blocks) *)
-    let seen = Hashtbl.create 32 in
-    List.iter (fun l -> Hashtbl.replace seen l ()) order;
-    let stragglers = List.filter (fun l -> not (Hashtbl.mem seen l)) fb.layout in
-    fb.layout <- order @ stragglers;
+    let cfg = cfg_of_fn ~cold:(sunk_cold ctx.Context.opts fb) fb in
+    let order = Engine.order (engine_algo algo) cfg in
+    fb.layout <- Array.to_list (Array.map (Cfg.label cfg) order);
     Context.sh_incr sh "pass.reorder-bbs.reordered";
     Context.sh_touch sh fb
   end
@@ -122,6 +98,28 @@ let reorder ctx =
   Context.logf ctx "reorder-bbs(%s): %d functions reordered"
     (algo_name ctx.Context.opts.Opts.reorder_blocks)
     (Bolt_obs.Metrics.counter s "pass.reorder-bbs.reordered")
+
+(* ---- offline evaluation ---- *)
+
+(* Score one function's current layout: ExtTSP objective plus the
+   estimated hot i-cache-line / i-TLB-page working set. *)
+let eval_fn (fb : Bfunc.t) : Evaluator.result =
+  let cfg = cfg_of_fn fb in
+  Evaluator.evaluate cfg (Cfg.identity cfg)
+
+(* Per-function layout snapshot over the whole context, hottest first —
+   feeds the report's layout section and `bdump --layout-score`. *)
+let snapshot ctx : (string * int * Evaluator.result) list =
+  Context.simple_funcs ctx
+  |> List.filter_map (fun fb ->
+         if has_profile fb && Hashtbl.length fb.Bfunc.blocks > 0 then
+           Some (fb.fb_name, fb.exec_count, eval_fn fb)
+         else None)
+  |> List.sort (fun (n1, e1, _) (n2, e2, _) ->
+         if e1 <> e2 then compare e2 e1 else compare n1 n2)
+
+let snapshot_totals rows =
+  List.fold_left (fun acc (_, _, r) -> Evaluator.add acc r) Evaluator.zero rows
 
 (* Hot/cold splitting: cold blocks go to the function's cold fragment,
    which the rewriter emits in the cold code area. *)

@@ -4,7 +4,7 @@
      -split-functions=3 -split-all-cold -split-eh -icf=1
      -dyno-stats ...                                           *)
 
-type reorder_blocks = Rb_none | Rb_cache | Rb_cache_plus
+type reorder_blocks = Rb_none | Rb_cache | Rb_cache_plus | Rb_ext_tsp
 
 type reorder_functions = Rf_none | Rf_hfsort | Rf_hfsort_plus | Rf_pettis_hansen
 
@@ -51,7 +51,7 @@ type t = {
 
 let default =
   {
-    reorder_blocks = Rb_cache_plus;
+    reorder_blocks = Rb_ext_tsp;
     reorder_functions = Rf_hfsort_plus;
     split_functions = Split_all;
     split_all_cold = true;

@@ -41,14 +41,16 @@ let in_weights g =
     g.edges;
   h
 
-(* The hottest caller of each function. *)
+(* The hottest caller of each function; equal weights break towards the
+   lexicographically smaller caller so the result does not depend on
+   hashtable iteration order. *)
 let hottest_caller g =
   let best = Hashtbl.create 256 in
   Hashtbl.iter
     (fun (caller, callee) w ->
       if caller <> callee then
         match Hashtbl.find_opt best callee with
-        | Some (_, bw) when bw >= !w -> ()
+        | Some (bc, bw) when bw > !w || (bw = !w && bc <= caller) -> ()
         | _ -> Hashtbl.replace best callee (caller, !w))
     g.edges;
   best

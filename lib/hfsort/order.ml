@@ -1,4 +1,5 @@
-(* Function-ordering algorithms.
+(* Function-ordering algorithms, expressed over the shared chain pool in
+   lib/layout (bolt_layout).
 
    - [c3] is HFSort's call-chain clustering (Ottoni & Maher, CGO'17): hot
      functions are appended to the cluster of their hottest caller as long
@@ -9,164 +10,167 @@
      i-TLB benefit — a simplified rendition of the hfsort+ refinement used
      by BOLT's -reorder-functions=hfsort+.
    - [pettis_hansen] is the classic PH "closest is best" cluster merge on
-     raw edge weights, the baseline HFSort was measured against. *)
+     raw edge weights, the baseline HFSort was measured against.
+
+   A cluster is simply a chain whose nodes are functions: weight =
+   samples, size = bytes, so Chain.weight/size give density directly.
+   Node ids are assigned in function-name order and every greedy loop
+   consumes Cfg's totally-ordered edge array, making all three
+   algorithms deterministic under equal weights. *)
+
+module Cfg = Bolt_layout.Cfg
+module Chain = Bolt_layout.Chain
 
 type algo = C3 | Hfsort_plus | Pettis_hansen
 
 let page_budget = 4096
 let merge_density_ratio = 8 (* callee may be at most 8x colder per byte *)
 
-type cluster = {
-  mutable members : string list; (* reversed *)
-  mutable c_size : int;
-  mutable c_samples : int;
-}
+(* The call graph projected onto node ids (name order). *)
+type proj = { cfg : Cfg.t; names : string array; id : (string, int) Hashtbl.t }
 
-let density c = if c.c_size = 0 then 0.0 else float_of_int c.c_samples /. float_of_int c.c_size
-
-let cluster_order clusters =
-  clusters
-  |> List.filter (fun c -> c.members <> [])
-  |> List.sort (fun a b -> compare (density b) (density a))
-  |> List.concat_map (fun c -> List.rev c.members)
-
-let c3_clusters (g : Callgraph.t) =
-  let nodes = Hashtbl.fold (fun _ n acc -> n :: acc) g.Callgraph.nodes [] in
-  let hot =
-    List.filter (fun n -> n.Callgraph.n_samples > 0) nodes
-    |> List.sort (fun a b ->
-           if a.Callgraph.n_samples <> b.Callgraph.n_samples then
-             compare b.Callgraph.n_samples a.Callgraph.n_samples
-           else compare a.Callgraph.n_name b.Callgraph.n_name)
+let project (g : Callgraph.t) : proj =
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) g.Callgraph.nodes []
+    |> List.sort compare |> Array.of_list
   in
-  let cluster_of : (string, cluster) Hashtbl.t = Hashtbl.create 256 in
-  let clusters = ref [] in
-  let fresh n =
-    let c =
-      { members = [ n.Callgraph.n_name ]; c_size = n.Callgraph.n_size; c_samples = n.n_samples }
-    in
-    Hashtbl.replace cluster_of n.n_name c;
-    clusters := c :: !clusters;
-    c
+  let id = Hashtbl.create (Array.length names * 2 + 1) in
+  Array.iteri (fun i n -> Hashtbl.replace id n i) names;
+  let nodes =
+    Array.map
+      (fun name ->
+        let n = Hashtbl.find g.Callgraph.nodes name in
+        { Cfg.n_label = name; n_size = n.Callgraph.n_size; n_count = n.n_samples })
+      names
   in
-  List.iter (fun n -> ignore (fresh n)) hot;
+  let edges =
+    Hashtbl.fold
+      (fun (a, b) r acc ->
+        match (Hashtbl.find_opt id a, Hashtbl.find_opt id b) with
+        | Some ia, Some ib -> (ia, ib, !r) :: acc
+        | _ -> acc)
+      g.Callgraph.edges []
+  in
+  { cfg = Cfg.make ~nodes edges; names; id }
+
+let density pool c =
+  let s = Chain.size pool c in
+  if s = 0 then 0.0 else float_of_int (Chain.weight pool c) /. float_of_int s
+
+(* Hot clusters (weight > 0) by density desc, chain id asc, flattened to
+   function names.  Cold functions never join a hot chain (every merge
+   guard requires weight > 0 on both sides), so they are left for the
+   caller's original-order fallback. *)
+let cluster_order proj pool =
+  Chain.live_chains pool
+  |> List.filter (fun c -> Chain.weight pool c > 0)
+  |> List.sort (fun a b ->
+         let da = density pool a and db = density pool b in
+         if da <> db then compare db da else compare a b)
+  |> List.concat_map (fun c ->
+         Array.to_list (Chain.blocks pool c)
+         |> List.map (fun i -> proj.names.(i)))
+
+(* Hot node ids, samples desc then name asc (id order = name order). *)
+let hot_ids proj =
+  let ids = ref [] in
+  for i = Array.length proj.names - 1 downto 0 do
+    if Cfg.count proj.cfg i > 0 then ids := i :: !ids
+  done;
+  List.sort
+    (fun a b ->
+      let ca = Cfg.count proj.cfg a and cb = Cfg.count proj.cfg b in
+      if ca <> cb then compare cb ca else compare a b)
+    !ids
+
+let c3_merges (g : Callgraph.t) proj pool =
   let best_caller = Callgraph.hottest_caller g in
   List.iter
-    (fun n ->
-      match Hashtbl.find_opt best_caller n.Callgraph.n_name with
+    (fun i ->
+      match Hashtbl.find_opt best_caller proj.names.(i) with
       | None -> ()
       | Some (caller, _w) -> (
-          match
-            (Hashtbl.find_opt cluster_of caller, Hashtbl.find_opt cluster_of n.n_name)
-          with
-          | Some cc, Some cf when cc != cf ->
-              let merged_size = cc.c_size + cf.c_size in
-              let callee_density =
-                if cf.c_size = 0 then 0.0
-                else float_of_int cf.c_samples /. float_of_int cf.c_size
-              in
-              if
-                merged_size <= page_budget
-                && callee_density *. float_of_int merge_density_ratio >= density cc
-              then begin
-                cc.members <- cf.members @ cc.members;
-                cc.c_size <- merged_size;
-                cc.c_samples <- cc.c_samples + cf.c_samples;
-                List.iter (fun m -> Hashtbl.replace cluster_of m cc) cf.members;
-                cf.members <- [];
-                cf.c_size <- 0;
-                cf.c_samples <- 0
-              end
-          | _ -> ()))
-    hot;
-  !clusters
+          match Hashtbl.find_opt proj.id caller with
+          | None -> ()
+          | Some ci ->
+              let cc = Chain.chain_of pool ci and cf = Chain.chain_of pool i in
+              if cc <> cf && Chain.weight pool cc > 0 then begin
+                let merged_size = Chain.size pool cc + Chain.size pool cf in
+                if
+                  merged_size <= page_budget
+                  && density pool cf *. float_of_int merge_density_ratio
+                     >= density pool cc
+                then Chain.append pool ~into:cc cf
+              end))
+    (hot_ids proj)
 
-let c3 g = cluster_order (c3_clusters g)
+let c3 (g : Callgraph.t) =
+  let proj = project g in
+  let pool = Chain.create proj.cfg in
+  c3_merges g proj pool;
+  cluster_order proj pool
 
 (* hfsort+ style refinement: keep merging cluster pairs with the highest
-   inter-cluster call weight normalised by merged size, while the merge
-   still fits a small multiple of the page budget. *)
+   inter-cluster call weight, while the merge still fits a small
+   multiple of the page budget; the denser cluster leads. *)
 let hfsort_plus (g : Callgraph.t) =
-  let clusters = Array.of_list (List.filter (fun c -> c.members <> []) (c3_clusters g)) in
-  let n = Array.length clusters in
-  let idx_of = Hashtbl.create 256 in
-  Array.iteri
-    (fun i c -> List.iter (fun m -> Hashtbl.replace idx_of m i) c.members)
+  let proj = project g in
+  let pool = Chain.create proj.cfg in
+  c3_merges g proj pool;
+  (* snapshot the c3 clusters: cluster index per node, plus one
+     representative node per cluster to find its current chain later *)
+  let clusters =
+    Chain.live_chains pool |> List.filter (fun c -> Chain.weight pool c > 0)
+  in
+  let rep = Array.of_list (List.map (Chain.head pool) clusters) in
+  let cl = Array.make (Array.length proj.names) (-1) in
+  List.iteri
+    (fun i c -> Array.iter (fun b -> cl.(b) <- i) (Chain.blocks pool c))
     clusters;
-  let parent = Array.init n (fun i -> i) in
-  let rec find i = if parent.(i) = i then i else find parent.(i) in
   (* inter-cluster weights *)
   let w = Hashtbl.create 1024 in
-  Hashtbl.iter
-    (fun (a, b) r ->
-      match (Hashtbl.find_opt idx_of a, Hashtbl.find_opt idx_of b) with
-      | Some ia, Some ib when ia <> ib ->
-          let key = (min ia ib, max ia ib) in
-          Hashtbl.replace w key (!r + try Hashtbl.find w key with Not_found -> 0)
-      | _ -> ())
-    g.Callgraph.edges;
+  Array.iter
+    (fun (ia, ib, weight) ->
+      let ca = cl.(ia) and cb = cl.(ib) in
+      if ca >= 0 && cb >= 0 && ca <> cb then begin
+        let key = (min ca cb, max ca cb) in
+        Hashtbl.replace w key
+          (weight + try Hashtbl.find w key with Not_found -> 0)
+      end)
+    proj.cfg.Cfg.edges;
   let candidates =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) w []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.sort (fun (k1, a) (k2, b) ->
+           if a <> b then compare b a else compare k1 k2)
   in
   List.iter
     (fun ((ia, ib), _) ->
-      let ra = find ia and rb = find ib in
-      if ra <> rb && clusters.(ra).c_size + clusters.(rb).c_size <= 4 * page_budget
+      let ra = Chain.chain_of pool rep.(ia)
+      and rb = Chain.chain_of pool rep.(ib) in
+      if ra <> rb && Chain.size pool ra + Chain.size pool rb <= 4 * page_budget
       then begin
-        let a, b = (clusters.(ra), clusters.(rb)) in
-        (* append the less dense cluster after the denser one *)
-        let hi, lo = if density a >= density b then (a, b) else (b, a) in
-        hi.members <- lo.members @ hi.members;
-        hi.c_size <- hi.c_size + lo.c_size;
-        hi.c_samples <- hi.c_samples + lo.c_samples;
-        lo.members <- [];
-        lo.c_size <- 0;
-        lo.c_samples <- 0;
-        let rhi = if hi == a then ra else rb in
-        parent.(ra) <- rhi;
-        parent.(rb) <- rhi
+        let hi, lo =
+          if density pool ra >= density pool rb then (ra, rb) else (rb, ra)
+        in
+        Chain.append pool ~into:hi lo
       end)
     candidates;
-  cluster_order (Array.to_list clusters)
+  cluster_order proj pool
 
 (* Classic Pettis-Hansen function ordering: merge the clusters joined by
-   the globally heaviest remaining edge. *)
+   the globally heaviest remaining edge (ties broken by endpoint names
+   via the edge array's total order). *)
 let pettis_hansen (g : Callgraph.t) =
-  let cluster_of = Hashtbl.create 256 in
-  let clusters = ref [] in
-  Hashtbl.iter
-    (fun _ n ->
-      if n.Callgraph.n_samples > 0 then begin
-        let c =
-          {
-            members = [ n.Callgraph.n_name ];
-            c_size = n.Callgraph.n_size;
-            c_samples = n.n_samples;
-          }
-        in
-        Hashtbl.replace cluster_of n.n_name c;
-        clusters := c :: !clusters
-      end)
-    g.Callgraph.nodes;
-  let edges =
-    Hashtbl.fold (fun (a, b) r acc -> if a <> b then ((a, b), !r) :: acc else acc) g.edges []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
-  in
-  List.iter
-    (fun ((a, b), _) ->
-      match (Hashtbl.find_opt cluster_of a, Hashtbl.find_opt cluster_of b) with
-      | Some ca, Some cb when ca != cb ->
-          ca.members <- cb.members @ ca.members;
-          ca.c_size <- ca.c_size + cb.c_size;
-          ca.c_samples <- ca.c_samples + cb.c_samples;
-          List.iter (fun m -> Hashtbl.replace cluster_of m ca) cb.members;
-          cb.members <- [];
-          cb.c_size <- 0;
-          cb.c_samples <- 0
-      | _ -> ())
-    edges;
-  cluster_order !clusters
+  let proj = project g in
+  let pool = Chain.create proj.cfg in
+  Array.iter
+    (fun (ia, ib, _) ->
+      let ca = Chain.chain_of pool ia and cb = Chain.chain_of pool ib in
+      if
+        ca <> cb && Chain.weight pool ca > 0 && Chain.weight pool cb > 0
+      then Chain.append pool ~into:ca cb)
+    proj.cfg.Cfg.edges;
+  cluster_order proj pool
 
 (* Full ordering: hot functions by the chosen algorithm, then everything
    else in original order. *)

@@ -1,0 +1,62 @@
+(* Offline layout evaluator: score a layout and estimate its hot
+   working set without running anything.
+
+   The ExtTSP score comes straight from the objective; the i-cache-line
+   and i-TLB-page estimates reuse lib/sim's set-associative cache model
+   statically — configured fully associative and big enough never to
+   evict, every cold miss is one distinct line (page) touched by a
+   block that executed at least once.  That makes `bsim`-free layout
+   comparisons possible: a layout that packs the hot blocks into fewer
+   lines and pages is better before any simulation. *)
+
+type result = {
+  ev_score : float;       (* ExtTSP objective of the layout *)
+  ev_hot_bytes : int;     (* bytes in blocks with a nonzero count *)
+  ev_icache_lines : int;  (* distinct icache lines those blocks span *)
+  ev_itlb_pages : int;    (* distinct ITLB pages those blocks span *)
+}
+
+let zero = { ev_score = 0.0; ev_hot_bytes = 0; ev_icache_lines = 0; ev_itlb_pages = 0 }
+
+let add a b =
+  {
+    ev_score = a.ev_score +. b.ev_score;
+    ev_hot_bytes = a.ev_hot_bytes + b.ev_hot_bytes;
+    ev_icache_lines = a.ev_icache_lines + b.ev_icache_lines;
+    ev_itlb_pages = a.ev_itlb_pages + b.ev_itlb_pages;
+  }
+
+(* A never-evicting counter of distinct lines: one set, enough ways for
+   every line the layout could touch. *)
+let distinct_line_counter ~line ~total_size =
+  let ways = max 4 ((total_size / line) + 2) in
+  Bolt_sim.Cache.create ~size:(line * ways) ~line ~assoc:ways
+
+let evaluate ?(line = 64) ?(page = 4096) (cfg : Cfg.t) (order : int array) =
+  let total_size = max 1 (Cfg.total_size cfg) in
+  let lines = distinct_line_counter ~line ~total_size in
+  let pages = distinct_line_counter ~line:page ~total_size in
+  let addr = ref 0 in
+  let hot_bytes = ref 0 in
+  Array.iter
+    (fun b ->
+      let sz = Cfg.size cfg b in
+      if Cfg.count cfg b > 0 && sz > 0 then begin
+        hot_bytes := !hot_bytes + sz;
+        let first = !addr / line and last = (!addr + sz - 1) / line in
+        for l = first to last do
+          ignore (Bolt_sim.Cache.access lines (l * line))
+        done;
+        let firstp = !addr / page and lastp = (!addr + sz - 1) / page in
+        for p = firstp to lastp do
+          ignore (Bolt_sim.Cache.access pages (p * page))
+        done
+      end;
+      addr := !addr + sz)
+    order;
+  {
+    ev_score = Exttsp.score cfg order;
+    ev_hot_bytes = !hot_bytes;
+    ev_icache_lines = lines.Bolt_sim.Cache.misses;
+    ev_itlb_pages = pages.Bolt_sim.Cache.misses;
+  }

@@ -2,56 +2,54 @@
 
    Without a profile the compiler uses reverse postorder, which keeps
    loop bodies together and puts the static fall-through path first.
-   With a PGO profile it builds Pettis-Hansen-style chains over the
-   weighted edges.  Either way this is the layout BOLT later inspects and
-   — thanks to its more accurate binary-level profile — improves. *)
+   With a PGO profile it hands the weighted CFG to the shared layout
+   engine in lib/layout — the same ExtTSP machinery the post-link
+   optimizer uses (Pettis-Hansen chaining below -O2, full ext-tsp at
+   -O2 and above).  Either way this is the layout BOLT later inspects
+   and — thanks to its more accurate binary-level profile — improves. *)
 
 open Ir
+module Cfg = Bolt_layout.Cfg
+module Engine = Bolt_layout.Engine
 
-(* Greedy bottom-up chaining on edge weights. *)
-let profiled_order (f : func) : label list =
-  let labels = List.map fst f.f_blocks in
-  let chain_of = Hashtbl.create 16 in
-  let chains = Hashtbl.create 16 in
-  List.iteri
-    (fun i l ->
-      Hashtbl.replace chain_of l i;
-      Hashtbl.replace chains i [ l ])
-    labels;
+(* Instruction byte counts are unknown this early, so size each block by
+   a fixed per-instruction proxy (+1 for the terminator): good enough
+   for the objective's jump-distance model to prefer keeping hot paths
+   adjacent. *)
+let block_size_proxy (b : block) = 4 * (List.length b.insns + 1)
+
+let profiled_order ~opt_level (f : func) : label list =
+  let labels = Array.of_list (List.map fst f.f_blocks) in
+  let idx = Hashtbl.create (Array.length labels * 2 + 1) in
+  Array.iteri (fun i l -> Hashtbl.replace idx l i) labels;
+  let counts = Pgo.block_counts f in
+  let nodes =
+    Array.map
+      (fun l ->
+        {
+          Cfg.n_label = string_of_int l;
+          n_size = block_size_proxy (block f l);
+          n_count = (try Hashtbl.find counts l with Not_found -> 0);
+        })
+      labels
+  in
   let edges =
-    Hashtbl.fold (fun (s, d) c acc -> ((s, d), c) :: acc) f.f_edge_counts []
-    |> List.filter (fun ((s, d), _) -> s <> d)
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    Hashtbl.fold
+      (fun (s, d) c acc ->
+        match (Hashtbl.find_opt idx s, Hashtbl.find_opt idx d) with
+        | Some si, Some di -> (si, di, c) :: acc
+        | _ -> acc)
+      f.f_edge_counts []
   in
-  List.iter
-    (fun ((s, d), _c) ->
-      match (Hashtbl.find_opt chain_of s, Hashtbl.find_opt chain_of d) with
-      | Some cs, Some cd when cs <> cd ->
-          let ls = Hashtbl.find chains cs in
-          let ld = Hashtbl.find chains cd in
-          (* merge only when s ends its chain and d heads its chain *)
-          if List.nth ls (List.length ls - 1) = s && List.hd ld = d && d <> f.f_entry
-          then begin
-            let merged = ls @ ld in
-            Hashtbl.replace chains cs merged;
-            Hashtbl.remove chains cd;
-            List.iter (fun l -> Hashtbl.replace chain_of l cs) ld
-          end
-      | _ -> ())
-    edges;
-  let w = Pgo.block_counts f in
-  let weight_of_chain ls =
-    List.fold_left (fun acc l -> acc + (try Hashtbl.find w l with Not_found -> 0)) 0 ls
-  in
-  let all = Hashtbl.fold (fun _ ls acc -> ls :: acc) chains [] in
-  let entry_chain, rest =
-    List.partition (fun ls -> List.mem f.f_entry ls) all
-  in
-  let rest = List.sort (fun a b -> compare (weight_of_chain b) (weight_of_chain a)) rest in
-  List.concat (entry_chain @ rest)
+  let entry = Option.value ~default:(-1) (Hashtbl.find_opt idx f.f_entry) in
+  let cfg = Cfg.make ~nodes ~entry edges in
+  let algo = if opt_level >= 2 then Engine.Ext_tsp else Engine.Cache in
+  Array.to_list (Array.map (fun i -> labels.(i)) (Engine.order algo cfg))
 
-let order (f : func) : label list =
-  let o = if Pgo.has_profile f then profiled_order f else rpo f in
+let order ?(opt_level = 2) (f : func) : label list =
+  let o =
+    if Pgo.has_profile f then profiled_order ~opt_level f else rpo f
+  in
   (* make sure every block appears exactly once, entry first *)
   let seen = Hashtbl.create 16 in
   let uniq =

@@ -381,7 +381,7 @@ let gen_func ~opts ~module_of (f : Ir.func) : afunc * ditem list =
   end
   else push st (A_loc (f.Ir.f_file, f.Ir.f_line));
   (* body *)
-  let layout = Blocklayout.order f in
+  let layout = Blocklayout.order ~opt_level:opts.opt_level f in
   let hdrs = loop_headers layout f in
   let rec emit_blocks ?prev = function
     | [] -> ()

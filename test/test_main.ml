@@ -16,5 +16,6 @@ let () =
       ("fdata", Test_fdata.suite);
       ("fault-injection", Test_fault_injection.suite);
       ("parallel", Test_parallel.suite);
+      ("layout", Test_layout.suite);
       ("fuzz", Test_fuzz.suite);
     ]
