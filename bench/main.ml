@@ -437,6 +437,137 @@ let run_layout ~quick () =
        (("before", ev_json before_t before_taken)
        :: List.map (fun (name, t, taken) -> (name, ev_json t taken)) rows))
 
+(* ---- fleet aggregation ---- *)
+
+(* Fleet profile merging (lib/fleet): simulate the 8-host fleet, then
+   (a) merge throughput at -j1/2/4 over a replicated shard set — output
+   asserted byte-identical at every level — and (b) the end-to-end payoff:
+   dyno-stats taken branches on the fleet-wide traffic for BOLT fed the
+   merged profile vs BOLT fed the best single host shard. *)
+let run_fleet ~quick () =
+  section "Fleet: shard merge throughput and merged-vs-single-shard dyno-stats";
+  let module FS = Bolt_fleet.Fleet_sim in
+  let module M = Bolt_fleet.Merge in
+  let cfg =
+    {
+      FS.default_config with
+      FS.fc_requests = (if quick then 1_200 else 4_000);
+      fc_params =
+        {
+          FS.default_config.FS.fc_params with
+          Bolt_workloads.Gen.funcs = (if quick then 200 else 320);
+        };
+      fc_sampling =
+        { P.default_sampling with Bolt_sim.Machine.period = 101 };
+    }
+  in
+  let r = timed "fleet-sim" (fun () -> FS.run ~obs cfg) in
+  let shards = FS.loaded_shards r in
+  (* replicate the host shards into a bigger fleet for throughput numbers *)
+  let copies = if quick then 16 else 64 in
+  let big =
+    List.init copies (fun i ->
+        List.map
+          (fun (s : M.loaded) ->
+            { s with M.sh_name = Printf.sprintf "%s.copy%d" s.M.sh_name i })
+          shards)
+    |> List.concat
+  in
+  let record_lines (p : Bolt_profile.Fdata.t) =
+    List.length p.Bolt_profile.Fdata.branches
+    + List.length p.Bolt_profile.Fdata.ranges
+    + List.length p.Bolt_profile.Fdata.samples
+  in
+  let total_lines =
+    List.fold_left (fun a (s : M.loaded) -> a + record_lines s.M.sh_prof) 0 big
+  in
+  let time_at jobs =
+    let t0 = Unix.gettimeofday () in
+    let merged = M.merge ~opts:{ M.default_options with M.jobs } big in
+    (Unix.gettimeofday () -. t0, merged)
+  in
+  ignore (time_at 1) (* warm-up *);
+  let runs = List.map (fun j -> (j, time_at j)) [ 1; 2; 4 ] in
+  let _, (_, base_merged) = List.hd runs in
+  let base_bytes = Bolt_profile.Fdata.to_string base_merged in
+  Printf.printf "  merging %d shards (%d record lines):\n" (List.length big)
+    total_lines;
+  Printf.printf "  %-6s %10s %12s %14s  %s\n" "jobs" "wall(s)" "shards/s"
+    "lines/s" "output";
+  let throughput =
+    List.map
+      (fun (j, (t, merged)) ->
+        let sps = if t > 0.0 then float_of_int (List.length big) /. t else 0.0 in
+        let lps = if t > 0.0 then float_of_int total_lines /. t else 0.0 in
+        let identical = Bolt_profile.Fdata.to_string merged = base_bytes in
+        Printf.printf "  %-6d %10.3f %12.0f %14.0f  %s\n" j t sps lps
+          (if identical then "identical" else "DIFFERS!");
+        (j, t, sps, lps, identical))
+      runs
+  in
+  (* merged profile vs each single host shard, on fleet-wide traffic *)
+  let build = r.FS.fr_build in
+  let input = r.FS.fr_fleet_input in
+  (* merge as a deployment pipeline would: day-old stale shards decayed
+     to ~nothing, target build-id pinned *)
+  let merged =
+    M.merge ~obs
+      ~opts:
+        {
+          M.default_options with
+          M.decay = Some 1e-4;
+          expect_build_id = Some build.P.exe.Bolt_obj.Objfile.build_id;
+        }
+      shards
+  in
+  let taken_with prof =
+    let b', _ = P.bolt build prof in
+    (P.run b' ~input).Bolt_sim.Machine.counters.Bolt_sim.Machine.taken_branches
+  in
+  let merged_taken = timed "fleet-dyno" (fun () -> taken_with merged) in
+  let singles =
+    List.map
+      (fun ((h : FS.host), prof) -> (h.FS.h_name, taken_with prof))
+      r.FS.fr_shards
+  in
+  let best_name, best_taken =
+    List.fold_left
+      (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+      (List.hd singles) (List.tl singles)
+  in
+  let delta_pct =
+    if best_taken = 0 then 0.0
+    else
+      100.0 *. float_of_int (best_taken - merged_taken) /. float_of_int best_taken
+  in
+  Printf.printf "  taken branches on fleet traffic: merged %d, best single %d (%s), delta %.2f%%\n"
+    merged_taken best_taken best_name delta_pct;
+  add_section "fleet"
+    (Json.Obj
+       [
+         ("hosts", Json.Int cfg.FS.fc_hosts);
+         ("stale_hosts", Json.Int cfg.FS.fc_stale);
+         ("merge_shards", Json.Int (List.length big));
+         ("merge_lines", Json.Int total_lines);
+         ( "merge_runs",
+           Json.List
+             (List.map
+                (fun (j, t, sps, lps, identical) ->
+                  Json.Obj
+                    [
+                      ("jobs", Json.Int j);
+                      ("wall_s", Json.Float t);
+                      ("shards_per_s", Json.Float sps);
+                      ("lines_per_s", Json.Float lps);
+                      ("output_identical", Json.Bool identical);
+                    ])
+                throughput) );
+         ("merged_taken_branches", Json.Int merged_taken);
+         ("best_single_taken_branches", Json.Int best_taken);
+         ("best_single_host", Json.String best_name);
+         ("merged_delta_pct", Json.Float delta_pct);
+       ])
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let run_micro () =
@@ -549,6 +680,7 @@ let () =
   if all || List.mem "ablations" args then run_ablations ~quick ();
   if want "scaling" then run_scaling ~quick ();
   if want "layout" then run_layout ~quick ();
+  if want "fleet" then run_fleet ~quick ();
   if List.mem "micro" args then run_micro ();
   let out = "BENCH_results.json" in
   Bolt_obs.Manifest.save out

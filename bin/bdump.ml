@@ -148,6 +148,8 @@ let run path fdata disas func relocs fdes lsdas manifest layout_score top =
   Printf.printf "%s: %s, entry %#x\n" path
     (match exe.Objfile.kind with Objfile.Executable -> "executable" | Objfile.Object -> "relocatable")
     exe.Objfile.entry;
+  Printf.printf "Build id: %s\n"
+    (if exe.Objfile.build_id = "" then "<unstamped>" else exe.Objfile.build_id);
   Printf.printf "\nSections:\n";
   List.iter
     (fun (s : Types.section) ->

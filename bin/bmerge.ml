@@ -1,0 +1,153 @@
+(* bmerge: fold per-host fdata shards into one fleet profile — the
+   merge-fdata analog.
+
+     bmerge host*.fdata -o fleet.fdata
+     bmerge host*.fdata -o fleet.fdata --weight host03.dc1=4 --decay 1e-5
+     bmerge host*.fdata -o fleet.fdata --expect-build-id prog.x --report
+
+   The merge is commutative and associative with saturating 64-bit
+   counts: output bytes are identical for any shard ordering and any -j.
+   --expect-build-id takes either a hex id or a BELF file to read one
+   from; shards profiled against any other revision count as stale in
+   the quality report. *)
+
+open Cmdliner
+module Obs = Bolt_obs.Obs
+module Json = Bolt_obs.Json
+module Merge = Bolt_fleet.Merge
+module Quality = Bolt_fleet.Quality
+
+let parse_weight s =
+  match String.index_opt s '=' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let w = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt w with
+      | Some f when f >= 0.0 && host <> "" -> Ok (host, f)
+      | _ -> Error (`Msg (Printf.sprintf "bad weight %S (want HOST=FLOAT >= 0)" s)))
+  | None -> Error (`Msg (Printf.sprintf "bad weight %S (want HOST=FLOAT)" s))
+
+let weight_conv = Arg.conv (parse_weight, fun ppf (h, w) -> Fmt.pf ppf "%s=%g" h w)
+
+(* --expect-build-id: a BELF path (read its stamp) or a literal hex id *)
+let resolve_build_id = function
+  | None -> None
+  | Some spec ->
+      if Sys.file_exists spec then (
+        let exe = Bolt_obj.Objfile.load spec in
+        if exe.Bolt_obj.Objfile.build_id = "" then
+          Fmt.epr "bmerge: warning: %s carries no build-id (pre-v4 BELF?)@." spec;
+        Some exe.Bolt_obj.Objfile.build_id)
+      else Some spec
+
+let run shards out weights decay expect report trace_out jobs =
+  if shards = [] then begin
+    Fmt.epr "bmerge: no input shards@.";
+    3
+  end
+  else
+    match List.map Merge.load_shard shards with
+    | exception Sys_error e ->
+        Fmt.epr "bmerge: %s@." e;
+        3
+    | loaded -> (
+        match resolve_build_id expect with
+        | exception _ ->
+            Fmt.epr "bmerge: cannot read build-id from %s@." (Option.get expect);
+            3
+        | expect_build_id ->
+            let obs = Obs.create ~enabled:(trace_out <> None) ~name:"bmerge" () in
+            let opts =
+              { Merge.weights; decay; expect_build_id; jobs = max 1 jobs }
+            in
+            let merged = Merge.merge ~obs ~opts loaded in
+            let q = Quality.assess ?expect_build_id loaded ~merged in
+            Quality.to_obs obs q;
+            Obs.span obs "save" (fun () -> Bolt_profile.Fdata.save out merged);
+            Fmt.pr "wrote %s: %d shards -> %d branch records, %d ranges, %d ip samples@."
+              out (List.length loaded)
+              (List.length merged.Bolt_profile.Fdata.branches)
+              (List.length merged.Bolt_profile.Fdata.ranges)
+              (List.length merged.Bolt_profile.Fdata.samples);
+            if report then Fmt.pr "%a" Quality.pp q;
+            (match trace_out with
+            | Some path ->
+                let sections =
+                  [
+                    ( "run",
+                      Json.Obj
+                        [
+                          ("out", Json.String out);
+                          ( "shards",
+                            Json.List (List.map (fun s -> Json.String s) shards) );
+                          ("jobs", Json.Int (max 1 jobs));
+                        ] );
+                    Quality.manifest_section q;
+                  ]
+                in
+                Bolt_obs.Manifest.save path
+                  (Bolt_obs.Manifest.make ~tool:"bmerge"
+                     ~argv:(Array.to_list Sys.argv) ~sections obs);
+                Fmt.pr "wrote manifest %s@." path
+            | None -> ());
+            0)
+
+let shards = Arg.(value & pos_all file [] & info [] ~docv:"SHARD")
+
+let out =
+  Arg.(value & opt string "fleet.fdata" & info [ "o" ] ~doc:"Merged profile output.")
+
+let weights =
+  Arg.(
+    value
+    & opt_all weight_conv []
+    & info [ "weight" ] ~docv:"HOST=W"
+        ~doc:
+          "Multiply $(i,HOST)'s counts by $(i,W) (repeatable). Hosts are \
+           matched by shard header, falling back to the shard file name.")
+
+let decay =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "decay" ] ~docv:"LAMBDA"
+        ~doc:
+          "Exponential age decay: scale each shard by \
+           exp(-$(docv) * age), age measured back from the newest shard \
+           timestamp.")
+
+let expect =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "expect-build-id" ] ~docv:"ID|EXE"
+        ~doc:
+          "Target binary revision: a hex build-id, or a BELF file to read \
+           one from. Shards from other revisions count as stale in the \
+           quality report.")
+
+let report =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print the merge quality report.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a JSON run manifest (spans, quality metrics) to $(docv).")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel fold; output is byte-identical \
+              for any value.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bmerge" ~doc:"merge per-host fdata shards into a fleet profile")
+    Term.(
+      const run $ shards $ out $ weights $ decay $ expect $ report $ trace_out
+      $ jobs)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,13 +1,19 @@
 (* perf2bolt: aggregate raw samples against a binary's symbol table and
    produce the fdata profile BOLT consumes.
 
-     perf2bolt -p samples.bprf -o prog.fdata prog.x            *)
+     perf2bolt -p samples.bprf -o prog.fdata prog.x
+     perf2bolt -p samples.bprf --host web01 --merge-into fleet.fdata prog.x
+
+   With --host/--timestamp the shard carries a fleet provenance header
+   (host, the binary's build-id, timestamp, event count).  --merge-into
+   folds the fresh shard into an existing aggregate in place: the
+   incremental path for hosts streaming samples into one fleet profile. *)
 
 open Cmdliner
 module Obs = Bolt_obs.Obs
 module Json = Bolt_obs.Json
 
-let run exe_path samples_path out trace_out =
+let run exe_path samples_path out host timestamp merge_into trace_out =
   let obs = Obs.create ~enabled:(trace_out <> None) ~name:"perf2bolt" () in
   let exe = Obs.span obs "load-binary" (fun () -> Bolt_obj.Objfile.load exe_path) in
   let raw =
@@ -16,9 +22,18 @@ let run exe_path samples_path out trace_out =
         Obs.incr obs ~by:raw.Bolt_sim.Machine.rp_samples "samples.raw";
         raw)
   in
+  let header =
+    {
+      Bolt_profile.Fdata.hd_host = host;
+      hd_build_id = exe.Bolt_obj.Objfile.build_id;
+      hd_timestamp = timestamp;
+      hd_events = Int64.of_int raw.Bolt_sim.Machine.rp_samples;
+      hd_weight = 1.0;
+    }
+  in
   let fdata =
     Obs.span obs "aggregate" (fun () ->
-        let fdata = Bolt_profile.Perf2bolt.convert exe raw in
+        let fdata = Bolt_profile.Perf2bolt.convert ~header exe raw in
         Obs.incr obs
           ~by:(List.length fdata.Bolt_profile.Fdata.branches)
           "fdata.branch_records";
@@ -27,6 +42,23 @@ let run exe_path samples_path out trace_out =
           ~by:(List.length fdata.Bolt_profile.Fdata.samples)
           "fdata.ip_samples";
         fdata)
+  in
+  let out, fdata =
+    match merge_into with
+    | Some agg ->
+        (* fold the fresh shard into the aggregate; first shard seeds it *)
+        let fdata =
+          Obs.span obs "merge-into" (fun () ->
+              let shards =
+                (if Sys.file_exists agg then
+                   [ Bolt_fleet.Merge.load_shard agg ]
+                 else [])
+                @ [ Bolt_fleet.Merge.shard_of_profile ~name:"new-shard" fdata ]
+              in
+              Bolt_fleet.Merge.merge ~obs shards)
+        in
+        (agg, fdata)
+    | None -> (out, fdata)
   in
   Obs.span obs "save-fdata" (fun () -> Bolt_profile.Fdata.save out fdata);
   Fmt.pr "wrote %s: %d branch records, %d ranges, %d ip samples@." out
@@ -61,6 +93,28 @@ let samples =
 
 let out = Arg.(value & opt string "out.fdata" & info [ "o" ] ~doc:"Output profile.")
 
+let host =
+  Arg.(
+    value & opt string ""
+    & info [ "host" ] ~docv:"NAME"
+        ~doc:"Stamp the shard's provenance header with this host name.")
+
+let timestamp =
+  Arg.(
+    value & opt int 0
+    & info [ "timestamp" ] ~docv:"SECONDS"
+        ~doc:"Collection time (seconds since the fleet epoch) for the \
+              provenance header; age-decay in bmerge keys on it.")
+
+let merge_into =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "merge-into" ] ~docv:"FDATA"
+        ~doc:
+          "Fold the fresh shard into the aggregate profile at $(docv) in \
+           place (created if absent), instead of writing to $(b,-o).")
+
 let trace_out =
   Arg.(
     value
@@ -71,6 +125,8 @@ let trace_out =
 let cmd =
   Cmd.v
     (Cmd.info "perf2bolt" ~doc:"convert raw samples to an fdata profile")
-    Term.(const run $ exe_path $ samples $ out $ trace_out)
+    Term.(
+      const run $ exe_path $ samples $ out $ host $ timestamp $ merge_into
+      $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -495,6 +495,7 @@ let assemble (u : unit_) : Objfile.t =
   {
     Objfile.kind = Objfile.Object;
     entry = 0;
+    build_id = "";
     sections = List.rev !sections;
     symbols = List.rev !symbols;
     relocs = List.rev !relocs;

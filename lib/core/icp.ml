@@ -31,7 +31,7 @@ let build_site_profile ctx (prof : Bolt_profile.Fdata.t) : site_profile =
         | Some fb when fb.simple ->
             let key = (b.br_from_func, b.br_from_off) in
             Hashtbl.replace h key
-              ((b.br_to_func, b.br_count)
+              ((b.br_to_func, Bolt_profile.Fdata.clamp_int b.br_count)
               :: (try Hashtbl.find h key with Not_found -> []))
         | _ -> ()
       end)

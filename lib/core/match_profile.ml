@@ -56,6 +56,9 @@ let offset_maps (fb : Bfunc.t) =
   (starts, containing, arr)
 
 let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
+  (* profile counts are saturating int64; CFG machinery runs on native
+     ints, so clamp at the boundary *)
+  let c64 = Bolt_profile.Fdata.clamp_int in
   let st =
     {
       matched_branches = 0;
@@ -110,7 +113,7 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
         | Some fb when fb.simple ->
             let drop () =
               st.unmatched_branches <- st.unmatched_branches + 1;
-              st.unmatched_count <- st.unmatched_count + b.br_count
+              st.unmatched_count <- st.unmatched_count + c64 b.br_count
             in
             if not (in_bounds fb b.br_from_off) then begin
               stale fb "branch source" b.br_from_off;
@@ -126,21 +129,21 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
               let dst = Hashtbl.find_opt starts b.br_to_off in
               match (src, dst) with
               | Some s, Some d ->
-                  add_edge_count fb s d b.br_count b.br_mispreds;
+                  add_edge_count fb s d (c64 b.br_count) (c64 b.br_mispreds);
                   st.matched_branches <- st.matched_branches + 1;
-                  st.matched_count <- st.matched_count + b.br_count
+                  st.matched_count <- st.matched_count + c64 b.br_count
               | _ -> drop ()
             end
         | Some _ -> ()
         | None ->
             note_unknown b.br_from_func;
             st.unmatched_branches <- st.unmatched_branches + 1;
-            st.unmatched_count <- st.unmatched_count + b.br_count
+            st.unmatched_count <- st.unmatched_count + c64 b.br_count
       end
       else if b.br_to_off = 0 then begin
         (* a call (or tail transfer) into the target's entry *)
         match Context.func ctx b.br_to_func with
-        | Some fb -> fb.exec_count <- fb.exec_count + b.br_count
+        | Some fb -> fb.exec_count <- fb.exec_count + c64 b.br_count
         | None -> note_unknown b.br_to_func
       end)
     prof.branches;
@@ -172,8 +175,8 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
                 let ba = block fb a in
                 (match ba.term with
                 | T_cond (_, _, fall) when fall = b ->
-                    add_edge_count fb a b r.rg_count 0
-                | T_jump t when t = b -> add_edge_count fb a b r.rg_count 0
+                    add_edge_count fb a b (c64 r.rg_count) 0
+                | T_jump t when t = b -> add_edge_count fb a b (c64 r.rg_count) 0
                 | _ -> ());
                 pairs rest
             | _ -> ()
@@ -182,7 +185,7 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
           List.iter
             (fun (_, l) ->
               let b = block fb l in
-              b.ecount <- b.ecount + r.rg_count)
+              b.ecount <- b.ecount + c64 r.rg_count)
             covered
       | Some _ -> ()
       | None -> note_unknown r.rg_func)
@@ -199,9 +202,9 @@ let attach ctx (prof : Bolt_profile.Fdata.t) : stats =
             match containing s.sm_off with
             | Some l ->
                 let b = block fb l in
-                b.ecount <- b.ecount + s.sm_count
+                b.ecount <- b.ecount + c64 s.sm_count
             | None -> ())
-        | Some fb -> fb.exec_count <- fb.exec_count + s.sm_count
+        | Some fb -> fb.exec_count <- fb.exec_count + c64 s.sm_count
         | None -> note_unknown s.sm_func)
       prof.samples;
   st.unknown_funcs <- Hashtbl.length unknown;

@@ -80,7 +80,7 @@ let run ctx (prof : Bolt_profile.Fdata.t) : string list * string list =
       let order = List.filter (fun n -> List.mem n live) order in
       let events = Bolt_profile.Fdata.func_events prof in
       let is_sampled n =
-        match Hashtbl.find_opt events n with Some c -> c > 0 | None -> false
+        match Hashtbl.find_opt events n with Some c -> c > 0L | None -> false
       in
       let hot, cold =
         if opts.Opts.split_all_cold then

@@ -1,0 +1,163 @@
+(* Simulated data-center fleet: N hosts serving skewed request streams,
+   some still running yesterday's binary (§7's deployment reality —
+   aggregated profiles span hosts AND revisions).
+
+   Each host gets its own request tape: same token-stream generator as
+   the compiler workloads, but with a per-host seed and a per-host mix so
+   different dispatch residues run hot on different hosts.  A configured
+   number of hosts run a *stale* build — same sources modulo a
+   revision-style perturbation (extra arithmetic per function body), so
+   function names survive but offsets drift, exactly the decay
+   [match_profile] is built to tolerate.  Stale hosts also carry older
+   timestamps, so age-decay downweights them.
+
+   The "fleet workload" used for evaluation is the concatenation of every
+   host's tape: the merged profile should serve it better than any single
+   host's shard, which is the subsystem's end-to-end acceptance check. *)
+
+module Fdata = Bolt_profile.Fdata
+module Gen = Bolt_workloads.Gen
+module Workloads = Bolt_workloads.Workloads
+module Machine = Bolt_sim.Machine
+module P = Bolt_pipeline.Pipeline
+module Obs = Bolt_obs.Obs
+
+type host = {
+  h_name : string;
+  h_stale : bool; (* running the previous binary revision *)
+  h_mix : int; (* percentage of requests biased into this host's windows *)
+  h_window : int; (* start of the t-residue window this host heats *)
+  h_window2 : int; (* start of its t2-residue window (independent family) *)
+  h_seed : int;
+  h_timestamp : int; (* when this host's shard was collected *)
+}
+
+type config = {
+  fc_hosts : int;
+  fc_stale : int; (* how many hosts run the stale revision *)
+  fc_requests : int; (* tokens per host tape *)
+  fc_seed : int;
+  fc_params : Gen.params; (* base service shape; forced input-driven *)
+  fc_sampling : Machine.sample_cfg;
+}
+
+(* Small-but-realistic defaults: an hhvm-shaped service cut down to test
+   scale, sampled densely enough that every host yields a useful shard. *)
+let default_config =
+  {
+    fc_hosts = 8;
+    fc_stale = 1;
+    fc_requests = 3_000;
+    fc_seed = 4242;
+    fc_params =
+      {
+        Workloads.hhvm_like with
+        Gen.funcs = 320;
+        modules = 8;
+        input_driven = true;
+        dispatch_thresholds = 16;
+      };
+    fc_sampling = { P.default_sampling with Machine.period = 301 };
+  }
+
+type result = {
+  fr_build : P.build; (* the current revision (merge target) *)
+  fr_stale_build : P.build; (* the previous revision some hosts still run *)
+  fr_hosts : host list;
+  fr_shards : (host * Fdata.t) list; (* provenance-stamped, one per host *)
+  fr_fleet_input : int array; (* all host tapes concatenated: eval traffic *)
+}
+
+(* The fleet epoch: shard timestamps count seconds from here.  Stale
+   shards predate the current build by a day. *)
+let base_timestamp = 1_000_000
+let stale_age = 86_400
+
+let hosts_of_config c =
+  List.init c.fc_hosts (fun i ->
+      (* spread the mix across hosts so each skews different residues hot;
+         stale hosts are the first [fc_stale] for determinism *)
+      let stale = i < c.fc_stale in
+      {
+        h_name = Printf.sprintf "host%02d.dc1" i;
+        h_stale = stale;
+        h_mix = 85 + i * 10 / max 1 (c.fc_hosts - 1);
+        h_window = i * 80 / max 1 c.fc_hosts;
+        (* the t2 windows are the same set rotated by half the fleet, so a
+           host median in one family is extreme in the other: no single
+           host agrees with the fleet-majority branch direction
+           everywhere, which is why the merged profile wins *)
+        h_window2 =
+          (i + (c.fc_hosts / 2)) mod max 1 c.fc_hosts * 80 / max 1 c.fc_hosts;
+        h_seed = (c.fc_seed * 1_000) + i;
+        h_timestamp =
+          (if stale then base_timestamp - stale_age else base_timestamp + i);
+      })
+
+(* A host's request tape.  Like [Workloads.token_input], but the biased
+   tokens land in host-specific residue windows: t = tok%100 in
+   [h_window, h_window+12) and t2 = tok/100%100 in [h_window2,
+   h_window2+12).  Each host therefore drives the service's
+   threshold-dispatch branches in its own direction, so no single host's
+   shard predicts the fleet-wide branch biases — the skew that makes
+   aggregation matter. *)
+let host_tape (h : host) ~n =
+  let r = Bolt_workloads.Rng.create h.h_seed in
+  Array.init n (fun _ ->
+      let v = 1 + Bolt_workloads.Rng.int r 1_000_000 in
+      if Bolt_workloads.Rng.bool r h.h_mix 100 then
+        let t = (h.h_window + Bolt_workloads.Rng.int r 12) mod 100 in
+        let t2 = (h.h_window2 + Bolt_workloads.Rng.int r 12) mod 100 in
+        10_000 + (v / 10_000 * 10_000) + (t2 * 100) + t
+      else v)
+
+(* A "previous revision": the same service regenerated with a couple of
+   extra work ops per function — names identical, bodies and offsets
+   shifted, the canonical stale-profile situation. *)
+let stale_params (p : Gen.params) = { p with Gen.work_ops = p.Gen.work_ops + 2 }
+
+let compile_params ?obs (p : Gen.params) : P.build =
+  let w = Gen.gen p in
+  let cc = Bolt_minic.Driver.default_options in
+  let obs = match obs with Some o -> o | None -> Obs.null () in
+  Obs.span obs "fleet.compile" (fun () ->
+      let r =
+        Bolt_minic.Driver.compile ~options:cc ~externals:w.Gen.externals
+          ~extra_objs:w.Gen.extra_objs w.Gen.sources
+      in
+      { P.exe = r.exe; cc })
+
+let run ?obs (c : config) : result =
+  let obs = match obs with Some o -> o | None -> Obs.null () in
+  Obs.span obs "fleet.sim" (fun () ->
+      let params = { c.fc_params with Gen.input_driven = true } in
+      let build = compile_params ~obs params in
+      let stale_build = compile_params ~obs (stale_params params) in
+      let hosts = hosts_of_config c in
+      let tapes = List.map (fun h -> (h, host_tape h ~n:c.fc_requests)) hosts in
+      let shards =
+        List.map
+          (fun (h, tape) ->
+            let b = if h.h_stale then stale_build else build in
+            let prof, _ =
+              P.profile_shard ~obs ~sampling:c.fc_sampling ~host:h.h_name
+                ~timestamp:h.h_timestamp b ~input:tape
+            in
+            Obs.incr obs "fleet.sim.hosts";
+            if h.h_stale then Obs.incr obs "fleet.sim.stale_hosts";
+            (h, prof))
+          tapes
+      in
+      {
+        fr_build = build;
+        fr_stale_build = stale_build;
+        fr_hosts = hosts;
+        fr_shards = shards;
+        fr_fleet_input = Array.concat (List.map snd tapes);
+      })
+
+(* Shards as merger input, named by host. *)
+let loaded_shards (r : result) : Merge.loaded list =
+  List.map
+    (fun ((h : host), prof) -> Merge.shard_of_profile ~name:h.h_name prof)
+    r.fr_shards

@@ -1,0 +1,173 @@
+(* Fleet profile merger — the merge-fdata analog (§7: BOLT in the data
+   center consumes samples aggregated across thousands of hosts, not one
+   run's profile).
+
+   Semantics: each shard's counts are scaled once by
+
+     scale = header weight x CLI weight override x decay
+
+   with decay = exp(-lambda * age), age measured back from the newest
+   shard timestamp; then all scaled records are summed with saturating
+   64-bit addition and the result is emitted in canonical order
+   ([Fdata.normalize]).
+
+   Determinism: scaling is per-shard (no cross-shard state beyond the
+   newest timestamp, itself a max — order-independent), saturating add of
+   non-negative counts is commutative and associative, and the output is
+   sorted — so the merged bytes are identical for any shard ordering and
+   any [jobs].  The parallel fold below partitions shards over a domain
+   pool purely for throughput. *)
+
+module Fdata = Bolt_profile.Fdata
+module Obs = Bolt_obs.Obs
+
+type loaded = { sh_name : string; sh_prof : Fdata.t }
+
+type options = {
+  weights : (string * float) list; (* host -> weight override (multiplies) *)
+  decay : float option; (* lambda, per timestamp unit *)
+  expect_build_id : string option; (* target revision for staleness checks *)
+  jobs : int; (* worker domains for the parallel fold *)
+}
+
+let default_options =
+  { weights = []; decay = None; expect_build_id = None; jobs = 1 }
+
+let shard_of_profile ~name prof = { sh_name = name; sh_prof = prof }
+
+let load_shard path =
+  { sh_name = Filename.basename path; sh_prof = Fdata.load path }
+
+let header sh = Option.value ~default:Fdata.no_header sh.sh_prof.Fdata.header
+
+(* Host label used for --weight matching: the header's host when present,
+   the shard (file) name otherwise. *)
+let host_of sh =
+  let h = header sh in
+  if h.Fdata.hd_host <> "" then h.Fdata.hd_host else sh.sh_name
+
+let newest_timestamp shards =
+  List.fold_left (fun a sh -> max a (header sh).Fdata.hd_timestamp) 0 shards
+
+(* The most common non-empty shard build-id; ties break to the
+   lexicographically smallest so the choice never depends on input
+   order.  "" when no shard is stamped. *)
+let modal_build_id shards =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun sh ->
+      let id = (header sh).Fdata.hd_build_id in
+      if id <> "" then
+        Hashtbl.replace tally id (1 + try Hashtbl.find tally id with Not_found -> 0))
+    shards;
+  Hashtbl.fold
+    (fun id n best ->
+      match best with
+      | Some (bid, bn) when bn > n || (bn = n && bid <= id) -> best
+      | _ -> Some (id, n))
+    tally None
+  |> function
+  | Some (id, _) -> id
+  | None -> ""
+
+let scale_of opts ~newest sh =
+  let h = header sh in
+  let override =
+    match List.assoc_opt (host_of sh) opts.weights with Some w -> w | None -> 1.0
+  in
+  let decay =
+    match opts.decay with
+    | Some lambda when h.Fdata.hd_timestamp > 0 ->
+        exp (-.lambda *. float_of_int (newest - h.Fdata.hd_timestamp))
+    | _ -> 1.0
+  in
+  h.Fdata.hd_weight *. override *. decay
+
+let scale_profile (p : Fdata.t) (f : float) : Fdata.t =
+  if f = 1.0 then p
+  else
+    {
+      p with
+      Fdata.branches =
+        List.map
+          (fun (b : Fdata.branch) ->
+            {
+              b with
+              Fdata.br_count = Fdata.sat_scale b.br_count f;
+              br_mispreds = Fdata.sat_scale b.br_mispreds f;
+            })
+          p.Fdata.branches;
+      ranges =
+        List.map
+          (fun (r : Fdata.range) ->
+            { r with Fdata.rg_count = Fdata.sat_scale r.rg_count f })
+          p.Fdata.ranges;
+      samples =
+        List.map
+          (fun (s : Fdata.sample) ->
+            { s with Fdata.sm_count = Fdata.sat_scale s.sm_count f })
+          p.Fdata.samples;
+    }
+
+(* Provenance of the merged profile: a synthetic "fleet" host stamped
+   with the target (or modal) build-id, the newest shard timestamp and
+   the saturating event total. *)
+let merged_header opts shards =
+  let events =
+    List.fold_left
+      (fun a sh ->
+        let h = header sh in
+        let ev =
+          if h.Fdata.hd_events > 0L then h.Fdata.hd_events
+          else sh.sh_prof.Fdata.total_samples
+        in
+        Fdata.sat_add a ev)
+      0L shards
+  in
+  {
+    Fdata.hd_host = "fleet";
+    hd_build_id =
+      (match opts.expect_build_id with
+      | Some id -> id
+      | None -> modal_build_id shards);
+    hd_timestamp = newest_timestamp shards;
+    hd_events = events;
+    hd_weight = 1.0;
+  }
+
+let merge ?obs ?(opts = default_options) (shards : loaded list) : Fdata.t =
+  let obs = match obs with Some o -> o | None -> Obs.null () in
+  Obs.span obs "fleet.merge" (fun () ->
+      let newest = newest_timestamp shards in
+      let jobs = max 1 opts.jobs in
+      (* per-domain accumulators; the scaled shard lists are folded
+         domain-locally, concatenated in fixed domain order, and
+         canonicalized — grouping cannot change a saturating sum of
+         non-negatives, so -j only affects wall time *)
+      let acc = Array.make jobs ([] : Fdata.t list) in
+      let pool = Bolt_core.Pool.create ~jobs () in
+      let worker dom sh =
+        let scaled = scale_profile sh.sh_prof (scale_of opts ~newest sh) in
+        acc.(dom) <- scaled :: acc.(dom)
+      in
+      ignore (Bolt_core.Pool.run pool ~worker (Array.of_list shards));
+      let parts = Array.to_list acc |> List.concat in
+      let merged =
+        Fdata.normalize
+          {
+            Fdata.lbr = List.for_all (fun p -> p.Fdata.lbr) parts;
+            header = Some (merged_header opts shards);
+            branches = List.concat_map (fun p -> p.Fdata.branches) parts;
+            ranges = List.concat_map (fun p -> p.Fdata.ranges) parts;
+            samples = List.concat_map (fun p -> p.Fdata.samples) parts;
+            total_samples = 0L (* recomputed by normalize *);
+          }
+      in
+      Obs.incr obs ~by:(List.length shards) "fleet.shards";
+      Obs.incr obs
+        ~by:(List.length merged.Fdata.branches)
+        "fleet.merged_branch_records";
+      merged)
+
+let merge_paths ?obs ?opts paths : Fdata.t =
+  merge ?obs ?opts (List.map load_shard paths)

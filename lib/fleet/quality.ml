@@ -1,0 +1,186 @@
+(* Merge quality report: how trustworthy is the aggregated fleet profile?
+
+   Three axes, mirroring what a deployment pipeline gates on:
+
+   - coverage: how much of the merged profile's function set each shard
+     saw (low coverage = hosts sampled disjoint slices of the binary, the
+     merge is gluing together sparse views);
+   - agreement/divergence: the fraction of merged branch records observed
+     by more than one shard (high divergence = per-host behaviour skew,
+     or clock/revision drift);
+   - staleness: the fraction of shards — and of raw events — collected
+     against a binary revision other than the target build-id (§6/§7:
+     merged fleet profiles rarely match the binary exactly). *)
+
+module Fdata = Bolt_profile.Fdata
+module Json = Bolt_obs.Json
+module Obs = Bolt_obs.Obs
+
+type report = {
+  q_shards : int;
+  q_hosts : string list;
+  q_events : int64; (* saturating total of per-shard event counts *)
+  q_functions : int; (* functions in the merged profile *)
+  q_coverage_pct : float; (* mean per-shard coverage of merged functions *)
+  q_agreement_pct : float; (* merged branch keys seen by >= 2 shards *)
+  q_divergence_pct : float; (* merged branch keys seen by exactly 1 shard *)
+  q_expected_build_id : string; (* target revision ("" = none known) *)
+  q_build_ids : (string * int) list; (* build-id -> shard count, sorted *)
+  q_stale_shards : int; (* shards on a revision other than the target *)
+  q_unstamped_shards : int; (* shards with no build-id at all *)
+  q_staleness_pct : float; (* share of events from stale shards *)
+}
+
+let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let shard_events (sh : Merge.loaded) =
+  let h = Merge.header sh in
+  if h.Fdata.hd_events > 0L then h.Fdata.hd_events
+  else sh.sh_prof.Fdata.total_samples
+
+let assess ?expect_build_id (shards : Merge.loaded list) ~(merged : Fdata.t) : report
+    =
+  let expected =
+    match expect_build_id with
+    | Some id -> id
+    | None -> Merge.modal_build_id shards
+  in
+  let merged_funcs = Fdata.func_events merged in
+  let nfuncs = Hashtbl.length merged_funcs in
+  (* coverage: per-shard fraction of the merged function set it touched *)
+  let coverage_pct =
+    match shards with
+    | [] -> 0.0
+    | _ when nfuncs = 0 -> 0.0
+    | _ ->
+        let per_shard =
+          List.map
+            (fun sh ->
+              let seen = Fdata.func_events sh.Merge.sh_prof in
+              let hit =
+                Hashtbl.fold
+                  (fun f _ acc -> if Hashtbl.mem merged_funcs f then acc + 1 else acc)
+                  seen 0
+              in
+              pct hit nfuncs)
+            shards
+        in
+        List.fold_left ( +. ) 0.0 per_shard /. float_of_int (List.length per_shard)
+  in
+  (* agreement: how many shards observed each merged branch key *)
+  let observers = Hashtbl.create 1024 in
+  List.iter
+    (fun sh ->
+      let mine = Hashtbl.create 256 in
+      List.iter
+        (fun (b : Fdata.branch) ->
+          Hashtbl.replace mine (b.br_from_func, b.br_from_off, b.br_to_func, b.br_to_off) ())
+        sh.Merge.sh_prof.Fdata.branches;
+      Hashtbl.iter
+        (fun k () ->
+          Hashtbl.replace observers k (1 + try Hashtbl.find observers k with Not_found -> 0))
+        mine)
+    shards;
+  let keys = List.length merged.Fdata.branches in
+  let shared =
+    List.fold_left
+      (fun acc (b : Fdata.branch) ->
+        let k = (b.br_from_func, b.br_from_off, b.br_to_func, b.br_to_off) in
+        match Hashtbl.find_opt observers k with
+        | Some n when n >= 2 -> acc + 1
+        | _ -> acc)
+      0 merged.Fdata.branches
+  in
+  let agreement_pct = pct shared keys in
+  (* staleness: shards (and their events) on the wrong revision *)
+  let build_tally = Hashtbl.create 8 in
+  let stale_shards = ref 0 in
+  let unstamped = ref 0 in
+  let total_events = ref 0L in
+  let stale_events = ref 0L in
+  List.iter
+    (fun sh ->
+      let id = (Merge.header sh).Fdata.hd_build_id in
+      let label = if id = "" then "<unstamped>" else id in
+      Hashtbl.replace build_tally label
+        (1 + try Hashtbl.find build_tally label with Not_found -> 0);
+      if id = "" then incr unstamped;
+      let ev = shard_events sh in
+      total_events := Fdata.sat_add !total_events ev;
+      if expected <> "" && id <> "" && id <> expected then begin
+        incr stale_shards;
+        stale_events := Fdata.sat_add !stale_events ev
+      end)
+    shards;
+  let staleness_pct =
+    if !total_events = 0L then 0.0
+    else 100.0 *. Int64.to_float !stale_events /. Int64.to_float !total_events
+  in
+  {
+    q_shards = List.length shards;
+    q_hosts = List.map Merge.host_of shards |> List.sort_uniq compare;
+    q_events = !total_events;
+    q_functions = nfuncs;
+    q_coverage_pct = coverage_pct;
+    q_agreement_pct = agreement_pct;
+    q_divergence_pct = (if keys = 0 then 0.0 else 100.0 -. agreement_pct);
+    q_expected_build_id = expected;
+    q_build_ids =
+      Hashtbl.fold (fun id n acc -> (id, n) :: acc) build_tally []
+      |> List.sort compare;
+    q_stale_shards = !stale_shards;
+    q_unstamped_shards = !unstamped;
+    q_staleness_pct = staleness_pct;
+  }
+
+(* Publish the report through the metrics registry, so it lands in the
+   run manifest's "metrics" object alongside everything else. *)
+let to_obs (obs : Obs.t) (r : report) =
+  Obs.incr obs ~by:r.q_shards "fleet.quality.shards";
+  Obs.incr obs ~by:r.q_stale_shards "fleet.quality.stale_shards";
+  Obs.incr obs ~by:r.q_unstamped_shards "fleet.quality.unstamped_shards";
+  Obs.incr obs ~by:r.q_functions "fleet.quality.functions";
+  Obs.set obs "fleet.quality.coverage_pct" r.q_coverage_pct;
+  Obs.set obs "fleet.quality.agreement_pct" r.q_agreement_pct;
+  Obs.set obs "fleet.quality.divergence_pct" r.q_divergence_pct;
+  Obs.set obs "fleet.quality.staleness_pct" r.q_staleness_pct
+
+(* A structured manifest section ("fleet") for bmerge --trace-out. *)
+let manifest_section (r : report) : string * Json.t =
+  ( "fleet",
+    Json.Obj
+      [
+        ("shards", Json.Int r.q_shards);
+        ("hosts", Json.List (List.map (fun h -> Json.String h) r.q_hosts));
+        ("events", Json.Int (Fdata.clamp_int r.q_events));
+        ("functions", Json.Int r.q_functions);
+        ("coverage_pct", Json.Float r.q_coverage_pct);
+        ("agreement_pct", Json.Float r.q_agreement_pct);
+        ("divergence_pct", Json.Float r.q_divergence_pct);
+        ("expected_build_id", Json.String r.q_expected_build_id);
+        ( "build_ids",
+          Json.Obj (List.map (fun (id, n) -> (id, Json.Int n)) r.q_build_ids) );
+        ("stale_shards", Json.Int r.q_stale_shards);
+        ("unstamped_shards", Json.Int r.q_unstamped_shards);
+        ("staleness_pct", Json.Float r.q_staleness_pct);
+      ] )
+
+let pp ppf (r : report) =
+  Fmt.pf ppf "fleet merge quality:@.";
+  Fmt.pf ppf "  shards          %d (%d hosts)@." r.q_shards (List.length r.q_hosts);
+  Fmt.pf ppf "  events          %Ld@." r.q_events;
+  Fmt.pf ppf "  functions       %d@." r.q_functions;
+  Fmt.pf ppf "  coverage        %.1f%% (mean shard coverage of merged functions)@."
+    r.q_coverage_pct;
+  Fmt.pf ppf "  agreement       %.1f%% of branch records seen by >1 shard@."
+    r.q_agreement_pct;
+  Fmt.pf ppf "  divergence      %.1f%%@." r.q_divergence_pct;
+  Fmt.pf ppf "  target build    %s@."
+    (if r.q_expected_build_id = "" then "<none>" else r.q_expected_build_id);
+  List.iter
+    (fun (id, n) -> Fmt.pf ppf "    %-34s %d shard%s@." id n (if n = 1 then "" else "s"))
+    r.q_build_ids;
+  Fmt.pf ppf "  stale shards    %d (%.1f%% of events)@." r.q_stale_shards
+    r.q_staleness_pct;
+  if r.q_unstamped_shards > 0 then
+    Fmt.pf ppf "  unstamped       %d@." r.q_unstamped_shards

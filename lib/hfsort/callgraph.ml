@@ -61,11 +61,11 @@ let of_profile ~(funcs : (string * int) list) (prof : Bolt_profile.Fdata.t) : t 
   let g = create () in
   List.iter (fun (name, size) -> add_node g ~name ~size) funcs;
   let events = Bolt_profile.Fdata.func_events prof in
-  Hashtbl.iter (fun name c -> add_samples g name c) events;
+  Hashtbl.iter (fun name c -> add_samples g name (Bolt_profile.Fdata.clamp_int c)) events;
   List.iter
     (fun (b : Bolt_profile.Fdata.branch) ->
       if b.br_from_func <> b.br_to_func && b.br_to_off = 0 then
-        add_edge g b.br_from_func b.br_to_func b.br_count)
+        add_edge g b.br_from_func b.br_to_func (Bolt_profile.Fdata.clamp_int b.br_count))
     prof.branches;
   g
 
@@ -78,13 +78,13 @@ let of_samples_and_calls ~(funcs : (string * int) list)
   let g = create () in
   List.iter (fun (name, size) -> add_node g ~name ~size) funcs;
   let events = Bolt_profile.Fdata.func_events prof in
-  Hashtbl.iter (fun name c -> add_samples g name c) events;
+  Hashtbl.iter (fun name c -> add_samples g name (Bolt_profile.Fdata.clamp_int c)) events;
   (* samples per (func, off) for call-site weighting *)
   let site_w = Hashtbl.create 1024 in
   List.iter
     (fun (s : Bolt_profile.Fdata.sample) ->
       Hashtbl.replace site_w (s.sm_func, s.sm_off)
-        (s.sm_count
+        (Bolt_profile.Fdata.clamp_int s.sm_count
         + try Hashtbl.find site_w (s.sm_func, s.sm_off) with Not_found -> 0))
     prof.samples;
   List.iter

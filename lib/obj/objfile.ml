@@ -13,6 +13,7 @@ type kind = Object | Executable
 type t = {
   kind : kind;
   entry : int; (* entry address; 0 for objects *)
+  build_id : string; (* hex digest of the contents; "" when unstamped *)
   sections : section list;
   symbols : symbol list;
   relocs : reloc list;
@@ -25,6 +26,7 @@ let empty kind =
   {
     kind;
     entry = 0;
+    build_id = "";
     sections = [];
     symbols = [];
     relocs = [];
@@ -32,6 +34,29 @@ let empty kind =
     lsdas = [];
     dbgs = [];
   }
+
+(* Deterministic build-id: a digest of everything that defines the
+   binary's behaviour — kind, entry, and each section's name/kind/addr/
+   size/data.  Two identical links get identical ids; any code or layout
+   change (including a BOLT rewrite) produces a new revision.  Symbols and
+   metadata are deliberately excluded so a stamp never invalidates
+   itself. *)
+let compute_build_id t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (match t.kind with Object -> "obj" | Executable -> "exe");
+  Buffer.add_string b (string_of_int t.entry);
+  List.iter
+    (fun s ->
+      Buffer.add_string b s.sec_name;
+      Buffer.add_string b (string_of_int (section_kind_code s.sec_kind));
+      Buffer.add_string b (string_of_int s.sec_addr);
+      Buffer.add_string b (string_of_int s.sec_size);
+      Buffer.add_char b '\x00';
+      Buffer.add_bytes b s.sec_data)
+    t.sections;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let stamp_build_id t = { t with build_id = compute_build_id t }
 
 let find_section t name =
   List.find_opt (fun s -> s.sec_name = name) t.sections
@@ -72,7 +97,12 @@ let text_size t =
 (* ---- serialization ---- *)
 
 let magic = "BELF"
-let version = 3
+
+(* v4 added [build_id] after the entry point; v3 files (no build-id) are
+   still readable and load with [build_id = ""]. *)
+let version = 4
+
+let min_version = 3
 
 let w_section b s =
   Buf.str b s.sec_name;
@@ -241,6 +271,7 @@ let to_string t =
   Buf.u8 b version;
   Buf.u8 b (match t.kind with Object -> 0 | Executable -> 1);
   Buf.i64 b t.entry;
+  Buf.str b t.build_id;
   Buf.list b w_section t.sections;
   Buf.list b w_symbol t.symbols;
   Buf.list b w_reloc t.relocs;
@@ -257,16 +288,18 @@ let of_string data =
     r.pos <- 4;
     if got_magic <> magic then raise (Buf.Corrupt "bad magic");
     let v = Buf.r_u8 r in
-    if v <> version then raise (Buf.Corrupt (Printf.sprintf "bad version %d" v));
+    if v < min_version || v > version then
+      raise (Buf.Corrupt (Printf.sprintf "bad version %d" v));
     let kind = if Buf.r_u8 r = 0 then Object else Executable in
     let entry = Buf.r_i64 r in
+    let build_id = if v >= 4 then Buf.r_str r else "" in
     let sections = Buf.r_list r r_section in
     let symbols = Buf.r_list r r_symbol in
     let relocs = Buf.r_list r r_reloc in
     let fdes = Buf.r_list r r_fde in
     let lsdas = Buf.r_list r r_lsda in
     let dbgs = Buf.r_list r r_dbg in
-    { kind; entry; sections; symbols; relocs; fdes; lsdas; dbgs }
+    { kind; entry; build_id; sections; symbols; relocs; fdes; lsdas; dbgs }
   with
   | Buf.Corrupt _ as e -> raise e
   | exn ->

@@ -54,6 +54,30 @@ let profile ?obs ?(sampling = default_sampling) ?config (b : build) ~input :
           (fdata, o)
       | None -> (Bolt_profile.Fdata.empty, o))
 
+(* Profile one simulated host into a fleet shard: same as [profile], but
+   the resulting fdata carries a provenance header — the host label, the
+   profiled binary's build-id, the collection timestamp and the raw
+   sampling-event count — which is what the fleet merger's weighting,
+   decay and staleness checks key on. *)
+let profile_shard ?obs ?sampling ?config ~host ?(weight = 1.0) ~timestamp
+    (b : build) ~input : Bolt_profile.Fdata.t * Machine.outcome =
+  let prof, o = profile ?obs ?sampling ?config b ~input in
+  let events =
+    match o.Machine.profile with
+    | Some raw -> Int64.of_int raw.Machine.rp_samples
+    | None -> 0L
+  in
+  let header =
+    {
+      Bolt_profile.Fdata.hd_host = host;
+      hd_build_id = b.exe.Bolt_obj.Objfile.build_id;
+      hd_timestamp = timestamp;
+      hd_events = events;
+      hd_weight = weight;
+    }
+  in
+  ({ prof with Bolt_profile.Fdata.header = Some header }, o)
+
 (* Apply BOLT and return the rewritten binary plus its report.  The obs
    handle is threaded straight into the optimizer, so the experiment
    trace nests every pass span under "bolt".  [jobs] overrides

@@ -36,6 +36,22 @@ val profile :
   input:int array ->
   Bolt_profile.Fdata.t * Machine.outcome
 
+(** Like {!profile}, but stamp the resulting fdata with a fleet
+    provenance header: the host label, the build's build-id, the given
+    collection [timestamp] and the raw sampling-event count. The fleet
+    merger ({!Bolt_fleet.Merge}) keys weighting, age-decay and staleness
+    checks on this header. *)
+val profile_shard :
+  ?obs:Obs.t ->
+  ?sampling:Machine.sample_cfg ->
+  ?config:Machine.config ->
+  host:string ->
+  ?weight:float ->
+  timestamp:int ->
+  build ->
+  input:int array ->
+  Bolt_profile.Fdata.t * Machine.outcome
+
 (** Apply BOLT, returning the rewritten build and its report. With [?obs]
     the per-pass spans of the optimizer nest under this stage's "bolt"
     span. [?jobs] overrides [opts.jobs] (worker domains for per-function

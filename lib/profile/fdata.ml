@@ -2,70 +2,186 @@
    records, fall-through ranges and plain IP samples.
 
    Produced by [Perf2bolt] from raw simulator samples; consumed by the
-   rewriter's profile matcher.  Text format, one record per line:
+   rewriter's profile matcher and folded across hosts by the fleet merger
+   (lib/fleet).  Text format, one record per line:
 
+     mode lbr|sample
+     H <key> <value>                               (provenance header)
      B <from_func> <from_off> <to_func> <to_off> <count> <mispreds>
      F <func> <start_off> <end_off> <count>        (LBR fall-through range)
      S <func> <off> <count>                        (non-LBR IP sample)
 
    Function names never contain spaces by construction.
 
+   Counts are 64-bit and every accumulation saturates at [Int64.max_int]:
+   a fleet-wide merge of thousands of shards must degrade to a pinned
+   counter, never wrap into garbage (or worse, a negative weight).
+
    Profiles are data about a binary, not part of it; a malformed or stale
    profile must degrade optimization quality, never correctness.  Parsing
    is therefore lenient by default: malformed and unknown records are
    skipped with a warning each.  [~strict:true] restores the hard
-   [Bad_format] failure for tooling that wants it. *)
+   [Bad_format] failure for tooling that wants it.  Header records are
+   new; old readers skip them as unknown tags, old files simply have no
+   header. *)
+
+(* ---- saturating 64-bit arithmetic ---- *)
+
+(* [sat_add] is commutative and, over non-negative operands, associative:
+   min(max_int, a+b+c) regardless of grouping.  The fleet merger's
+   order-independence proof leans on exactly this. *)
+let sat_add (a : int64) (b : int64) : int64 =
+  if a > Int64.sub Int64.max_int b then Int64.max_int else Int64.add a b
+
+(* Scale a count by a non-negative float factor (shard weight x decay),
+   rounding to nearest, saturating on overflow. *)
+let sat_scale (c : int64) (f : float) : int64 =
+  if f <= 0.0 then 0L
+  else
+    let x = Float.round (Int64.to_float c *. f) in
+    if x >= Int64.to_float Int64.max_int then Int64.max_int else Int64.of_float x
+
+(* Clamp to a native int for consumers feeding int-based machinery
+   (edge counts, call-graph weights).  On 64-bit OCaml this only bites
+   within a factor of two of saturation. *)
+let clamp_int (c : int64) : int =
+  if c > Int64.of_int max_int then max_int
+  else if c < 0L then 0
+  else Int64.to_int c
+
+(* ---- records ---- *)
 
 type branch = {
   br_from_func : string;
   br_from_off : int;
   br_to_func : string;
   br_to_off : int;
-  br_count : int;
-  br_mispreds : int;
+  br_count : int64;
+  br_mispreds : int64;
 }
 
-type range = { rg_func : string; rg_start : int; rg_end : int; rg_count : int }
+type range = { rg_func : string; rg_start : int; rg_end : int; rg_count : int64 }
 
-type sample = { sm_func : string; sm_off : int; sm_count : int }
+type sample = { sm_func : string; sm_off : int; sm_count : int64 }
+
+(* Shard provenance, carried in `H` records: which host produced the
+   profile, against which binary revision, when, and how many raw events
+   went into it.  [hd_weight] is a merge-time knob (relative trust /
+   traffic share of the host), default 1. *)
+type header = {
+  hd_host : string;
+  hd_build_id : string; (* hex build-id of the profiled binary; "" unknown *)
+  hd_timestamp : int; (* seconds since the fleet epoch; 0 unknown *)
+  hd_events : int64; (* raw hardware events behind this shard *)
+  hd_weight : float;
+}
+
+let no_header =
+  { hd_host = ""; hd_build_id = ""; hd_timestamp = 0; hd_events = 0L; hd_weight = 1.0 }
 
 type t = {
   lbr : bool;
+  header : header option;
   branches : branch list;
   ranges : range list;
   samples : sample list;
-  total_samples : int;
+  total_samples : int64;
 }
 
-let empty = { lbr = true; branches = []; ranges = []; samples = []; total_samples = 0 }
+let empty =
+  { lbr = true; header = None; branches = []; ranges = []; samples = []; total_samples = 0L }
 
 (* Aggregate count of events attributed to a function, used for function
    hotness by the reorder-functions pass. *)
 let func_events t =
   let h = Hashtbl.create 64 in
-  let add f c = Hashtbl.replace h f (c + try Hashtbl.find h f with Not_found -> 0) in
+  let add f c = Hashtbl.replace h f (sat_add c (try Hashtbl.find h f with Not_found -> 0L)) in
   List.iter (fun b -> add b.br_from_func b.br_count) t.branches;
   List.iter (fun r -> add r.rg_func r.rg_count) t.ranges;
   List.iter (fun s -> add s.sm_func s.sm_count) t.samples;
   h
 
+(* ---- canonical form ---- *)
+
+(* Sort records and aggregate duplicates (same endpoints -> counts
+   saturating-added).  Two profiles holding the same multiset of events
+   normalize to the same value — and therefore the same bytes — which is
+   what makes merged output independent of shard order and -j. *)
+let normalize t =
+  let tbl = Hashtbl.create 256 in
+  let bump k c m =
+    match Hashtbl.find_opt tbl k with
+    | Some (c0, m0) -> Hashtbl.replace tbl k (sat_add c0 c, sat_add m0 m)
+    | None -> Hashtbl.add tbl k (c, m)
+  in
+  List.iter
+    (fun b ->
+      bump (`B (b.br_from_func, b.br_from_off, b.br_to_func, b.br_to_off)) b.br_count
+        b.br_mispreds)
+    t.branches;
+  List.iter (fun r -> bump (`F (r.rg_func, r.rg_start, r.rg_end)) r.rg_count 0L) t.ranges;
+  List.iter (fun s -> bump (`S (s.sm_func, s.sm_off)) s.sm_count 0L) t.samples;
+  let branches = ref [] and ranges = ref [] and samples = ref [] in
+  Hashtbl.iter
+    (fun k (c, m) ->
+      match k with
+      | `B (ff, fo, tf, to_) ->
+          branches :=
+            {
+              br_from_func = ff;
+              br_from_off = fo;
+              br_to_func = tf;
+              br_to_off = to_;
+              br_count = c;
+              br_mispreds = m;
+            }
+            :: !branches
+      | `F (f, s, e) -> ranges := { rg_func = f; rg_start = s; rg_end = e; rg_count = c } :: !ranges
+      | `S (f, o) -> samples := { sm_func = f; sm_off = o; sm_count = c } :: !samples)
+    tbl;
+  let total =
+    List.fold_left (fun a (b : branch) -> sat_add a b.br_count) 0L !branches
+    |> fun acc -> List.fold_left (fun a (s : sample) -> sat_add a s.sm_count) acc !samples
+  in
+  {
+    t with
+    branches = List.sort compare !branches;
+    ranges = List.sort compare !ranges;
+    samples = List.sort compare !samples;
+    total_samples = total;
+  }
+
+(* ---- text format ---- *)
+
 let to_string t =
   let b = Buffer.create 4096 in
   Buffer.add_string b (Printf.sprintf "mode %s\n" (if t.lbr then "lbr" else "sample"));
+  (match t.header with
+  | Some h ->
+      if h.hd_host <> "" then Buffer.add_string b (Printf.sprintf "H host %s\n" h.hd_host);
+      if h.hd_build_id <> "" then
+        Buffer.add_string b (Printf.sprintf "H build-id %s\n" h.hd_build_id);
+      if h.hd_timestamp <> 0 then
+        Buffer.add_string b (Printf.sprintf "H timestamp %d\n" h.hd_timestamp);
+      if h.hd_events <> 0L then
+        Buffer.add_string b (Printf.sprintf "H events %Ld\n" h.hd_events);
+      if h.hd_weight <> 1.0 then
+        Buffer.add_string b (Printf.sprintf "H weight %h\n" h.hd_weight)
+  | None -> ());
   List.iter
     (fun x ->
       Buffer.add_string b
-        (Printf.sprintf "B %s %d %s %d %d %d\n" x.br_from_func x.br_from_off
+        (Printf.sprintf "B %s %d %s %d %Ld %Ld\n" x.br_from_func x.br_from_off
            x.br_to_func x.br_to_off x.br_count x.br_mispreds))
     t.branches;
   List.iter
     (fun r ->
       Buffer.add_string b
-        (Printf.sprintf "F %s %d %d %d\n" r.rg_func r.rg_start r.rg_end r.rg_count))
+        (Printf.sprintf "F %s %d %d %Ld\n" r.rg_func r.rg_start r.rg_end r.rg_count))
     t.ranges;
   List.iter
     (fun s ->
-      Buffer.add_string b (Printf.sprintf "S %s %d %d\n" s.sm_func s.sm_off s.sm_count))
+      Buffer.add_string b (Printf.sprintf "S %s %d %Ld\n" s.sm_func s.sm_off s.sm_count))
     t.samples;
   Buffer.contents b
 
@@ -90,6 +206,12 @@ let int_field what s =
   | Some v -> v
   | None -> raise (Reject (Printf.sprintf "%s is not an integer: %s" what s))
 
+let count_field what s =
+  match Int64.of_string_opt s with
+  | Some v when v >= 0L -> v
+  | Some v -> raise (Reject (Printf.sprintf "%s is negative: %Ld" what v))
+  | None -> raise (Reject (Printf.sprintf "%s is not an integer: %s" what s))
+
 let non_negative what v =
   if v < 0 then raise (Reject (Printf.sprintf "%s is negative: %d" what v));
   v
@@ -99,11 +221,13 @@ let parse ?(strict = false) text : t * warning list =
   let ranges = ref [] in
   let samples = ref [] in
   let lbr = ref true in
+  let header = ref None in
   let warnings = ref [] in
   let reject lineno line reason =
     if strict then raise (Bad_format (Printf.sprintf "line %d: %s: %s" lineno reason line));
     warnings := { w_line = lineno; w_text = line; w_reason = reason } :: !warnings
   in
+  let set_header f = header := Some (f (Option.value ~default:no_header !header)) in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i line ->
@@ -119,6 +243,19 @@ let parse ?(strict = false) text : t * warning list =
         | [ "mode"; "lbr" ] -> lbr := true
         | [ "mode"; "sample" ] -> lbr := false
         | [ "mode"; m ] -> raise (Reject (Printf.sprintf "unknown mode %s" m))
+        | [ "H"; "host"; v ] -> set_header (fun h -> { h with hd_host = v })
+        | [ "H"; "build-id"; v ] -> set_header (fun h -> { h with hd_build_id = v })
+        | [ "H"; "timestamp"; v ] ->
+            let ts = non_negative "timestamp" (int_field "timestamp" v) in
+            set_header (fun h -> { h with hd_timestamp = ts })
+        | [ "H"; "events"; v ] ->
+            let ev = count_field "events" v in
+            set_header (fun h -> { h with hd_events = ev })
+        | [ "H"; "weight"; v ] -> (
+            match float_of_string_opt v with
+            | Some w when w >= 0.0 -> set_header (fun h -> { h with hd_weight = w })
+            | _ -> raise (Reject (Printf.sprintf "weight is not a number: %s" v)))
+        | [ "H"; k; _ ] -> raise (Reject (Printf.sprintf "unknown header key %s" k))
         | [ "B"; ff; fo; tf; to_; c; m ] ->
             branches :=
               {
@@ -126,8 +263,8 @@ let parse ?(strict = false) text : t * warning list =
                 br_from_off = non_negative "from offset" (int_field "from offset" fo);
                 br_to_func = tf;
                 br_to_off = non_negative "to offset" (int_field "to offset" to_);
-                br_count = non_negative "count" (int_field "count" c);
-                br_mispreds = non_negative "mispredicts" (int_field "mispredicts" m);
+                br_count = count_field "count" c;
+                br_mispreds = count_field "mispredicts" m;
               }
               :: !branches
         | [ "F"; f; s; e; c ] ->
@@ -136,32 +273,29 @@ let parse ?(strict = false) text : t * warning list =
             if rg_end < rg_start then
               raise (Reject (Printf.sprintf "range end %d before start %d" rg_end rg_start));
             ranges :=
-              {
-                rg_func = f;
-                rg_start;
-                rg_end;
-                rg_count = non_negative "count" (int_field "count" c);
-              }
+              { rg_func = f; rg_start; rg_end; rg_count = count_field "count" c }
               :: !ranges
         | [ "S"; f; o; c ] ->
             samples :=
               {
                 sm_func = f;
                 sm_off = non_negative "offset" (int_field "offset" o);
-                sm_count = non_negative "count" (int_field "count" c);
+                sm_count = count_field "count" c;
               }
               :: !samples
         | [] | [ "" ] -> ()
-        | ("B" | "F" | "S" | "mode") :: _ -> raise (Reject "wrong field count")
+        | ("B" | "F" | "S" | "mode" | "H") :: _ -> raise (Reject "wrong field count")
         | _ -> raise (Reject "unknown record tag")
       with Reject reason -> reject lineno line reason)
     lines;
   let total =
-    List.fold_left (fun a (b : branch) -> a + b.br_count) 0 !branches
-    + List.fold_left (fun a s -> a + s.sm_count) 0 !samples
+    List.fold_left (fun a (b : branch) -> sat_add a b.br_count) 0L !branches
+    |> fun acc ->
+    List.fold_left (fun a (s : sample) -> sat_add a s.sm_count) acc !samples
   in
   ( {
       lbr = !lbr;
+      header = !header;
       branches = List.rev !branches;
       ranges = List.rev !ranges;
       samples = List.rev !samples;

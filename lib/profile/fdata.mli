@@ -4,42 +4,82 @@
     Text format, one record per line:
     {v
     mode lbr|sample
+    H <key> <value>
     B <from_func> <from_off> <to_func> <to_off> <count> <mispreds>
     F <func> <start_off> <end_off> <count>
     S <func> <off> <count>
     v}
 
+    Counts are 64-bit; all accumulation saturates at [Int64.max_int] so a
+    fleet-wide merge can only pin a counter, never wrap it.
+
     A profile is data {e about} a binary, not part of it: a malformed or
     stale profile must degrade optimization quality, never correctness.
     Parsing is lenient by default — malformed and unknown records are
-    skipped, each producing a {!warning} — and strict on request. *)
+    skipped, each producing a {!warning} — and strict on request.  [H]
+    header records are skipped by pre-header readers, and files without
+    them parse to [header = None], so the format stays compatible both
+    ways. *)
+
+(** Saturating 64-bit add: [min (max_int, a + b)].  Commutative, and
+    associative over non-negative operands — the property the fleet
+    merger's order-independence rests on. *)
+val sat_add : int64 -> int64 -> int64
+
+(** [sat_scale c f] rounds [c *. f] to the nearest count, saturating at
+    [Int64.max_int]; non-positive factors yield [0L]. *)
+val sat_scale : int64 -> float -> int64
+
+(** Clamp a count to a native [int] for consumers feeding int-based
+    machinery (edge weights, call-graph nodes). *)
+val clamp_int : int64 -> int
 
 type branch = {
   br_from_func : string;
   br_from_off : int;
   br_to_func : string;
   br_to_off : int;  (** 0 means the target's entry: a call or tail transfer *)
-  br_count : int;
-  br_mispreds : int;
+  br_count : int64;
+  br_mispreds : int64;
 }
 
-type range = { rg_func : string; rg_start : int; rg_end : int; rg_count : int }
+type range = { rg_func : string; rg_start : int; rg_end : int; rg_count : int64 }
 
-type sample = { sm_func : string; sm_off : int; sm_count : int }
+type sample = { sm_func : string; sm_off : int; sm_count : int64 }
+
+(** Shard provenance carried in [H] records: who produced the profile,
+    against which binary revision, when, and from how many raw events. *)
+type header = {
+  hd_host : string;
+  hd_build_id : string;  (** hex build-id of the profiled binary; [""] unknown *)
+  hd_timestamp : int;  (** seconds since the fleet epoch; [0] unknown *)
+  hd_events : int64;  (** raw hardware events behind this shard *)
+  hd_weight : float;  (** merge-time relative weight; default [1.0] *)
+}
+
+val no_header : header
+(** All-defaults header: empty host/build-id, timestamp 0, weight 1. *)
 
 type t = {
   lbr : bool;  (** false: only [samples] are meaningful (§5's non-LBR mode) *)
+  header : header option;
   branches : branch list;
   ranges : range list;
   samples : sample list;
-  total_samples : int;
+  total_samples : int64;
 }
 
 val empty : t
 
 (** Aggregate event count attributed to each function — the hotness the
     reorder-functions pass sorts by. *)
-val func_events : t -> (string, int) Hashtbl.t
+val func_events : t -> (string, int64) Hashtbl.t
+
+(** Canonical form: duplicate records (same endpoints) aggregated with
+    {!sat_add}, then sorted.  Profiles holding the same multiset of events
+    normalize to identical values — and identical bytes — which is what
+    makes merged output independent of shard order and [-j]. *)
+val normalize : t -> t
 
 val to_string : t -> string
 val save : string -> t -> unit

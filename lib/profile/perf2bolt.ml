@@ -3,11 +3,16 @@
 
    Mirrors the real tool: branch records whose endpoints fall outside any
    known function are dropped; fall-through ranges are only kept when both
-   ends land in the same function. *)
+   ends land in the same function.
+
+   Output is canonical (deduplicated + sorted, via [Fdata.normalize]):
+   distinct absolute address pairs can resolve to the same
+   function-relative record, and one aggregated line per distinct record
+   keeps shard files small and fleet merges cheap. *)
 
 open Bolt_obj
 
-let convert (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fdata.t =
+let convert ?header (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fdata.t =
   let funcs =
     Objfile.function_symbols exe
     |> List.map (fun (s : Types.symbol) -> (s.sym_value, s.sym_value + s.sym_size, s.sym_name))
@@ -29,6 +34,7 @@ let convert (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fdata.t =
     done;
     !res
   in
+  let c64 n = Int64.of_int (max 0 n) in
   let branches = ref [] in
   Hashtbl.iter
     (fun (f, t) (cnt, mis) ->
@@ -40,8 +46,8 @@ let convert (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fdata.t =
               br_from_off = fo;
               br_to_func = tf;
               br_to_off = to_;
-              br_count = !cnt;
-              br_mispreds = !mis;
+              br_count = c64 !cnt;
+              br_mispreds = c64 !mis;
             }
             :: !branches
       | _ -> ())
@@ -52,7 +58,8 @@ let convert (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fdata.t =
       match (resolve s, resolve e) with
       | Some (f1, o1), Some (f2, o2) when f1 = f2 && o2 >= o1 ->
           ranges :=
-            { Fdata.rg_func = f1; rg_start = o1; rg_end = o2; rg_count = !cnt } :: !ranges
+            { Fdata.rg_func = f1; rg_start = o1; rg_end = o2; rg_count = c64 !cnt }
+            :: !ranges
       | _ -> ())
     raw.rp_traces;
   let samples = ref [] in
@@ -60,17 +67,15 @@ let convert (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fdata.t =
     (fun ip cnt ->
       match resolve ip with
       | Some (f, o) ->
-          samples := { Fdata.sm_func = f; sm_off = o; sm_count = !cnt } :: !samples
+          samples := { Fdata.sm_func = f; sm_off = o; sm_count = c64 !cnt } :: !samples
       | None -> ())
     raw.rp_ips;
-  let total =
-    List.fold_left (fun a (b : Fdata.branch) -> a + b.br_count) 0 !branches
-    + List.fold_left (fun a (s : Fdata.sample) -> a + s.sm_count) 0 !samples
-  in
-  {
-    Fdata.lbr = raw.rp_lbr;
-    branches = List.rev !branches;
-    ranges = List.rev !ranges;
-    samples = List.rev !samples;
-    total_samples = total;
-  }
+  Fdata.normalize
+    {
+      Fdata.lbr = raw.rp_lbr;
+      header;
+      branches = !branches;
+      ranges = !ranges;
+      samples = !samples;
+      total_samples = 0L (* recomputed by normalize *);
+    }

@@ -44,6 +44,13 @@ type params = {
   top_funcs : int; (* how many top-layer functions main dispatches over *)
   iterations : int; (* main loop iterations (server mode) *)
   input_driven : bool; (* compiler mode: main consumes the input tape *)
+  dispatch_thresholds : int;
+      (* input-driven only: per-request threshold branches on the token's
+         two low residues (t = tok%100, t2 = tok/100%100).  Their hot
+         direction is decided by where the traffic's residues sit, so
+         request mixes concentrated in different residue windows give the
+         same branches opposite biases — the per-host skew the fleet
+         simulation needs.  0 disables. *)
 }
 
 let default =
@@ -70,6 +77,7 @@ let default =
     top_funcs = 12;
     iterations = 30_000;
     input_driven = false;
+    dispatch_thresholds = 0;
   }
 
 type t = {
@@ -352,6 +360,14 @@ let gen (p : params) : t =
     ml "  while (i < %d) {" p.iterations;
     ml "    lcg = (lcg * 1103515245 + 12345) & 1073741823;";
     ml "    var t = lcg %% 100;"
+  end;
+  if p.input_driven && p.dispatch_thresholds > 0 then begin
+    ml "    var t2 = (tok / 100) %% 100;";
+    for j = 1 to p.dispatch_thresholds do
+      let thr = j * 97 / (p.dispatch_thresholds + 1) in
+      ml "    if (t < %d) { checksum = checksum + %d; }" thr j;
+      ml "    if (t2 < %d) { checksum = checksum + %d; }" thr (j * 3)
+    done
   end;
   (* zipf-ish dispatch over the top functions *)
   let n_top = List.length top in

@@ -8,6 +8,7 @@ module Fdata = Bolt_profile.Fdata
 let sample_profile =
   {
     Fdata.lbr = true;
+    header = None;
     branches =
       [
         {
@@ -15,34 +16,35 @@ let sample_profile =
           br_from_off = 12;
           br_to_func = "main";
           br_to_off = 40;
-          br_count = 1000;
-          br_mispreds = 13;
+          br_count = 1000L;
+          br_mispreds = 13L;
         };
         {
           Fdata.br_from_func = "main";
           br_from_off = 52;
           br_to_func = "helper";
           br_to_off = 0;
-          br_count = 480;
-          br_mispreds = 0;
+          br_count = 480L;
+          br_mispreds = 0L;
         };
       ];
-    ranges = [ { Fdata.rg_func = "main"; rg_start = 0; rg_end = 12; rg_count = 990 } ];
+    ranges = [ { Fdata.rg_func = "main"; rg_start = 0; rg_end = 12; rg_count = 990L } ];
     samples = [];
-    total_samples = 1480;
+    total_samples = 1480L;
   }
 
 let nonlbr_profile =
   {
     Fdata.lbr = false;
+    header = None;
     branches = [];
     ranges = [];
     samples =
       [
-        { Fdata.sm_func = "main"; sm_off = 8; sm_count = 77 };
-        { Fdata.sm_func = "helper"; sm_off = 0; sm_count = 3 };
+        { Fdata.sm_func = "main"; sm_off = 8; sm_count = 77L };
+        { Fdata.sm_func = "helper"; sm_off = 0; sm_count = 3L };
       ];
-    total_samples = 80;
+    total_samples = 80L;
   }
 
 let check_round_trip name (p : Fdata.t) =
@@ -109,10 +111,40 @@ let total_recomputed () =
   (* total_samples is derived, not parsed: corrupt counts cannot leak in *)
   let p, _ = Fdata.parse corrupt_text in
   let expect =
-    List.fold_left (fun a (b : Fdata.branch) -> a + b.br_count) 0 p.Fdata.branches
-    + List.fold_left (fun a (s : Fdata.sample) -> a + s.sm_count) 0 p.Fdata.samples
+    Int64.add
+      (List.fold_left (fun a (b : Fdata.branch) -> Int64.add a b.br_count) 0L p.Fdata.branches)
+      (List.fold_left (fun a (s : Fdata.sample) -> Int64.add a s.sm_count) 0L p.Fdata.samples)
   in
-  Alcotest.(check int) "total" expect p.Fdata.total_samples
+  Alcotest.(check int64) "total" expect p.Fdata.total_samples
+
+let header_round_trip () =
+  let h =
+    {
+      Fdata.hd_host = "web042.dc1";
+      hd_build_id = "deadbeef01234567";
+      hd_timestamp = 86400;
+      hd_events = 123456789L;
+      hd_weight = 2.5;
+    }
+  in
+  let p = { sample_profile with Fdata.header = Some h } in
+  let p', warnings = Fdata.parse (Fdata.to_string p) in
+  Alcotest.(check int) "no warnings" 0 (List.length warnings);
+  Alcotest.(check bool) "header kept" true (p'.Fdata.header = Some h);
+  Alcotest.(check bool) "identical" true (p = p')
+
+let saturation () =
+  Alcotest.(check int64) "add saturates" Int64.max_int
+    (Fdata.sat_add Int64.max_int 1L);
+  Alcotest.(check int64) "add exact" 7L (Fdata.sat_add 3L 4L);
+  Alcotest.(check int64) "scale saturates" Int64.max_int
+    (Fdata.sat_scale Int64.max_int 2.0);
+  Alcotest.(check int64) "scale rounds" 3L (Fdata.sat_scale 5L 0.5);
+  (* giant counts parse instead of overflowing into garbage *)
+  let p, w = Fdata.parse "mode lbr\nB a 0 a 4 9223372036854775807 0\n" in
+  Alcotest.(check int) "no warnings" 0 (List.length w);
+  Alcotest.(check int64) "max count kept" Int64.max_int
+    (List.hd p.Fdata.branches).Fdata.br_count
 
 let garbage_never_raises () =
   (* arbitrary bytes through the lenient parser: warnings only *)
@@ -145,5 +177,7 @@ let suite =
     Alcotest.test_case "strict-raises" `Quick strict_raises;
     Alcotest.test_case "crlf-tolerated" `Quick crlf_tolerated;
     Alcotest.test_case "total-recomputed" `Quick total_recomputed;
+    Alcotest.test_case "header-round-trip" `Quick header_round_trip;
+    Alcotest.test_case "saturation" `Quick saturation;
     Alcotest.test_case "garbage-never-raises" `Quick garbage_never_raises;
   ]

@@ -18,4 +18,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("layout", Test_layout.suite);
       ("fuzz", Test_fuzz.suite);
+      ("fleet", Test_fleet.suite);
     ]

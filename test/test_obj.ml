@@ -8,6 +8,7 @@ let sample_exe () =
   {
     Objfile.kind = Objfile.Executable;
     entry = 0x400000;
+    build_id = "";
     sections =
       [
         { sec_name = ".text"; sec_kind = Text; sec_addr = 0x400000; sec_data = text; sec_size = 3 };
@@ -159,6 +160,60 @@ let test_cfi_state_equal () =
   Alcotest.(check bool) "locals differ" false
     (cfi_state_equal a { b with cfa_locals = 16 })
 
+let test_build_id () =
+  let exe = Objfile.stamp_build_id (sample_exe ()) in
+  (* deterministic: restamping the same contents gives the same id *)
+  Alcotest.(check string) "stable" exe.Objfile.build_id
+    (Objfile.compute_build_id exe);
+  Alcotest.(check bool) "non-empty" true (exe.Objfile.build_id <> "");
+  (* the stamp itself is excluded from the digest, so it cannot
+     invalidate itself *)
+  Alcotest.(check string) "self-consistent" exe.Objfile.build_id
+    (Objfile.compute_build_id { exe with Objfile.build_id = "" });
+  (* any code change is a new revision *)
+  let patched =
+    {
+      exe with
+      Objfile.sections =
+        List.map
+          (fun (s : Types.section) ->
+            if s.sec_name = ".text" then
+              { s with sec_data = Bytes.of_string "\x01\x02\x05" }
+            else s)
+          exe.Objfile.sections;
+    }
+  in
+  Alcotest.(check bool) "changed text changes id" true
+    (Objfile.compute_build_id patched <> exe.Objfile.build_id);
+  (* survives serialization *)
+  let exe' = Objfile.of_string (Objfile.to_string exe) in
+  Alcotest.(check string) "round-trips" exe.Objfile.build_id exe'.Objfile.build_id
+
+let test_v3_compat () =
+  (* a pre-build-id (v3) file still loads, with an empty build-id *)
+  let exe = sample_exe () in
+  let v4 = Objfile.to_string exe in
+  (* v3 layout = v4 minus the build-id string field after the entry;
+     sample_exe has build_id = "", serialized as a zero length *)
+  let b = Buf.writer () in
+  Buf.str b "";
+  let empty_str = Buf.contents b in
+  let prefix_len = 4 + 1 + 1 + 8 (* magic, version, kind, entry *) in
+  let v3 =
+    String.concat ""
+      [
+        "BELF";
+        "\x03";
+        String.sub v4 5 (prefix_len - 5);
+        String.sub v4
+          (prefix_len + String.length empty_str)
+          (String.length v4 - prefix_len - String.length empty_str);
+      ]
+  in
+  let exe' = Objfile.of_string v3 in
+  Alcotest.(check string) "unstamped" "" exe'.Objfile.build_id;
+  Alcotest.(check bool) "payload intact" true (exe' = exe)
+
 let buf_roundtrip =
   QCheck.Test.make ~name:"Buf i64 roundtrip" ~count:1000
     (QCheck.make QCheck.Gen.(int_range min_int max_int))
@@ -185,6 +240,8 @@ let suite =
     Alcotest.test_case "lookups" `Quick test_lookups;
     Alcotest.test_case "cfi-state-replay" `Quick test_cfi_state_replay;
     Alcotest.test_case "cfi-state-equal" `Quick test_cfi_state_equal;
+    Alcotest.test_case "build-id" `Quick test_build_id;
+    Alcotest.test_case "v3-compat" `Quick test_v3_compat;
     QCheck_alcotest.to_alcotest buf_roundtrip;
     QCheck_alcotest.to_alcotest buf_str_roundtrip;
   ]
