@@ -140,7 +140,7 @@ let dump_layout_score path fdata =
         t.Bolt_layout.Evaluator.ev_hot_bytes;
       0
 
-let run path fdata disas func relocs fdes lsdas manifest layout_score top =
+let run path fdata disas func relocs fdes lsdas fingerprints manifest layout_score top =
   if manifest then dump_manifest path top
   else if layout_score then dump_layout_score path fdata
   else begin
@@ -200,6 +200,18 @@ let run path fdata disas func relocs fdes lsdas manifest layout_score top =
           l.lsda_entries)
       exe.Objfile.lsdas
   end;
+  if fingerprints then begin
+    Printf.printf "\nFingerprints (%d):\n" (List.length exe.Objfile.fingerprints);
+    let selected =
+      match func with
+      | Some name ->
+          List.filter
+            (fun (f : Fingerprint.func) -> f.Fingerprint.fp_func = name)
+            exe.Objfile.fingerprints
+      | None -> exe.Objfile.fingerprints
+    in
+    List.iter (fun f -> Fmt.pr "%a" Fingerprint.pp f) selected
+  end;
   if disas then begin
     let selected =
       match func with
@@ -224,6 +236,15 @@ let relocs = Arg.(value & flag & info [ "relocs" ])
 let fdes = Arg.(value & flag & info [ "fdes" ])
 let lsdas = Arg.(value & flag & info [ "lsdas" ])
 
+let fingerprints =
+  Arg.(
+    value & flag
+    & info [ "fingerprints" ]
+        ~doc:
+          "Print the structural fingerprint table (per-function opcode and \
+           CFG-shape hashes, per-block detail) stamped at link time for \
+           stale-profile matching.")
+
 let manifest =
   Arg.(
     value & flag
@@ -246,7 +267,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bdump" ~doc:"inspect BELF objects and executables")
     Term.(
-      const run $ path $ fdata $ disas $ func $ relocs $ fdes $ lsdas $ manifest
-      $ layout_score $ top)
+      const run $ path $ fdata $ disas $ func $ relocs $ fdes $ lsdas
+      $ fingerprints $ manifest $ layout_score $ top)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,7 +9,13 @@
    counts: output bytes are identical for any shard ordering and any -j.
    --expect-build-id takes either a hex id or a BELF file to read one
    from; shards profiled against any other revision count as stale in
-   the quality report. *)
+   the quality report.  When it names a BELF file with a fingerprint
+   table, stale shards that carry their own fingerprints are recovered
+   (renamed/remapped) against that revision before merging.
+
+   Exit codes: 0 success; 3 invalid input (no shards, unreadable
+   --expect-build-id); 4 --strict-shards failure; 6 merge succeeded but
+   one or more shards were skipped as corrupt/truncated. *)
 
 open Cmdliner
 module Obs = Bolt_obs.Obs
@@ -29,39 +35,58 @@ let parse_weight s =
 
 let weight_conv = Arg.conv (parse_weight, fun ppf (h, w) -> Fmt.pf ppf "%s=%g" h w)
 
-(* --expect-build-id: a BELF path (read its stamp) or a literal hex id *)
+(* --expect-build-id: a BELF path (read its stamp — and its fingerprint
+   table, which enables stale-shard recovery) or a literal hex id *)
 let resolve_build_id = function
-  | None -> None
+  | None -> (None, [])
   | Some spec ->
       if Sys.file_exists spec then (
         let exe = Bolt_obj.Objfile.load spec in
         if exe.Bolt_obj.Objfile.build_id = "" then
           Fmt.epr "bmerge: warning: %s carries no build-id (pre-v4 BELF?)@." spec;
-        Some exe.Bolt_obj.Objfile.build_id)
-      else Some spec
+        (Some exe.Bolt_obj.Objfile.build_id, exe.Bolt_obj.Objfile.fingerprints))
+      else (Some spec, [])
 
-let run shards out weights decay expect report trace_out jobs =
+let run shards out weights decay expect strict_shards report trace_out jobs =
   if shards = [] then begin
     Fmt.epr "bmerge: no input shards@.";
     3
   end
   else
-    match List.map Merge.load_shard shards with
+    match Merge.load_shards ~strict:strict_shards shards with
     | exception Sys_error e ->
         Fmt.epr "bmerge: %s@." e;
-        3
-    | loaded -> (
+        4
+    | exception Bolt_profile.Fdata.Bad_format e ->
+        Fmt.epr "bmerge: %s@." e;
+        4
+    | loaded, skipped -> (
+        List.iter (fun s -> Fmt.epr "bmerge: %a@." Merge.pp_skip s) skipped;
+        if loaded = [] then begin
+          Fmt.epr "bmerge: all %d shard(s) skipped, nothing to merge@."
+            (List.length skipped);
+          3
+        end
+        else
         match resolve_build_id expect with
         | exception _ ->
             Fmt.epr "bmerge: cannot read build-id from %s@." (Option.get expect);
             3
-        | expect_build_id ->
+        | expect_build_id, target_fps ->
             let obs = Obs.create ~enabled:(trace_out <> None) ~name:"bmerge" () in
             let opts =
               { Merge.weights; decay; expect_build_id; jobs = max 1 jobs }
             in
+            (* staleness is assessed over the shards as collected; the
+               merge then consumes their recovered form *)
+            let q_shards = loaded in
+            let loaded, recovery =
+              Merge.recover_stale ~fingerprints:target_fps
+                ~build_id:(Option.value ~default:"" expect_build_id)
+                loaded
+            in
             let merged = Merge.merge ~obs ~opts loaded in
-            let q = Quality.assess ?expect_build_id loaded ~merged in
+            let q = Quality.assess ?expect_build_id ?recovery q_shards ~merged in
             Quality.to_obs obs q;
             Obs.span obs "save" (fun () -> Bolt_profile.Fdata.save out merged);
             Fmt.pr "wrote %s: %d shards -> %d branch records, %d ranges, %d ip samples@."
@@ -80,6 +105,16 @@ let run shards out weights decay expect report trace_out jobs =
                           ("out", Json.String out);
                           ( "shards",
                             Json.List (List.map (fun s -> Json.String s) shards) );
+                          ( "skipped_shards",
+                            Json.List
+                              (List.map
+                                 (fun (s : Merge.skip) ->
+                                   Json.Obj
+                                     [
+                                       ("path", Json.String s.Merge.sk_path);
+                                       ("reason", Json.String s.Merge.sk_reason);
+                                     ])
+                                 skipped) );
                           ("jobs", Json.Int (max 1 jobs));
                         ] );
                     Quality.manifest_section q;
@@ -90,7 +125,7 @@ let run shards out weights decay expect report trace_out jobs =
                      ~argv:(Array.to_list Sys.argv) ~sections obs);
                 Fmt.pr "wrote manifest %s@." path
             | None -> ());
-            0)
+            if skipped <> [] then 6 else 0)
 
 let shards = Arg.(value & pos_all file [] & info [] ~docv:"SHARD")
 
@@ -126,6 +161,14 @@ let expect =
            one from. Shards from other revisions count as stale in the \
            quality report.")
 
+let strict_shards =
+  Arg.(
+    value & flag
+    & info [ "strict-shards" ]
+        ~doc:
+          "Fail fast on the first unreadable or malformed shard instead of \
+           skipping it (exit code 4).")
+
 let report =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the merge quality report.")
 
@@ -147,7 +190,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bmerge" ~doc:"merge per-host fdata shards into a fleet profile")
     Term.(
-      const run $ shards $ out $ weights $ decay $ expect $ report $ trace_out
-      $ jobs)
+      const run $ shards $ out $ weights $ decay $ expect $ strict_shards
+      $ report $ trace_out $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -29,6 +29,15 @@ let run name out_dir iterations =
     (fun i o ->
       Bolt_obj.Objfile.save (Filename.concat out_dir (Printf.sprintf "asm%d.bo" i)) o)
     w.Bolt_workloads.Gen.extra_objs;
+  (* name/arity manifest for the hand-written assembly functions, so
+     `minicc --externs` can type-check calls into the .bo objects *)
+  if w.Bolt_workloads.Gen.externals <> [] then begin
+    let oc = open_out (Filename.concat out_dir "externals.txt") in
+    List.iter
+      (fun (n, arity) -> Printf.fprintf oc "%s %d\n" n arity)
+      w.Bolt_workloads.Gen.externals;
+    close_out oc
+  end;
   Fmt.pr "wrote %d modules (+%d asm objects) to %s@."
     (List.length w.Bolt_workloads.Gen.sources)
     (List.length w.Bolt_workloads.Gen.extra_objs)

@@ -2,7 +2,8 @@
 
      minicc -o prog.x a.mc b.mc
      minicc -O2 --lto --pgo-apply prof.edges -o prog.x a.mc
-     minicc --instrument --mapping prog.map -o prog.x a.mc   *)
+     minicc --instrument --mapping prog.map -o prog.x a.mc
+     minicc -o prog.x w/*.mc w/*.bo --externs w/externals.txt   *)
 
 open Cmdliner
 
@@ -14,13 +15,33 @@ let read_file path =
   s
 
 let compile srcs out opt lto pgo_apply instrument mapping_out emit_relocs
-    function_sections pic_jt icf order_file =
+    function_sections pic_jt icf order_file externs_file =
+  (* .bo positionals are pre-assembled BELF objects (genwork's assembly
+     dispatchers); everything else is MiniC source *)
+  let objs, mc_srcs =
+    List.partition (fun p -> Filename.check_suffix p ".bo") srcs
+  in
   let sources =
     List.map
       (fun path ->
         let name = Filename.remove_extension (Filename.basename path) in
         (name, read_file path))
-      srcs
+      mc_srcs
+  in
+  let extra_objs = List.map Bolt_obj.Objfile.load objs in
+  let externals =
+    match externs_file with
+    | None -> []
+    | Some p ->
+        read_file p |> String.split_on_char '\n'
+        |> List.filter_map (fun line ->
+               match String.split_on_char ' ' (String.trim line) with
+               | [ "" ] -> None
+               | [ name; arity ] -> (
+                   match int_of_string_opt arity with
+                   | Some a -> Some (name, a)
+                   | None -> Fmt.failwith "bad externs line: %s" line)
+               | _ -> Fmt.failwith "bad externs line: %s" line)
   in
   let pgo =
     if instrument then Bolt_minic.Driver.Instrument
@@ -56,7 +77,7 @@ let compile srcs out opt lto pgo_apply instrument mapping_out emit_relocs
       func_order;
     }
   in
-  match Bolt_minic.Driver.compile ~options sources with
+  match Bolt_minic.Driver.compile ~options ~externals ~extra_objs sources with
   | r ->
       Bolt_obj.Objfile.save out r.exe;
       (match (r.mapping, mapping_out) with
@@ -102,11 +123,19 @@ let icf = Arg.(value & flag & info [ "licf" ] ~doc:"Linker identical-code foldin
 let order_file =
   Arg.(value & opt (some file) None & info [ "function-order" ] ~doc:"Link-time function order file.")
 
+let externs_file =
+  Arg.(
+    value & opt (some file) None
+    & info [ "externs" ]
+        ~doc:
+          "Name/arity manifest (one \"name arity\" per line, genwork's \
+           externals.txt) for functions defined in .bo objects.")
+
 let cmd =
   Cmd.v
     (Cmd.info "minicc" ~doc:"MiniC compiler targeting BELF/BISA")
     Term.(
       const compile $ srcs $ out $ opt $ lto $ pgo_apply $ instrument $ mapping_out
-      $ emit_relocs $ function_sections $ pic_jt $ icf $ order_file)
+      $ emit_relocs $ function_sections $ pic_jt $ icf $ order_file $ externs_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,8 +18,8 @@ let exit_quarantine = 5
 
 let run exe_path fdata out reorder_blocks reorder_functions split_functions
     split_all_cold split_eh icf icp inline_small plt sro frame_opts shrink sctc
-    strip_nops dyno_stats report_bad_layout use_relocs strict max_quarantine
-    print_funcs trace_out time_opts jobs =
+    strip_nops stale_match dyno_stats report_bad_layout use_relocs strict
+    max_quarantine print_funcs trace_out time_opts jobs =
   try
   (* telemetry is free when neither --trace-out nor --time-opts asks for
      it; enabled, it costs a handful of spans per run *)
@@ -69,6 +69,7 @@ let run exe_path fdata out reorder_blocks reorder_functions split_functions
       shrink_wrapping = shrink;
       sctc;
       strip_nops;
+      stale_match;
       use_relocations = use_relocs;
       jobs =
         (match jobs with
@@ -151,6 +152,14 @@ let frame_opts = Arg.(value & opt bool true & info [ "frame-opts" ])
 let shrink = Arg.(value & opt bool true & info [ "shrink-wrapping" ])
 let sctc = Arg.(value & opt bool true & info [ "sctc" ])
 let strip_nops = Arg.(value & opt bool true & info [ "strip-nops" ])
+
+let stale_match =
+  Arg.(
+    value & opt bool true
+    & info [ "stale-match" ]
+        ~doc:
+          "Recover a profile whose build-id doesn't match the input binary \
+           via fingerprint matching before attaching it.")
 let dyno_stats = Arg.(value & flag & info [ "dyno-stats" ])
 let report_bad_layout = Arg.(value & flag & info [ "report-bad-layout" ])
 
@@ -215,7 +224,8 @@ let cmd =
     Term.(
       const run $ exe_path $ fdata $ out $ reorder_blocks $ reorder_functions
       $ split_functions $ split_all_cold $ split_eh $ icf $ icp $ inline_small $ plt
-      $ sro $ frame_opts $ shrink $ sctc $ strip_nops $ dyno_stats $ report_bad_layout
+      $ sro $ frame_opts $ shrink $ sctc $ strip_nops $ stale_match
+      $ dyno_stats $ report_bad_layout
       $ use_relocs $ strict $ max_quarantine $ print_funcs $ trace_out $ time_opts
       $ jobs)
 

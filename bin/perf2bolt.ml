@@ -60,7 +60,14 @@ let run exe_path samples_path out host timestamp merge_into trace_out =
         (agg, fdata)
     | None -> (out, fdata)
   in
-  Obs.span obs "save-fdata" (fun () -> Bolt_profile.Fdata.save out fdata);
+  (* Atomic save: write a sibling temp file, then rename over the target.
+     --merge-into rewrites the accumulated fleet aggregate in place — a
+     crash mid-write must leave either the old aggregate or the new one,
+     never a torn file that poisons every later merge. *)
+  Obs.span obs "save-fdata" (fun () ->
+      let tmp = out ^ ".tmp" in
+      Bolt_profile.Fdata.save tmp fdata;
+      Sys.rename tmp out);
   Fmt.pr "wrote %s: %d branch records, %d ranges, %d ip samples@." out
     (List.length fdata.Bolt_profile.Fdata.branches)
     (List.length fdata.Bolt_profile.Fdata.ranges)

@@ -502,4 +502,5 @@ let assemble (u : unit_) : Objfile.t =
     fdes = List.rev !fdes;
     lsdas = List.rev !lsdas;
     dbgs = List.rev !dbgs;
+    fingerprints = [];
   }

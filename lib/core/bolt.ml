@@ -34,6 +34,9 @@ type report = {
   r_profile_stale_records : int;
   r_profile_unknown_funcs : int;
   r_profile_staleness : float; (* stale records / all branch records *)
+  r_recovery : Bolt_profile.Stale_match.stats option;
+      (* stale-profile recovery breakdown; None when the profile was
+         fresh (or recovery was disabled / impossible) *)
   r_dyno_before : Dyno_stats.t;
   r_dyno_after : Dyno_stats.t;
   r_layout_before : (string * int * Bolt_layout.Evaluator.result) list;
@@ -78,6 +81,33 @@ let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
     raise
       (Diag.Strict_error
          (Printf.sprintf "verify: %s" (List.hd issues).Bolt_obj.Verify.v_what));
+  (* Profile collected on a different revision?  Recover what the
+     fingerprints can carry over before the matcher sees it, instead of
+     letting every drifted record decay individually. *)
+  let prof, recovery =
+    if not opts.stale_match then (prof, None)
+    else
+      Obs.span obs "stale-match" (fun () ->
+          match
+            Bolt_profile.Stale_match.recover_if_stale
+              ~fingerprints:exe.Bolt_obj.Objfile.fingerprints
+              ~build_id:exe.Bolt_obj.Objfile.build_id prof
+          with
+          | Some (p, st) ->
+              Diag.warnf diag ~stage:"stale-match"
+                "stale profile recovered: %a" Bolt_profile.Stale_match.pp_stats
+                st;
+              Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_exact
+                "profile.recovery.exact";
+              Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_fuzzy
+                "profile.recovery.fuzzy";
+              Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_inferred
+                "profile.recovery.inferred";
+              Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_dropped
+                "profile.recovery.dropped";
+              (p, Some st)
+          | None -> (prof, None))
+  in
   let env = Passman.make_env ctx prof in
   (* Figure 3 front half: discover, disassemble, build CFGs, attach the
      profile — then the Table 1 registry, then the rewrite. *)
@@ -130,6 +160,7 @@ let optimize ?(opts = Opts.default) ?obs (exe : Bolt_obj.Objfile.t)
         (let total = branches_matched + branches_unmatched in
          if total = 0 then 0.0
          else float_of_int stale_records /. float_of_int total);
+      r_recovery = recovery;
       r_dyno_before = dyno_before;
       r_dyno_after = dyno_after;
       r_layout_before = layout_before;
@@ -159,6 +190,12 @@ let pp_report ppf (r : report) =
     "  profile decay: %d stale records, %d unknown functions (staleness %.2f%%)@."
     r.r_profile_stale_records r.r_profile_unknown_funcs
     (100.0 *. r.r_profile_staleness);
+  (match r.r_recovery with
+  | Some st ->
+      Fmt.pf ppf "  stale recovery: %a (rate %.0f%%)@."
+        Bolt_profile.Stale_match.pp_stats st
+        (100.0 *. Bolt_profile.Stale_match.recovery_rate st)
+  | None -> ());
   Fmt.pf ppf "  text: %d -> %d bytes (cold %d)@." r.r_text_before r.r_text_after
     r.r_cold_size;
   if r.r_quarantined <> [] then begin
@@ -214,6 +251,26 @@ let manifest_sections (r : report) : (string * Json.t) list =
           ("stale_records", Json.Int r.r_profile_stale_records);
           ("unknown_funcs", Json.Int r.r_profile_unknown_funcs);
           ("staleness_ratio", Json.Float r.r_profile_staleness);
+          ( "recovery",
+            match r.r_recovery with
+            | None -> Json.Null
+            | Some st ->
+                Json.Obj
+                  [
+                    ("funcs", Json.Int st.Bolt_profile.Stale_match.st_funcs);
+                    ("exact", Json.Int st.Bolt_profile.Stale_match.st_exact);
+                    ("fuzzy", Json.Int st.Bolt_profile.Stale_match.st_fuzzy);
+                    ( "inferred",
+                      Json.Int st.Bolt_profile.Stale_match.st_inferred );
+                    ( "dropped",
+                      Json.Int st.Bolt_profile.Stale_match.st_dropped );
+                    ( "records_in",
+                      Json.Int st.Bolt_profile.Stale_match.st_records_in );
+                    ( "records_kept",
+                      Json.Int st.Bolt_profile.Stale_match.st_records_kept );
+                    ( "rate",
+                      Json.Float (Bolt_profile.Stale_match.recovery_rate st) );
+                  ] );
         ] );
     ( "dyno_stats",
       Json.Obj

@@ -29,6 +29,10 @@ type report = {
   r_profile_staleness : float;
       (** fraction (0..1) of branch records that were stale — the §7
           profile-decay measure, also exported to the run manifest *)
+  r_recovery : Bolt_profile.Stale_match.stats option;
+      (** stale-profile recovery breakdown (functions matched
+          exact/fuzzy/inferred/dropped); [None] when the profile was
+          fresh, unmatchable, or [Opts.stale_match] was off *)
   r_dyno_before : Dyno_stats.t;  (** profile-weighted stats, input layout *)
   r_dyno_after : Dyno_stats.t;  (** same, final layout *)
   r_layout_before : (string * int * Bolt_layout.Evaluator.result) list;

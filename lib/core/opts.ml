@@ -34,6 +34,10 @@ type t = {
   trust_fallthrough : bool;
       (* §5.2: attribute surplus flow to the fall-through path and trust
          the compiler's original layout under uncertainty *)
+  stale_match : bool;
+      (* recover a profile whose build-id doesn't match the input binary
+         via fingerprint matching (Stale_match) instead of letting its
+         records decay record-by-record *)
   align_functions : int;
   use_relocations : bool option; (* None = auto: use them when present *)
   update_debug_sections : bool;
@@ -72,6 +76,7 @@ let default =
     uce = true;
     fixup_branches = true;
     trust_fallthrough = true;
+    stale_match = true;
     align_functions = 16;
     use_relocations = None;
     update_debug_sections = true;

@@ -555,20 +555,23 @@ let run ctx : result =
     match resolve_sym "main" with Some a -> a | None -> exe.entry
   in
   let out =
-    (* a rewritten binary is a new revision: restamp so fleet staleness
-       checks distinguish it from the input build *)
-    Objfile.stamp_build_id
-      {
-        Objfile.kind = Objfile.Executable;
-        entry;
-        build_id = "";
-        sections = !sections @ other_sections;
-        symbols = new_symbols @ cold_symbols;
-        relocs = [];
-        fdes = List.rev !fdes;
-        lsdas = List.rev !lsdas;
-        dbgs = List.rev !dbgs;
-      }
+    (* a rewritten binary is a new revision: restamp build-id and
+       fingerprints so fleet staleness checks distinguish it from the
+       input build and profiles collected on it can be matched later *)
+    Objfile.stamp_fingerprints
+      (Objfile.stamp_build_id
+         {
+           Objfile.kind = Objfile.Executable;
+           entry;
+           build_id = "";
+           sections = !sections @ other_sections;
+           symbols = new_symbols @ cold_symbols;
+           relocs = [];
+           fdes = List.rev !fdes;
+           lsdas = List.rev !lsdas;
+           dbgs = List.rev !dbgs;
+           fingerprints = [];
+         })
   in
   let text_size_after =
     out.Objfile.sections |> List.filter (fun s -> s.sec_kind = Text)

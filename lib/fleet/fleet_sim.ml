@@ -6,9 +6,9 @@
    the compiler workloads, but with a per-host seed and a per-host mix so
    different dispatch residues run hot on different hosts.  A configured
    number of hosts run a *stale* build — same sources modulo a
-   revision-style perturbation (extra arithmetic per function body), so
-   function names survive but offsets drift, exactly the decay
-   [match_profile] is built to tolerate.  Stale hosts also carry older
+   revision-style perturbation (edited bodies, a few renamed functions,
+   helpers the new revision deleted), so shard records drift in every
+   way [Stale_match] and [match_profile] are built to tolerate.  Stale hosts also carry older
    timestamps, so age-decay downweights them.
 
    The "fleet workload" used for evaluation is the concatenation of every
@@ -111,10 +111,14 @@ let host_tape (h : host) ~n =
         10_000 + (v / 10_000 * 10_000) + (t2 * 100) + t
       else v)
 
-(* A "previous revision": the same service regenerated with a couple of
-   extra work ops per function — names identical, bodies and offsets
-   shifted, the canonical stale-profile situation. *)
-let stale_params (p : Gen.params) = { p with Gen.work_ops = p.Gen.work_ops + 2 }
+(* A "previous revision": the same service one commit back, with real
+   drift on every axis the stale matcher must survive — every function
+   body lightly edited (offsets shift, CFG shape survives), every 9th
+   function under a different name (call sites included), and a few
+   helpers that only the old revision had (their records have no home in
+   the new binary and must drop cleanly). *)
+let stale_params (p : Gen.params) =
+  { p with Gen.body_pad = 2; rename_every = 9; extra_funcs = 4 }
 
 let compile_params ?obs (p : Gen.params) : P.build =
   let w = Gen.gen p in

@@ -38,6 +38,53 @@ let shard_of_profile ~name prof = { sh_name = name; sh_prof = prof }
 let load_shard path =
   { sh_name = Filename.basename path; sh_prof = Fdata.load path }
 
+(* One shard the loader refused: which file, and why. *)
+type skip = { sk_path : string; sk_reason : string }
+
+let pp_skip ppf s = Fmt.pf ppf "skipped shard %s: %s" s.sk_path s.sk_reason
+
+(* Load a shard set, skipping the unusable ones instead of aborting the
+   whole merge (a fleet aggregation must survive one torn file).  A shard
+   is skipped when the file is unreadable, or when parsing salvaged
+   nothing at all — warnings with zero surviving records means the file
+   is not an fdata profile, not a profile with a few bad lines.
+
+   [~strict:true] restores fail-fast: the first unreadable file raises
+   [Sys_error], the first malformed record raises [Fdata.Bad_format]. *)
+let load_shards ?(strict = false) paths : loaded list * skip list =
+  let skips = ref [] in
+  let loaded =
+    List.filter_map
+      (fun path ->
+        match Fdata.load_with_warnings ~strict path with
+        | prof, warnings ->
+            let records =
+              List.length prof.Fdata.branches
+              + List.length prof.Fdata.ranges
+              + List.length prof.Fdata.samples
+            in
+            if warnings <> [] && records = 0 then begin
+              skips :=
+                {
+                  sk_path = path;
+                  sk_reason =
+                    Fmt.str "no usable records (%d malformed line%s, first: %a)"
+                      (List.length warnings)
+                      (if List.length warnings = 1 then "" else "s")
+                      Fdata.pp_warning (List.hd warnings);
+                }
+                :: !skips;
+              None
+            end
+            else Some { sh_name = Filename.basename path; sh_prof = prof }
+        | exception Sys_error msg ->
+            if strict then raise (Sys_error msg);
+            skips := { sk_path = path; sk_reason = msg } :: !skips;
+            None)
+      paths
+  in
+  (loaded, List.rev !skips)
+
 let header sh = Option.value ~default:Fdata.no_header sh.sh_prof.Fdata.header
 
 (* Host label used for --weight matching: the header's host when present,
@@ -135,6 +182,38 @@ let merged_header opts shards =
     hd_weight = 1.0;
   }
 
+(* Recover stale shards against the target revision before merging:
+   every shard whose build-id disagrees with [build_id] and that carries
+   its own fingerprints is re-keyed through [Stale_match], so its events
+   survive the merge instead of polluting it with dead names/offsets.
+   Returns the (possibly rewritten) shards plus the aggregate recovery
+   breakdown — [None] when nothing needed recovering. *)
+let recover_stale ~(fingerprints : Bolt_obj.Fingerprint.t) ~(build_id : string)
+    (shards : loaded list) :
+    loaded list * Bolt_profile.Stale_match.stats option =
+  if fingerprints = [] || build_id = "" then (shards, None)
+  else begin
+    let total = ref None in
+    let shards' =
+      List.map
+        (fun sh ->
+          match
+            Bolt_profile.Stale_match.recover_if_stale ~fingerprints ~build_id
+              sh.sh_prof
+          with
+          | Some (p, st) ->
+              total :=
+                Some
+                  (match !total with
+                  | None -> st
+                  | Some t -> Bolt_profile.Stale_match.add_stats t st);
+              { sh with sh_prof = p }
+          | None -> sh)
+        shards
+    in
+    (shards', !total)
+  end
+
 let merge ?obs ?(opts = default_options) (shards : loaded list) : Fdata.t =
   let obs = match obs with Some o -> o | None -> Obs.null () in
   Obs.span obs "fleet.merge" (fun () ->
@@ -152,15 +231,32 @@ let merge ?obs ?(opts = default_options) (shards : loaded list) : Fdata.t =
       in
       ignore (Bolt_core.Pool.run pool ~worker (Array.of_list shards));
       let parts = Array.to_list acc |> List.concat in
+      let mheader = merged_header opts shards in
+      (* the merged profile describes the target (or modal) revision:
+         carry that revision's fingerprints forward, from the
+         lexicographically-first shard that has them so the choice never
+         depends on input order *)
+      let fingerprints =
+        List.filter
+          (fun sh ->
+            (header sh).Fdata.hd_build_id = mheader.Fdata.hd_build_id
+            && sh.sh_prof.Fdata.fingerprints <> [])
+          shards
+        |> List.sort (fun a b -> compare a.sh_name b.sh_name)
+        |> function
+        | [] -> []
+        | sh :: _ -> sh.sh_prof.Fdata.fingerprints
+      in
       let merged =
         Fdata.normalize
           {
             Fdata.lbr = List.for_all (fun p -> p.Fdata.lbr) parts;
-            header = Some (merged_header opts shards);
+            header = Some mheader;
             branches = List.concat_map (fun p -> p.Fdata.branches) parts;
             ranges = List.concat_map (fun p -> p.Fdata.ranges) parts;
             samples = List.concat_map (fun p -> p.Fdata.samples) parts;
             total_samples = 0L (* recomputed by normalize *);
+            fingerprints;
           }
       in
       Obs.incr obs ~by:(List.length shards) "fleet.shards";

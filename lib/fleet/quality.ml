@@ -29,6 +29,9 @@ type report = {
   q_stale_shards : int; (* shards on a revision other than the target *)
   q_unstamped_shards : int; (* shards with no build-id at all *)
   q_staleness_pct : float; (* share of events from stale shards *)
+  q_recovery : Bolt_profile.Stale_match.stats option;
+      (* aggregate stale-shard recovery breakdown (functions matched
+         exact/fuzzy/inferred/dropped); None when no shard was recovered *)
 }
 
 let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
@@ -38,8 +41,8 @@ let shard_events (sh : Merge.loaded) =
   if h.Fdata.hd_events > 0L then h.Fdata.hd_events
   else sh.sh_prof.Fdata.total_samples
 
-let assess ?expect_build_id (shards : Merge.loaded list) ~(merged : Fdata.t) : report
-    =
+let assess ?expect_build_id ?recovery (shards : Merge.loaded list)
+    ~(merged : Fdata.t) : report =
   let expected =
     match expect_build_id with
     | Some id -> id
@@ -131,6 +134,7 @@ let assess ?expect_build_id (shards : Merge.loaded list) ~(merged : Fdata.t) : r
     q_stale_shards = !stale_shards;
     q_unstamped_shards = !unstamped;
     q_staleness_pct = staleness_pct;
+    q_recovery = recovery;
   }
 
 (* Publish the report through the metrics registry, so it lands in the
@@ -143,7 +147,20 @@ let to_obs (obs : Obs.t) (r : report) =
   Obs.set obs "fleet.quality.coverage_pct" r.q_coverage_pct;
   Obs.set obs "fleet.quality.agreement_pct" r.q_agreement_pct;
   Obs.set obs "fleet.quality.divergence_pct" r.q_divergence_pct;
-  Obs.set obs "fleet.quality.staleness_pct" r.q_staleness_pct
+  Obs.set obs "fleet.quality.staleness_pct" r.q_staleness_pct;
+  match r.q_recovery with
+  | None -> ()
+  | Some st ->
+      Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_exact
+        "fleet.quality.recovery.exact";
+      Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_fuzzy
+        "fleet.quality.recovery.fuzzy";
+      Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_inferred
+        "fleet.quality.recovery.inferred";
+      Obs.incr obs ~by:st.Bolt_profile.Stale_match.st_dropped
+        "fleet.quality.recovery.dropped";
+      Obs.set obs "fleet.quality.recovery.rate"
+        (Bolt_profile.Stale_match.recovery_rate st)
 
 (* A structured manifest section ("fleet") for bmerge --trace-out. *)
 let manifest_section (r : report) : string * Json.t =
@@ -163,6 +180,24 @@ let manifest_section (r : report) : string * Json.t =
         ("stale_shards", Json.Int r.q_stale_shards);
         ("unstamped_shards", Json.Int r.q_unstamped_shards);
         ("staleness_pct", Json.Float r.q_staleness_pct);
+        ( "recovery",
+          match r.q_recovery with
+          | None -> Json.Null
+          | Some st ->
+              Json.Obj
+                [
+                  ("funcs", Json.Int st.Bolt_profile.Stale_match.st_funcs);
+                  ("exact", Json.Int st.Bolt_profile.Stale_match.st_exact);
+                  ("fuzzy", Json.Int st.Bolt_profile.Stale_match.st_fuzzy);
+                  ("inferred", Json.Int st.Bolt_profile.Stale_match.st_inferred);
+                  ("dropped", Json.Int st.Bolt_profile.Stale_match.st_dropped);
+                  ( "records_in",
+                    Json.Int st.Bolt_profile.Stale_match.st_records_in );
+                  ( "records_kept",
+                    Json.Int st.Bolt_profile.Stale_match.st_records_kept );
+                  ( "rate",
+                    Json.Float (Bolt_profile.Stale_match.recovery_rate st) );
+                ] );
       ] )
 
 let pp ppf (r : report) =
@@ -183,4 +218,10 @@ let pp ppf (r : report) =
   Fmt.pf ppf "  stale shards    %d (%.1f%% of events)@." r.q_stale_shards
     r.q_staleness_pct;
   if r.q_unstamped_shards > 0 then
-    Fmt.pf ppf "  unstamped       %d@." r.q_unstamped_shards
+    Fmt.pf ppf "  unstamped       %d@." r.q_unstamped_shards;
+  match r.q_recovery with
+  | None -> ()
+  | Some st ->
+      Fmt.pf ppf "  stale recovery  %a (rate %.0f%%)@."
+        Bolt_profile.Stale_match.pp_stats st
+        (100.0 *. Bolt_profile.Stale_match.recovery_rate st)

@@ -488,16 +488,18 @@ let link ?(options = default_options) (objs : Objfile.t list) : Objfile.t * stat
       [ { sec_name = ".bss"; sec_kind = Bss; sec_addr = bss_addr; sec_data = Bytes.empty; sec_size = bss_size } ]
     else []
   in
-  ( Objfile.stamp_build_id
-      {
-        Objfile.kind = Objfile.Executable;
-        entry;
-        build_id = "";
-        sections;
-        symbols = List.rev !out_symbols;
-        relocs = List.rev !kept_relocs;
-        fdes = List.rev !fdes;
-        lsdas = List.rev !lsdas;
-        dbgs = List.rev !dbgs;
-      },
+  ( Objfile.stamp_fingerprints
+      (Objfile.stamp_build_id
+         {
+           Objfile.kind = Objfile.Executable;
+           entry;
+           build_id = "";
+           sections;
+           symbols = List.rev !out_symbols;
+           relocs = List.rev !kept_relocs;
+           fdes = List.rev !fdes;
+           lsdas = List.rev !lsdas;
+           dbgs = List.rev !dbgs;
+           fingerprints = [];
+         }),
     stats )

@@ -20,6 +20,7 @@ type t = {
   fdes : fde list;
   lsdas : lsda list;
   dbgs : dbg list;
+  fingerprints : Fingerprint.func list; (* v5; [] when unstamped or pre-v5 *)
 }
 
 let empty kind =
@@ -33,6 +34,7 @@ let empty kind =
     fdes = [];
     lsdas = [];
     dbgs = [];
+    fingerprints = [];
   }
 
 (* Deterministic build-id: a digest of everything that defines the
@@ -57,6 +59,15 @@ let compute_build_id t =
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let stamp_build_id t = { t with build_id = compute_build_id t }
+
+(* Structural fingerprints are derived from sections+symbols only, and the
+   build-id ignores metadata, so stamping commutes with [stamp_build_id]
+   and never invalidates the id. *)
+let stamp_fingerprints t =
+  {
+    t with
+    fingerprints = Fingerprint.compute ~sections:t.sections ~symbols:t.symbols;
+  }
 
 let find_section t name =
   List.find_opt (fun s -> s.sec_name = name) t.sections
@@ -98,9 +109,11 @@ let text_size t =
 
 let magic = "BELF"
 
-(* v4 added [build_id] after the entry point; v3 files (no build-id) are
-   still readable and load with [build_id = ""]. *)
-let version = 4
+(* v4 added [build_id] after the entry point; v5 appended the structural
+   fingerprint table after the dbg records.  v3 files (no build-id) and v4
+   files (no fingerprints) are still readable and load with the missing
+   fields empty. *)
+let version = 5
 
 let min_version = 3
 
@@ -278,6 +291,7 @@ let to_string t =
   Buf.list b w_fde t.fdes;
   Buf.list b w_lsda t.lsdas;
   Buf.list b w_dbg t.dbgs;
+  Buf.list b Fingerprint.write t.fingerprints;
   Buf.contents b
 
 let of_string data =
@@ -299,7 +313,11 @@ let of_string data =
     let fdes = Buf.r_list r r_fde in
     let lsdas = Buf.r_list r r_lsda in
     let dbgs = Buf.r_list r r_dbg in
-    { kind; entry; build_id; sections; symbols; relocs; fdes; lsdas; dbgs }
+    let fingerprints =
+      if v >= 5 then Buf.r_list r Fingerprint.read else []
+    in
+    { kind; entry; build_id; sections; symbols; relocs; fdes; lsdas; dbgs;
+      fingerprints }
   with
   | Buf.Corrupt _ as e -> raise e
   | exn ->

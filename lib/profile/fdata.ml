@@ -86,10 +86,22 @@ type t = {
   ranges : range list;
   samples : sample list;
   total_samples : int64;
+  fingerprints : Bolt_obj.Fingerprint.func list;
+      (* structural fingerprints of the binary the profile was collected
+         on, copied from its BELF fingerprint table at conversion time.
+         [] for old shards; the raw material for stale-profile matching. *)
 }
 
 let empty =
-  { lbr = true; header = None; branches = []; ranges = []; samples = []; total_samples = 0L }
+  {
+    lbr = true;
+    header = None;
+    branches = [];
+    ranges = [];
+    samples = [];
+    total_samples = 0L;
+    fingerprints = [];
+  }
 
 (* Aggregate count of events attributed to a function, used for function
    hotness by the reorder-functions pass. *)
@@ -149,6 +161,7 @@ let normalize t =
     ranges = List.sort compare !ranges;
     samples = List.sort compare !samples;
     total_samples = total;
+    fingerprints = List.sort_uniq compare t.fingerprints;
   }
 
 (* ---- text format ---- *)
@@ -168,6 +181,25 @@ let to_string t =
       if h.hd_weight <> 1.0 then
         Buffer.add_string b (Printf.sprintf "H weight %h\n" h.hd_weight)
   | None -> ());
+  (* G/GB: fingerprints of the profiled binary, for stale matching.  Old
+     readers skip them as unknown tags; profiles without them just have
+     no G lines. *)
+  List.iter
+    (fun (f : Bolt_obj.Fingerprint.func) ->
+      Buffer.add_string b
+        (Printf.sprintf "G %s %d %s %s %s\n" f.fp_func f.fp_size
+           (Bolt_obj.Fingerprint.to_hex f.fp_opcode_hash)
+           (Bolt_obj.Fingerprint.to_hex f.fp_cfg_hash)
+           (if f.fp_calls = [] then "-" else String.concat "," f.fp_calls));
+      List.iter
+        (fun (blk : Bolt_obj.Fingerprint.block) ->
+          Buffer.add_string b
+            (Printf.sprintf "GB %s %d %d %s %s\n" f.fp_func blk.bk_off
+               blk.bk_size
+               (Bolt_obj.Fingerprint.to_hex blk.bk_opcode_hash)
+               (Bolt_obj.Fingerprint.to_hex blk.bk_shape_hash)))
+        f.fp_blocks)
+    t.fingerprints;
   List.iter
     (fun x ->
       Buffer.add_string b
@@ -216,12 +248,25 @@ let non_negative what v =
   if v < 0 then raise (Reject (Printf.sprintf "%s is negative: %d" what v));
   v
 
+let hash_field what s =
+  match Bolt_obj.Fingerprint.of_hex s with
+  | Some v -> v
+  | None -> raise (Reject (Printf.sprintf "%s is not a hex hash: %s" what s))
+
 let parse ?(strict = false) text : t * warning list =
   let branches = ref [] in
   let ranges = ref [] in
   let samples = ref [] in
   let lbr = ref true in
   let header = ref None in
+  (* G lines open a fingerprint (in file order); GB lines append blocks
+     to the most recently seen G of the same function *)
+  let fp_order : string list ref = ref [] in
+  let fp_tbl :
+      (string, Bolt_obj.Fingerprint.func * Bolt_obj.Fingerprint.block list ref)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
   let warnings = ref [] in
   let reject lineno line reason =
     if strict then raise (Bad_format (Printf.sprintf "line %d: %s: %s" lineno reason line));
@@ -283,8 +328,37 @@ let parse ?(strict = false) text : t * warning list =
                 sm_count = count_field "count" c;
               }
               :: !samples
+        | [ "G"; f; sz; oh; ch; calls ] ->
+            let fp =
+              {
+                Bolt_obj.Fingerprint.fp_func = f;
+                fp_size = non_negative "size" (int_field "size" sz);
+                fp_opcode_hash = hash_field "opcode hash" oh;
+                fp_cfg_hash = hash_field "cfg hash" ch;
+                fp_calls =
+                  (if calls = "-" then []
+                   else String.split_on_char ',' calls);
+                fp_blocks = [];
+              }
+            in
+            if not (Hashtbl.mem fp_tbl f) then fp_order := f :: !fp_order;
+            Hashtbl.replace fp_tbl f (fp, ref [])
+        | [ "GB"; f; off; sz; oh; sh ] -> (
+            match Hashtbl.find_opt fp_tbl f with
+            | None -> raise (Reject "GB record before its G record")
+            | Some (_, blocks) ->
+                blocks :=
+                  {
+                    Bolt_obj.Fingerprint.bk_off =
+                      non_negative "block offset" (int_field "block offset" off);
+                    bk_size = non_negative "block size" (int_field "block size" sz);
+                    bk_opcode_hash = hash_field "block opcode hash" oh;
+                    bk_shape_hash = hash_field "block shape hash" sh;
+                  }
+                  :: !blocks)
         | [] | [ "" ] -> ()
-        | ("B" | "F" | "S" | "mode" | "H") :: _ -> raise (Reject "wrong field count")
+        | ("B" | "F" | "S" | "G" | "GB" | "mode" | "H") :: _ ->
+            raise (Reject "wrong field count")
         | _ -> raise (Reject "unknown record tag")
       with Reject reason -> reject lineno line reason)
     lines;
@@ -293,6 +367,13 @@ let parse ?(strict = false) text : t * warning list =
     |> fun acc ->
     List.fold_left (fun a (s : sample) -> sat_add a s.sm_count) acc !samples
   in
+  let fingerprints =
+    List.rev_map
+      (fun f ->
+        let fp, blocks = Hashtbl.find fp_tbl f in
+        { fp with Bolt_obj.Fingerprint.fp_blocks = List.rev !blocks })
+      !fp_order
+  in
   ( {
       lbr = !lbr;
       header = !header;
@@ -300,6 +381,7 @@ let parse ?(strict = false) text : t * warning list =
       ranges = List.rev !ranges;
       samples = List.rev !samples;
       total_samples = total;
+      fingerprints;
     },
     List.rev !warnings )
 

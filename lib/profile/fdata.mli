@@ -8,7 +8,14 @@
     B <from_func> <from_off> <to_func> <to_off> <count> <mispreds>
     F <func> <start_off> <end_off> <count>
     S <func> <off> <count>
+    G <func> <size> <opcode_hash> <cfg_hash> <callee,callee|->
+    GB <func> <off> <size> <opcode_hash> <shape_hash>
     v}
+
+    [G]/[GB] records carry the structural fingerprints of the binary the
+    profile was collected on (copied from its BELF fingerprint table), the
+    raw material for stale-profile matching when the profiled revision and
+    the optimized revision differ.
 
     Counts are 64-bit; all accumulation saturates at [Int64.max_int] so a
     fleet-wide merge can only pin a counter, never wrap it.
@@ -67,6 +74,9 @@ type t = {
   ranges : range list;
   samples : sample list;
   total_samples : int64;
+  fingerprints : Bolt_obj.Fingerprint.func list;
+      (** fingerprints of the profiled binary ([G]/[GB] records); [[]] for
+          shards converted before fingerprinting existed *)
 }
 
 val empty : t

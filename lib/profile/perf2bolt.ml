@@ -78,4 +78,7 @@ let convert ?header (exe : Objfile.t) (raw : Bolt_sim.Machine.raw_profile) : Fda
       ranges = !ranges;
       samples = !samples;
       total_samples = 0L (* recomputed by normalize *);
+      (* carry the profiled binary's fingerprints so the shard can be
+         matched against a later revision once this one is stale *)
+      fingerprints = exe.Objfile.fingerprints;
     }

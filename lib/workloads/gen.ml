@@ -51,6 +51,19 @@ type params = {
          request mixes concentrated in different residue windows give the
          same branches opposite biases — the per-host skew the fleet
          simulation needs.  0 disables. *)
+  (* Revision drift: regenerate the same service "one commit later".
+     All three draw from side RNG streams, so the shared plan/body
+     streams are untouched — two revisions differ exactly where the
+     drift says they differ, nowhere else. *)
+  body_pad : int;
+      (* extra straight-line ops prepended to every compute-function
+         body: offsets shift, CFG shape survives (light-edit drift) *)
+  rename_every : int;
+      (* every Nth compute function gets a revision-local name
+         (fN -> frN), call sites included; 0 disables (rename drift) *)
+  extra_funcs : int;
+      (* cold helpers only this revision has; profiles from it carry
+         records no other revision can place (deleted-function drift) *)
 }
 
 let default =
@@ -78,6 +91,9 @@ let default =
     iterations = 30_000;
     input_driven = false;
     dispatch_thresholds = 0;
+    body_pad = 0;
+    rename_every = 0;
+    extra_funcs = 0;
   }
 
 type t = {
@@ -102,7 +118,10 @@ type fplan = {
 
 let gen (p : params) : t =
   let rng = Rng.create p.seed in
-  let fname i = Printf.sprintf "f%d" i in
+  let fname i =
+    if p.rename_every > 0 && i mod p.rename_every = 0 then Printf.sprintf "fr%d" i
+    else Printf.sprintf "f%d" i
+  in
   let layer_of i = i * p.layers / p.funcs in
   let hot = Array.init p.funcs (fun _ -> Rng.int rng 1000 < p.hot_per_mille) in
   (* layer 0 functions are leaves; make the top layer all hot so main has
@@ -168,6 +187,14 @@ let gen (p : params) : t =
     let line fmt = Fmt.kstr (fun s -> Buffer.add_string b ("  " ^ s ^ "\n")) fmt in
     Buffer.add_string b (Printf.sprintf "fn %s(x, d) {\n" fp.fp_name);
     line "var a = x + %d;" (Rng.int r 1000);
+    (* revision-drift pad: shifts every later offset in the function
+       without touching the body's own RNG stream or its CFG shape *)
+    if p.body_pad > 0 then begin
+      let pr = Rng.create (fp.fp_body_seed lxor 0x9e3779) in
+      for _ = 1 to p.body_pad do
+        line "a = a + %d;" (1 + Rng.int pr 100)
+      done
+    end;
     (* arithmetic mix *)
     for _ = 1 to 1 + Rng.int r p.work_ops do
       match Rng.int r 6 with
@@ -283,6 +310,23 @@ let gen (p : params) : t =
           (1 + Rng.int r 9) (Rng.int r 31))
   in
 
+  (* revision-only cold helpers (deleted-function drift): the other
+     revision has no counterpart, so a stale matcher must drop their
+     records cleanly *)
+  let extra_name i = Printf.sprintf "fx%d" i in
+  let extra_bodies =
+    List.init p.extra_funcs (fun i ->
+        let r = Rng.create (p.seed + 7000 + (17 * i)) in
+        Printf.sprintf
+          "fn %s(x, d) {\n\
+          \  var a = x * %d + d;\n\
+          \  if (a %% 16 < %d) { a = a + %d; } else { a = a - %d; }\n\
+          \  return a;\n\
+           }\n"
+          (extra_name i) (3 + Rng.int r 9) (2 + Rng.int r 8) (Rng.int r 50)
+          (1 + Rng.int r 50))
+  in
+
   (* duplicate families *)
   let dup_plain fam =
     let r = Rng.create (p.seed + 1000 + fam) in
@@ -332,6 +376,7 @@ let gen (p : params) : t =
   Array.iter (fun fp -> Hashtbl.replace module_of_fn fp.fp_name fp.fp_module) plans;
   List.iteri (fun i _ -> Hashtbl.replace module_of_fn (leaf_name i) 0) leaf_bodies;
   List.iter (fun n -> Hashtbl.replace module_of_fn n 0) dup_names;
+  List.iteri (fun i _ -> Hashtbl.replace module_of_fn (extra_name i) 0) extra_bodies;
 
   (* main *)
   let top =
@@ -409,6 +454,13 @@ let gen (p : params) : t =
   List.iteri
     (fun k n -> ml "    if (t == %d) { checksum = checksum + %s(t, 0); }" (5 + k) n)
     asm_names;
+  (* revision-only helpers get real (if cool) traffic, so a profile from
+     this revision records them *)
+  List.iteri
+    (fun k _ ->
+      ml "    if (t == %d) { checksum = checksum + %s(t, 1); }"
+        (9 + (k mod 80)) (extra_name k))
+    extra_bodies;
   if p.input_driven then ml "    tok = in();" else ml "    i = i + 1;";
   ml "  }";
   ml "  out checksum;";
@@ -423,6 +475,7 @@ let gen (p : params) : t =
         if m = 0 then Buffer.add_string buf (Buffer.contents main_buf);
         if m = 0 then begin
           List.iter (Buffer.add_string buf) leaf_bodies;
+          List.iter (Buffer.add_string buf) extra_bodies;
           for fam = 0 to p.dup_plain_families - 1 do
             for c = 0 to p.dup_plain_copies - 1 do
               Buffer.add_string buf (dup_plain fam c)

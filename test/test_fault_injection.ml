@@ -13,8 +13,10 @@
 
    Corruption families: byte flips in the serialized container,
    truncations, byte flips inside .text of a well-formed container (in
-   both relocations and in-place mode), mutated fdata text, and stale
-   profiles (offset drift, wrong binary). *)
+   both relocations and in-place mode), mutated fdata text, stale
+   profiles (offset drift, wrong binary), and drifted-revision profiles
+   through the fingerprint matcher (edited bodies, renamed symbols,
+   deleted functions, mangled fingerprint tables). *)
 
 module Machine = Bolt_sim.Machine
 module Objfile = Bolt_obj.Objfile
@@ -296,6 +298,97 @@ let stale_wrong_binary () =
         (classify out ~input:b.input);
       ignore report
 
+(* ---- family 6: drifted revisions through the fingerprint matcher ---- *)
+
+module Fp = Bolt_obj.Fingerprint
+
+(* Mark a profile as collected on [exe]: build-id mismatch against the
+   optimization target is what arms the stale matcher. *)
+let stamp_header build_id (p : Fdata.t) =
+  { p with Fdata.header = Some { Fdata.no_header with Fdata.hd_build_id = build_id } }
+
+(* The same service "one commit earlier": bodies edited, some symbols
+   renamed, some helpers that the current revision deleted.  Its profile
+   — fingerprints and all — must drive the current binary through
+   recovery without a crash, and the rewrite must preserve behaviour. *)
+let drifted_case i () =
+  let b = Lazy.force base_rel in
+  let rng = mk_rng (5000 + i) in
+  let old_params =
+    {
+      (small_params 3) with
+      Gen.body_pad = 1 + rng 3;
+      rename_every = 4 + rng 5;
+      extra_funcs = rng 4;
+    }
+  in
+  let w = Gen.gen old_params in
+  let cc = { Bolt_minic.Driver.default_options with emit_relocs = true } in
+  let r =
+    Bolt_minic.Driver.compile ~options:cc ~externals:w.Gen.externals
+      ~extra_objs:w.Gen.extra_objs w.Gen.sources
+  in
+  let sampling =
+    { Machine.event = Machine.Ev_cycles; period = 251; lbr = true; precise = true }
+  in
+  let o = Machine.run ~sampling r.exe ~input:w.Gen.input in
+  let prof =
+    match o.Machine.profile with
+    | Some raw -> Bolt_profile.Perf2bolt.convert r.exe raw
+    | None -> Fdata.empty
+  in
+  let prof = stamp_header r.exe.Objfile.build_id prof in
+  match try_bolt b.exe prof with
+  | Rejected m -> Alcotest.fail ("intact binary rejected drifted profile: " ^ m)
+  | Rewritten (out, _) ->
+      Alcotest.check behaviour_t
+        (Printf.sprintf "drift-%d behaviour preserved" i)
+        (classify b.exe ~input:b.input)
+        (classify out ~input:b.input)
+
+(* Garbage fingerprint tables: random hashes, torn block lists,
+   out-of-range offsets, colliding names.  Whatever the matcher makes of
+   them, the intact target binary must come out behaving the same. *)
+let mangled_fp_case i () =
+  let b = Lazy.force base_rel in
+  let rng = mk_rng (6000 + i) in
+  let mangle_block (bk : Fp.block) =
+    match rng 5 with
+    | 0 -> { bk with Fp.bk_off = bk.Fp.bk_off - 1 - rng 64 }
+    | 1 -> { bk with Fp.bk_size = rng 2 * 1_000_000 }
+    | 2 -> { bk with Fp.bk_opcode_hash = rng 1000 }
+    | 3 -> { bk with Fp.bk_shape_hash = rng 1000 }
+    | _ -> bk
+  in
+  let mangle_fn (f : Fp.func) =
+    match rng 7 with
+    | 0 -> { f with Fp.fp_func = Printf.sprintf "zz%d" (rng 4) }
+    | 1 -> { f with Fp.fp_blocks = [] }
+    | 2 ->
+        let keep = rng (1 + List.length f.Fp.fp_blocks) in
+        { f with Fp.fp_blocks = List.filteri (fun j _ -> j < keep) f.Fp.fp_blocks }
+    | 3 ->
+        {
+          f with
+          Fp.fp_opcode_hash = rng 1000;
+          fp_cfg_hash = rng 1000;
+        }
+    | 4 -> { f with Fp.fp_blocks = f.Fp.fp_blocks @ f.Fp.fp_blocks }
+    | 5 -> { f with Fp.fp_calls = [ String.make 300 'q' ] }
+    | _ -> { f with Fp.fp_blocks = List.map mangle_block f.Fp.fp_blocks }
+  in
+  let prof =
+    stamp_header "drifted-build-gone"
+      { b.prof with Fdata.fingerprints = List.map mangle_fn b.prof.Fdata.fingerprints }
+  in
+  match try_bolt b.exe prof with
+  | Rejected m -> Alcotest.fail ("intact binary rejected mangled fingerprints: " ^ m)
+  | Rewritten (out, _) ->
+      Alcotest.check behaviour_t
+        (Printf.sprintf "mangled-fp-%d behaviour preserved" i)
+        (classify b.exe ~input:b.input)
+        (classify out ~input:b.input)
+
 (* ---- quarantine mechanism unit tests ---- *)
 
 let quarantine_demote_preserves () =
@@ -389,6 +482,10 @@ let corruption_cases round =
         Alcotest.test_case (tag "text" i) `Slow (text_case (mix i)))
   @ List.init 14 (fun i ->
         Alcotest.test_case (tag "fdata" i) `Slow (fdata_case (mix i)))
+  @ List.init 3 (fun i ->
+        Alcotest.test_case (tag "drift" i) `Slow (drifted_case (mix i)))
+  @ List.init 8 (fun i ->
+        Alcotest.test_case (tag "mangled-fp" i) `Slow (mangled_fp_case (mix i)))
 
 let suite =
   List.concat_map corruption_cases rounds

@@ -31,6 +31,7 @@ let sample_profile =
     ranges = [ { Fdata.rg_func = "main"; rg_start = 0; rg_end = 12; rg_count = 990L } ];
     samples = [];
     total_samples = 1480L;
+    fingerprints = [];
   }
 
 let nonlbr_profile =
@@ -45,6 +46,7 @@ let nonlbr_profile =
         { Fdata.sm_func = "helper"; sm_off = 0; sm_count = 3L };
       ];
     total_samples = 80L;
+    fingerprints = [];
   }
 
 let check_round_trip name (p : Fdata.t) =
@@ -168,6 +170,121 @@ let garbage_never_raises () =
     texts;
   Alcotest.(check pass) "no exception" () ()
 
+(* ---- fingerprint records (G/GB) ---- *)
+
+module Fp = Bolt_obj.Fingerprint
+
+let fp_profile =
+  {
+    sample_profile with
+    Fdata.fingerprints =
+      [
+        {
+          Fp.fp_func = "helper";
+          fp_size = 16;
+          fp_opcode_hash = 0x1234;
+          fp_cfg_hash = 0x55;
+          fp_calls = [];
+          fp_blocks =
+            [ { Fp.bk_off = 0; bk_size = 16; bk_opcode_hash = 9; bk_shape_hash = 2 } ];
+        };
+        {
+          Fp.fp_func = "main";
+          fp_size = 64;
+          fp_opcode_hash = 0xabcdef;
+          fp_cfg_hash = 0xfeed;
+          fp_calls = [ "helper"; "exit" ];
+          fp_blocks =
+            [
+              { Fp.bk_off = 0; bk_size = 12; bk_opcode_hash = 3; bk_shape_hash = 4 };
+              { Fp.bk_off = 12; bk_size = 52; bk_opcode_hash = 5; bk_shape_hash = 6 };
+            ];
+        };
+      ];
+  }
+
+let round_trip_fingerprints () = check_round_trip "fingerprints" fp_profile
+
+let gb_before_g_rejected () =
+  (* a GB line with no G opened for its function is an orphan: skipped
+     with a warning leniently, fatal under ~strict *)
+  let text =
+    String.concat "\n"
+      [
+        "mode lbr";
+        "GB main 0 12 3 4";
+        "G main 64 abcdef feed helper,exit";
+        "GB main 12 52 5 6";
+        "B main 12 main 40 1000 13";
+        "";
+      ]
+  in
+  let p, warnings = Fdata.parse text in
+  Alcotest.(check int) "one warning" 1 (List.length warnings);
+  Alcotest.(check int) "orphan line" 2 (List.hd warnings).Fdata.w_line;
+  (match p.Fdata.fingerprints with
+  | [ f ] ->
+      Alcotest.(check string) "func kept" "main" f.Fp.fp_func;
+      Alcotest.(check int) "only the later block" 1 (List.length f.Fp.fp_blocks)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 fingerprint, got %d" (List.length l)));
+  Alcotest.check_raises "strict rejects the orphan"
+    (Fdata.Bad_format "line 2: GB record before its G record: GB main 0 12 3 4")
+    (fun () -> ignore (Fdata.parse ~strict:true text))
+
+(* ---- normalize: duplicate and zero-count triples ---- *)
+
+let normalize_folds_duplicates () =
+  let br f fo t to_ c m =
+    {
+      Fdata.br_from_func = f;
+      br_from_off = fo;
+      br_to_func = t;
+      br_to_off = to_;
+      br_count = c;
+      br_mispreds = m;
+    }
+  in
+  let p =
+    {
+      Fdata.empty with
+      Fdata.branches =
+        [
+          br "b" 4 "b" 0 5L 1L;
+          br "a" 0 "a" 8 2L 0L;
+          br "a" 0 "a" 8 3L 1L;
+          br "z" 0 "z" 4 0L 0L;
+        ];
+      ranges =
+        [
+          { Fdata.rg_func = "a"; rg_start = 0; rg_end = 8; rg_count = 1L };
+          { Fdata.rg_func = "a"; rg_start = 0; rg_end = 8; rg_count = 2L };
+        ];
+      samples =
+        [
+          { Fdata.sm_func = "s"; sm_off = 4; sm_count = 7L };
+          { Fdata.sm_func = "s"; sm_off = 4; sm_count = Int64.max_int };
+        ];
+    }
+  in
+  let n = Fdata.normalize p in
+  Alcotest.(check int) "duplicate branches folded" 3 (List.length n.Fdata.branches);
+  let a = List.find (fun (b : Fdata.branch) -> b.br_from_func = "a") n.Fdata.branches in
+  Alcotest.(check int64) "counts added" 5L a.Fdata.br_count;
+  Alcotest.(check int64) "mispreds added" 1L a.Fdata.br_mispreds;
+  (* zero-count records are data ("this edge was never taken"), not noise *)
+  Alcotest.(check bool) "zero-count triple survives" true
+    (List.exists (fun (b : Fdata.branch) -> b.Fdata.br_count = 0L) n.Fdata.branches);
+  Alcotest.(check bool) "branches sorted" true
+    (n.Fdata.branches = List.sort compare n.Fdata.branches);
+  Alcotest.(check int) "duplicate ranges folded" 1 (List.length n.Fdata.ranges);
+  Alcotest.(check int64) "range counts added" 3L (List.hd n.Fdata.ranges).Fdata.rg_count;
+  Alcotest.(check int64) "sample add saturates" Int64.max_int
+    (List.hd n.Fdata.samples).Fdata.sm_count;
+  Alcotest.(check int64) "total recomputed, saturating" Int64.max_int
+    n.Fdata.total_samples;
+  (* already-canonical input is a fixpoint *)
+  Alcotest.(check bool) "idempotent" true (Fdata.normalize n = n)
+
 let suite =
   [
     Alcotest.test_case "round-trip-lbr" `Quick round_trip_lbr;
@@ -180,4 +297,7 @@ let suite =
     Alcotest.test_case "header-round-trip" `Quick header_round_trip;
     Alcotest.test_case "saturation" `Quick saturation;
     Alcotest.test_case "garbage-never-raises" `Quick garbage_never_raises;
+    Alcotest.test_case "round-trip-fingerprints" `Quick round_trip_fingerprints;
+    Alcotest.test_case "gb-before-g-rejected" `Quick gb_before_g_rejected;
+    Alcotest.test_case "normalize-folds-duplicates" `Quick normalize_folds_duplicates;
   ]

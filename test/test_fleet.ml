@@ -42,6 +42,7 @@ let mk_prof ?(host = "") ?(build = "") ?(ts = 0) ?(events = 0L)
     ranges;
     samples;
     total_samples = 0L;
+    fingerprints = [];
   }
 
 let shards_of_profiles ps =

@@ -19,4 +19,5 @@ let () =
       ("layout", Test_layout.suite);
       ("fuzz", Test_fuzz.suite);
       ("fleet", Test_fleet.suite);
+      ("stale", Test_stale.suite);
     ]

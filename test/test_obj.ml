@@ -91,6 +91,20 @@ let sample_exe () =
       ];
     dbgs =
       [ { dbg_func = "main"; dbg_addr = 0x400000; dbg_entries = [ (0, "a.mc", 3); (2, "a.mc", 9) ] } ];
+    fingerprints =
+      [
+        {
+          Fingerprint.fp_func = "main";
+          fp_size = 3;
+          fp_opcode_hash = 0x1234;
+          fp_cfg_hash = 0xabcd;
+          fp_calls = [ "helper" ];
+          fp_blocks =
+            [
+              { Fingerprint.bk_off = 0; bk_size = 3; bk_opcode_hash = 0x9; bk_shape_hash = 0x7 };
+            ];
+        };
+      ];
   }
 
 let test_roundtrip () =
@@ -212,7 +226,9 @@ let test_v3_compat () =
   in
   let exe' = Objfile.of_string v3 in
   Alcotest.(check string) "unstamped" "" exe'.Objfile.build_id;
-  Alcotest.(check bool) "payload intact" true (exe' = exe)
+  (* v3 predates fingerprints too: they drop, everything else survives *)
+  Alcotest.(check bool) "payload intact" true
+    (exe' = { exe with Objfile.fingerprints = [] })
 
 let buf_roundtrip =
   QCheck.Test.make ~name:"Buf i64 roundtrip" ~count:1000

@@ -15,6 +15,7 @@ let sample_profile =
     ranges = [ { F.rg_func = "b"; rg_start = 0; rg_end = 30; rg_count = 44L } ];
     samples = [ { F.sm_func = "c"; sm_off = 8; sm_count = 5L } ];
     total_samples = 162L;
+    fingerprints = [];
   }
 
 let test_fdata_roundtrip () =

@@ -1,0 +1,472 @@
+(* Stale-profile recovery: fingerprint matching units (exact renames,
+   fuzzy offset remapping, count inference, clean drops, deterministic
+   tie refusal), BELF v5 fingerprint round-trips with v4 read-compat,
+   match_profile offset boundaries, and the subsystem's acceptance
+   check — a revision N-1 profile driven through the recovery path must
+   keep at least 70% of the fresh-profile win on the fleet workload. *)
+
+module Fdata = Bolt_profile.Fdata
+module SM = Bolt_profile.Stale_match
+module F = Bolt_obj.Fingerprint
+module Objfile = Bolt_obj.Objfile
+module Buf = Bolt_obj.Buf
+module Gen = Bolt_workloads.Gen
+module Workloads = Bolt_workloads.Workloads
+module FS = Bolt_fleet.Fleet_sim
+module Merge = Bolt_fleet.Merge
+module Quality = Bolt_fleet.Quality
+module P = Bolt_pipeline.Pipeline
+module Machine = Bolt_sim.Machine
+module Driver = Bolt_minic.Driver
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                           *)
+
+let mk_block off size oh sh =
+  { F.bk_off = off; bk_size = size; bk_opcode_hash = oh; bk_shape_hash = sh }
+
+let mk_func ?(calls = []) name size oh ch blocks =
+  {
+    F.fp_func = name;
+    fp_size = size;
+    fp_opcode_hash = oh;
+    fp_cfg_hash = ch;
+    fp_calls = calls;
+    fp_blocks = blocks;
+  }
+
+let mk_prof ?(build = "OLD") ?(fps = []) ?(branches = []) ?(ranges = [])
+    ?(samples = []) () =
+  {
+    Fdata.lbr = true;
+    header =
+      Some
+        {
+          Fdata.hd_host = "h";
+          hd_build_id = build;
+          hd_timestamp = 0;
+          hd_events = 0L;
+          hd_weight = 1.0;
+        };
+    branches;
+    ranges;
+    samples;
+    total_samples = 0L;
+    fingerprints = fps;
+  }
+
+let br ff fo tf to_ c =
+  {
+    Fdata.br_from_func = ff;
+    br_from_off = fo;
+    br_to_func = tf;
+    br_to_off = to_;
+    br_count = c;
+    br_mispreds = 0L;
+  }
+
+let recover_exn ~fps ~build p =
+  match SM.recover_if_stale ~fingerprints:fps ~build_id:build p with
+  | Some r -> r
+  | None -> Alcotest.fail "expected recovery to trigger"
+
+(* ------------------------------------------------------------------ *)
+(* Matching tiers                                                     *)
+
+(* A pure rename: identical hashes under a new name.  Records keep
+   their offsets, only the name changes. *)
+let test_exact_rename () =
+  let blocks = [ mk_block 0 4 10 20; mk_block 4 4 11 21 ] in
+  let old_fp = mk_func ~calls:[ "leaf" ] "old_fn" 8 100 200 blocks in
+  let new_fp = mk_func ~calls:[ "leaf" ] "new_fn" 8 100 200 blocks in
+  let p =
+    mk_prof ~fps:[ old_fp ]
+      ~branches:[ br "old_fn" 5 "old_fn" 4 10L; br "caller" 0 "old_fn" 0 3L ]
+      ()
+  in
+  let p', st = recover_exn ~fps:[ new_fp ] ~build:"NEW" p in
+  Alcotest.(check int) "one function" 1 st.SM.st_funcs;
+  Alcotest.(check int) "exact" 1 st.SM.st_exact;
+  Alcotest.(check int) "records kept" 2 st.SM.st_records_kept;
+  List.iter
+    (fun (b : Fdata.branch) ->
+      Alcotest.(check bool) "no stale name" false
+        (b.br_from_func = "old_fn" || b.br_to_func = "old_fn"))
+    p'.Fdata.branches;
+  let intra =
+    List.find (fun (b : Fdata.branch) -> b.br_from_func = "new_fn") p'.Fdata.branches
+  in
+  Alcotest.(check int) "offset untouched" 5 intra.Fdata.br_from_off;
+  (* the recovered profile describes the target revision *)
+  Alcotest.(check string) "restamped" "NEW"
+    (Option.get p'.Fdata.header).Fdata.hd_build_id;
+  Alcotest.(check bool) "carries target fingerprints" true
+    (p'.Fdata.fingerprints = [ new_fp ])
+
+(* A light edit: same name, entry block grew, later block intact.  The
+   positional alignment remaps every offset through the edit. *)
+let test_fuzzy_remap () =
+  let old_fp =
+    mk_func "f" 16 100 200 [ mk_block 0 8 10 20; mk_block 8 8 11 21 ]
+  in
+  let new_fp =
+    mk_func "f" 20 101 200 [ mk_block 0 12 99 20; mk_block 12 8 11 21 ]
+  in
+  let p =
+    mk_prof ~fps:[ old_fp ]
+      ~branches:[ br "f" 9 "f" 8 10L ]
+      ~ranges:[ { Fdata.rg_func = "f"; rg_start = 0; rg_end = 9; rg_count = 5L } ]
+      ~samples:
+        [
+          { Fdata.sm_func = "f"; sm_off = 1; sm_count = 2L };
+          (* past every old block: no containment, must drop *)
+          { Fdata.sm_func = "f"; sm_off = 400; sm_count = 9L };
+        ]
+      ()
+  in
+  let p', st = recover_exn ~fps:[ new_fp ] ~build:"NEW" p in
+  Alcotest.(check int) "fuzzy" 1 st.SM.st_fuzzy;
+  (match p'.Fdata.branches with
+  | [ b ] ->
+      (* source off 9 sat 1 byte into old block 1 -> 1 byte into new
+         block 1 (12+1); target off 8 was a block start -> 12 *)
+      Alcotest.(check int) "from remapped" 13 b.Fdata.br_from_off;
+      Alcotest.(check int) "to remapped" 12 b.Fdata.br_to_off
+  | bs -> Alcotest.failf "expected 1 branch, got %d" (List.length bs));
+  (match p'.Fdata.ranges with
+  | [ r ] ->
+      Alcotest.(check int) "range start" 0 r.Fdata.rg_start;
+      Alcotest.(check int) "range end" 13 r.Fdata.rg_end
+  | rs -> Alcotest.failf "expected 1 range, got %d" (List.length rs));
+  Alcotest.(check int) "off-the-end sample dropped" 1
+    (List.length p'.Fdata.samples)
+
+(* Heavy edit: no block aligns, so offsets are noise.  Function-level
+   evidence must survive as an inferred entry count. *)
+let test_inferred_entry () =
+  let old_fp =
+    mk_func "g" 16 100 200
+      [ mk_block 0 4 1 2; mk_block 4 4 3 4; mk_block 8 4 5 6; mk_block 12 4 7 8 ]
+  in
+  let new_fp =
+    mk_func "g" 12 101 201
+      [ mk_block 0 4 30 40; mk_block 4 4 50 60; mk_block 8 4 70 80 ]
+  in
+  let p =
+    mk_prof ~fps:[ old_fp ]
+      ~branches:[ br "g" 5 "g" 8 100L; br "g" 13 "g" 4 40L ]
+      ~samples:[ { Fdata.sm_func = "g"; sm_off = 9; sm_count = 7L } ]
+      ()
+  in
+  let p', st = recover_exn ~fps:[ new_fp ] ~build:"NEW" p in
+  Alcotest.(check int) "inferred" 1 st.SM.st_inferred;
+  (* intra edges drop; the hottest one becomes a synthetic entry count
+     for the dataflow repair to spread *)
+  (match p'.Fdata.branches with
+  | [ b ] ->
+      Alcotest.(check string) "ghost caller" SM.ghost_caller b.Fdata.br_from_func;
+      Alcotest.(check string) "into g" "g" b.Fdata.br_to_func;
+      Alcotest.(check int) "entry offset" 0 b.Fdata.br_to_off;
+      Alcotest.(check int64) "hottest edge" 100L b.Fdata.br_count
+  | bs -> Alcotest.failf "expected 1 branch, got %d" (List.length bs));
+  (* samples keep function-level hotness at the entry *)
+  (match p'.Fdata.samples with
+  | [ s ] -> Alcotest.(check int) "sample pinned to entry" 0 s.Fdata.sm_off
+  | ss -> Alcotest.failf "expected 1 sample, got %d" (List.length ss))
+
+(* A deleted function's records vanish rather than spraying
+   unknown-function diagnostics downstream. *)
+let test_dropped_deleted () =
+  let old_fp = mk_func ~calls:[ "x" ] "dead" 8 100 200 [ mk_block 0 8 10 20 ] in
+  let new_fp = mk_func "other" 4 999 888 [] in
+  let p =
+    mk_prof ~fps:[ old_fp ]
+      ~branches:[ br "dead" 4 "dead" 0 10L; br "live" 0 "dead" 0 5L ]
+      ~samples:[ { Fdata.sm_func = "dead"; sm_off = 2; sm_count = 3L } ]
+      ()
+  in
+  let p', st = recover_exn ~fps:[ new_fp ] ~build:"NEW" p in
+  Alcotest.(check int) "dropped" 1 st.SM.st_dropped;
+  Alcotest.(check int) "no records survive" 0 st.SM.st_records_kept;
+  Alcotest.(check int) "branches gone" 0 (List.length p'.Fdata.branches)
+
+(* Two structurally identical rename candidates: refusing to guess is
+   the deterministic choice. *)
+let test_ambiguous_rename_refused () =
+  let blocks = [ mk_block 0 4 10 20 ] in
+  let old_fp = mk_func "o" 4 100 200 blocks in
+  let n1 = mk_func "n1" 4 100 200 blocks in
+  let n2 = mk_func "n2" 4 100 200 blocks in
+  let p = mk_prof ~fps:[ old_fp ] ~branches:[ br "o" 2 "o" 0 10L ] () in
+  let _, st = recover_exn ~fps:[ n1; n2 ] ~build:"NEW" p in
+  Alcotest.(check int) "tie refused" 1 st.SM.st_dropped;
+  Alcotest.(check int) "nothing matched" 0 (st.SM.st_exact + st.SM.st_fuzzy)
+
+(* Recovery must not trigger on fresh, unstamped or fingerprint-less
+   profiles. *)
+let test_no_false_trigger () =
+  let fp = mk_func "f" 4 1 2 [ mk_block 0 4 1 2 ] in
+  let none = SM.recover_if_stale ~fingerprints:[ fp ] ~build_id:"B" in
+  Alcotest.(check bool) "fresh profile untouched" true
+    (none (mk_prof ~build:"B" ~fps:[ fp ] ()) = None);
+  Alcotest.(check bool) "unstamped profile untouched" true
+    (none { (mk_prof ~fps:[ fp ] ()) with Fdata.header = None } = None);
+  Alcotest.(check bool) "no shard fingerprints: untouched" true
+    (none (mk_prof ~build:"OLD" ()) = None);
+  Alcotest.(check bool) "no target fingerprints: untouched" true
+    (SM.recover_if_stale ~fingerprints:[] ~build_id:"B"
+       (mk_prof ~build:"OLD" ~fps:[ fp ] ())
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* BELF v5: fingerprints travel with the binary                       *)
+
+let small_src =
+  {| fn helper(x) { if (x % 4 < 2) { return x + 3; } else { return x * 2; } }
+     fn main() {
+       var i = 0;
+       var s = 0;
+       while (i < 500) { s = s + helper(i); i = i + 1; }
+       out s;
+       return 0;
+     } |}
+
+let compile srcs = (Driver.compile srcs).Driver.exe
+
+let test_v5_roundtrip () =
+  let exe = compile [ ("m", small_src) ] in
+  Alcotest.(check bool) "linker stamps fingerprints" true
+    (exe.Objfile.fingerprints <> []);
+  let exe' = Objfile.of_string (Objfile.to_string exe) in
+  Alcotest.(check bool) "v5 round-trips" true (exe' = exe);
+  (* the stamp is exactly what a recompute over the image yields *)
+  Alcotest.(check bool) "stamp = recompute" true
+    (F.compute ~sections:exe'.Objfile.sections ~symbols:exe'.Objfile.symbols
+    = exe'.Objfile.fingerprints)
+
+(* The rewriter must restamp: the bolted binary's table describes the
+   NEW layout, ready to recover the next generation of profiles. *)
+let test_rewrite_restamps () =
+  let exe = compile [ ("m", small_src) ] in
+  let sampling = { P.default_sampling with Machine.period = 97 } in
+  let o = Machine.run ~sampling exe ~input:[||] in
+  let prof =
+    match o.Machine.profile with
+    | Some raw -> Bolt_profile.Perf2bolt.convert exe raw
+    | None -> Fdata.empty
+  in
+  let exe', _ = Bolt_core.Bolt.optimize exe prof in
+  Alcotest.(check bool) "bolted binary stamped" true
+    (exe'.Objfile.fingerprints <> []);
+  Alcotest.(check bool) "stamp matches bolted layout" true
+    (F.compute ~sections:exe'.Objfile.sections ~symbols:exe'.Objfile.symbols
+    = exe'.Objfile.fingerprints)
+
+(* A v4 file (build-id but no fingerprint table) still loads. *)
+let test_v4_compat () =
+  let exe = compile [ ("m", small_src) ] in
+  let stripped = { exe with Objfile.fingerprints = [] } in
+  let v5 = Objfile.to_string stripped in
+  (* v4 layout = v5 minus the trailing (empty) fingerprint list *)
+  let tail_len =
+    let b = Buf.writer () in
+    Buf.list b Buf.str [];
+    String.length (Buf.contents b)
+  in
+  let v4 = Bytes.of_string (String.sub v5 0 (String.length v5 - tail_len)) in
+  Bytes.set v4 4 '\x04' (* version byte follows the 4-byte magic *);
+  let exe' = Objfile.of_string (Bytes.to_string v4) in
+  Alcotest.(check string) "build-id survives" exe.Objfile.build_id
+    exe'.Objfile.build_id;
+  Alcotest.(check bool) "payload intact, no fingerprints" true (exe' = stripped)
+
+(* ------------------------------------------------------------------ *)
+(* match_profile offset containment at the boundaries                 *)
+
+let test_match_boundaries () =
+  let exe = compile [ ("m", small_src) ] in
+  let helper = Option.get (Objfile.find_symbol exe "helper") in
+  let size = helper.Bolt_obj.Types.sym_size in
+  let prof =
+    {
+      Fdata.empty with
+      Fdata.lbr = true;
+      branches =
+        [
+          (* source exactly at the entry block start *)
+          br "helper" 0 "helper" 0 5L;
+          (* source and target both past the function's end *)
+          br "helper" (size + 64) "helper" 4 7L;
+          br "helper" 4 "helper" (size + 64) 7L;
+          (* unknown function (intra record, so the name is resolved) *)
+          br "nosuch" 4 "nosuch" 8 1L;
+        ];
+      ranges =
+        [
+          (* empty range: start == end *)
+          { Fdata.rg_func = "helper"; rg_start = 0; rg_end = 0; rg_count = 3L };
+          (* range hanging off the end *)
+          {
+            Fdata.rg_func = "helper";
+            rg_start = size;
+            rg_end = size + 8;
+            rg_count = 2L;
+          };
+        ];
+      samples = [ { Fdata.sm_func = "helper"; sm_off = size + 64; sm_count = 1L } ];
+    }
+  in
+  let ctx = Bolt_core.Context.create ~opts:Bolt_core.Opts.default exe in
+  Bolt_core.Build.run ctx;
+  let st = Bolt_core.Match_profile.attach ctx prof in
+  Bolt_core.Match_profile.finalize ctx ~lbr:true ~trust_fallthrough:true;
+  Alcotest.(check bool) "off-the-end records counted stale" true
+    (st.Bolt_core.Match_profile.stale_records > 0);
+  Alcotest.(check bool) "unknown function counted" true
+    (st.Bolt_core.Match_profile.unknown_funcs > 0);
+  (* an empty profile attaches as a no-op *)
+  let ctx2 = Bolt_core.Context.create ~opts:Bolt_core.Opts.default exe in
+  Bolt_core.Build.run ctx2;
+  let st2 = Bolt_core.Match_profile.attach ctx2 Fdata.empty in
+  Bolt_core.Match_profile.finalize ctx2 ~lbr:true ~trust_fallthrough:true;
+  Alcotest.(check int) "empty profile matches nothing" 0
+    st2.Bolt_core.Match_profile.matched_branches
+
+(* ------------------------------------------------------------------ *)
+(* End to end: revision N-1 profile on revision N                     *)
+
+let drift_params =
+  {
+    Workloads.hhvm_like with
+    Gen.funcs = 160;
+    modules = 4;
+    input_driven = true;
+    dispatch_thresholds = 12;
+  }
+
+(* The acceptance bar: a stale shard pushed through fingerprint
+   recovery must keep >= 70% of the fresh-profile win (taken branches,
+   the layout objective) on the fleet_sim workload. *)
+let test_recovery_e2e () =
+  let fresh = FS.compile_params drift_params in
+  let old = FS.compile_params (FS.stale_params drift_params) in
+  Alcotest.(check bool) "revisions differ" true
+    (fresh.P.exe.Objfile.build_id <> old.P.exe.Objfile.build_id);
+  let input = Workloads.token_input ~seed:99 ~n:2500 ~mix:80 in
+  let sampling = { P.default_sampling with Machine.period = 97 } in
+  let fresh_prof, _ =
+    P.profile_shard ~sampling ~host:"fresh01" ~timestamp:2 fresh ~input
+  in
+  let stale_prof, _ =
+    P.profile_shard ~sampling ~host:"stale01" ~timestamp:1 old ~input
+  in
+  Alcotest.(check bool) "shard carries old fingerprints" true
+    (stale_prof.Fdata.fingerprints <> []);
+  let taken (o : Machine.outcome) = o.Machine.counters.Machine.taken_branches in
+  let base = P.run fresh ~input in
+  let bf, _ = P.bolt fresh fresh_prof in
+  let bs, report = P.bolt fresh stale_prof in
+  let o_f = P.run bf ~input in
+  let o_s = P.run bs ~input in
+  Alcotest.(check bool) "behaviour preserved" true (P.same_behaviour base o_s);
+  let win_fresh = taken base - taken o_f in
+  let win_stale = taken base - taken o_s in
+  Fmt.epr "stale e2e: baseline %d taken, fresh-bolted %d, stale-bolted %d@."
+    (taken base) (taken o_f) (taken o_s);
+  Alcotest.(check bool) "fresh profile wins" true (win_fresh > 0);
+  (match report.Bolt_core.Bolt.r_recovery with
+  | None -> Alcotest.fail "no recovery breakdown in the report"
+  | Some st ->
+      Fmt.epr "stale e2e: recovery %a@." SM.pp_stats st;
+      Alcotest.(check bool) "some exact matches" true (st.SM.st_exact > 0);
+      Alcotest.(check bool) "some fuzzy matches" true (st.SM.st_fuzzy > 0));
+  (* the breakdown lands in the run manifest *)
+  (match
+     List.assoc_opt "profile_quality" (Bolt_core.Bolt.manifest_sections report)
+   with
+  | Some (Bolt_obs.Json.Obj fields) -> (
+      match List.assoc_opt "recovery" fields with
+      | Some (Bolt_obs.Json.Obj _) -> ()
+      | _ -> Alcotest.fail "recovery missing from run manifest")
+  | _ -> Alcotest.fail "profile_quality section missing");
+  if 10 * win_stale < 7 * win_fresh then
+    Alcotest.failf "stale profile kept only %d of the fresh win %d" win_stale
+      win_fresh;
+  (* recovery is deterministic under -j *)
+  let b1, _ = P.bolt ~jobs:1 fresh stale_prof in
+  let b4, _ = P.bolt ~jobs:4 fresh stale_prof in
+  Alcotest.(check bool) "-j byte-identical with recovery" true
+    (Objfile.to_string b1.P.exe = Objfile.to_string b4.P.exe)
+
+(* The fleet path: stale shards recovered per-shard before the merge,
+   breakdown surfaced through the quality report and manifest. *)
+let test_fleet_recovery () =
+  let cfg =
+    {
+      FS.default_config with
+      FS.fc_hosts = 4;
+      fc_stale = 2;
+      fc_requests = 800;
+      fc_params =
+        { FS.default_config.FS.fc_params with Gen.funcs = 120; modules = 4 };
+      fc_sampling = { P.default_sampling with Machine.period = 97 };
+    }
+  in
+  let r = FS.run cfg in
+  let target = r.FS.fr_build.P.exe in
+  let shards = FS.loaded_shards r in
+  let shards', recovery =
+    Merge.recover_stale ~fingerprints:target.Objfile.fingerprints
+      ~build_id:target.Objfile.build_id shards
+  in
+  (match recovery with
+  | None -> Alcotest.fail "expected stale shards to be recovered"
+  | Some st ->
+      Fmt.epr "fleet recovery: %a@." SM.pp_stats st;
+      Alcotest.(check bool) "functions recovered" true
+        (st.SM.st_exact + st.SM.st_fuzzy > 0));
+  let opts =
+    {
+      Merge.default_options with
+      Merge.expect_build_id = Some target.Objfile.build_id;
+    }
+  in
+  let merged = Merge.merge ~opts shards' in
+  let q =
+    Quality.assess ~expect_build_id:target.Objfile.build_id ?recovery shards
+      ~merged
+  in
+  Alcotest.(check int) "staleness assessed pre-recovery" 2
+    q.Quality.q_stale_shards;
+  Alcotest.(check bool) "breakdown in quality report" true
+    (q.Quality.q_recovery <> None);
+  (match Quality.manifest_section q with
+  | "fleet", Bolt_obs.Json.Obj fields -> (
+      match List.assoc_opt "recovery" fields with
+      | Some (Bolt_obs.Json.Obj _) -> ()
+      | _ -> Alcotest.fail "recovery missing from fleet manifest section")
+  | _ -> Alcotest.fail "manifest section shape");
+  (* the recovered merge still drives the optimizer safely *)
+  let b', report = P.bolt r.FS.fr_build merged in
+  Alcotest.(check (list (pair string string)))
+    "no quarantine" [] report.Bolt_core.Bolt.r_quarantined;
+  let base = P.run r.FS.fr_build ~input:r.FS.fr_fleet_input in
+  let opt = P.run b' ~input:r.FS.fr_fleet_input in
+  Alcotest.(check bool) "same behaviour" true (P.same_behaviour base opt)
+
+let suite =
+  [
+    Alcotest.test_case "exact-rename" `Quick test_exact_rename;
+    Alcotest.test_case "fuzzy-remap" `Quick test_fuzzy_remap;
+    Alcotest.test_case "inferred-entry" `Quick test_inferred_entry;
+    Alcotest.test_case "dropped-deleted" `Quick test_dropped_deleted;
+    Alcotest.test_case "ambiguous-rename-refused" `Quick
+      test_ambiguous_rename_refused;
+    Alcotest.test_case "no-false-trigger" `Quick test_no_false_trigger;
+    Alcotest.test_case "belf-v5-roundtrip" `Quick test_v5_roundtrip;
+    Alcotest.test_case "rewrite-restamps" `Quick test_rewrite_restamps;
+    Alcotest.test_case "belf-v4-compat" `Quick test_v4_compat;
+    Alcotest.test_case "match-profile-boundaries" `Quick test_match_boundaries;
+    Alcotest.test_case "recovery-e2e-70pct" `Slow test_recovery_e2e;
+    Alcotest.test_case "fleet-recovery" `Slow test_fleet_recovery;
+  ]
