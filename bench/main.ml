@@ -461,7 +461,12 @@ let run_fleet ~quick () =
         { P.default_sampling with Bolt_sim.Machine.period = 101 };
     }
   in
-  let r = timed "fleet-sim" (fun () -> FS.run ~obs cfg) in
+  (* simulate the fleet plus a rollout: tick 0 has the configured stale
+     hosts, then one upgrades to the current revision per tick *)
+  let r, rollout_ticks =
+    timed "fleet-sim" (fun () ->
+        FS.rollout ~obs ~ticks:(cfg.FS.fc_stale + 1) cfg)
+  in
   let shards = FS.loaded_shards r in
   (* replicate the host shards into a bigger fleet for throughput numbers *)
   let copies = if quick then 16 else 64 in
@@ -542,6 +547,41 @@ let run_fleet ~quick () =
   in
   Printf.printf "  taken branches on fleet traffic: merged %d, best single %d (%s), delta %.2f%%\n"
     merged_taken best_taken best_name delta_pct;
+  (* fold each rollout tick through stale recovery + merge into the
+     fleet health monitor: per-host coverage/age/rollout state over time *)
+  let module Mon = Bolt_fleet.Monitor in
+  let target_id = P.build_id build and target_fps = P.fingerprints build in
+  let monitor = Mon.create () in
+  timed "fleet-health" (fun () ->
+      List.iter
+        (fun t ->
+          let shards_t = FS.tick_loaded_shards t in
+          let recovered, recovery =
+            M.recover_stale_each ~fingerprints:target_fps ~build_id:target_id
+              shards_t
+          in
+          let merged_t =
+            M.merge ~obs
+              ~opts:
+                { M.default_options with M.expect_build_id = Some target_id }
+              recovered
+          in
+          ignore
+            (Mon.observe ~obs monitor ~expected_build_id:target_id ~recovery
+               shards_t ~merged:merged_t))
+        rollout_ticks);
+  Fmt.pr "%a" Mon.pp monitor;
+  (let name, j = Mon.manifest_section monitor in
+   add_section name j);
+  let tick0_recovery =
+    match Mon.ticks monitor with
+    | tk :: _ -> (
+        match tk.Mon.tk_quality.Bolt_fleet.Quality.q_recovery with
+        | Some st ->
+            Json.Float (Bolt_profile.Stale_match.recovery_rate st)
+        | None -> Json.Null)
+    | [] -> Json.Null
+  in
   add_section "fleet"
     (Json.Obj
        [
@@ -566,6 +606,8 @@ let run_fleet ~quick () =
          ("best_single_taken_branches", Json.Int best_taken);
          ("best_single_host", Json.String best_name);
          ("merged_delta_pct", Json.Float delta_pct);
+         ("rollout_ticks", Json.Int (List.length rollout_ticks));
+         ("recovery", Json.Obj [ ("rate", tick0_recovery) ]);
        ])
 
 (* ---- Bechamel micro-benchmarks ---- *)
@@ -627,6 +669,19 @@ let () =
   (* reduced workload sizes are the default; pass "full" for paper-scale *)
   let quick = not (List.mem "full" args) in
   let args = List.filter (fun a -> a <> "quick" && a <> "full") args in
+  (* every harness run lands in the longitudinal store (satellite of the
+     bstat regression gate); history=FILE overrides the default path *)
+  let history_file = ref "BENCH_history.jsonl" in
+  let args =
+    List.filter
+      (fun a ->
+        if String.length a >= 8 && String.sub a 0 8 = "history=" then begin
+          history_file := String.sub a 8 (String.length a - 8);
+          false
+        end
+        else true)
+      args
+  in
   let all = args = [] in
   let want x = all || List.mem x args in
   let fig5_results = ref None in
@@ -683,8 +738,15 @@ let () =
   if want "fleet" then run_fleet ~quick ();
   if List.mem "micro" args then run_micro ();
   let out = "BENCH_results.json" in
-  Bolt_obs.Manifest.save out
-    (Bolt_obs.Manifest.make ~tool:"bench" ~argv:(Array.to_list Sys.argv)
-       ~sections:(("quick", Json.Bool quick) :: List.rev !bench_sections)
-       obs);
-  Printf.printf "\nwrote %s\nDone.\n" out
+  let manifest =
+    Bolt_obs.Manifest.make ~tool:"bench" ~argv:(Array.to_list Sys.argv)
+      ~sections:(("quick", Json.Bool quick) :: List.rev !bench_sections)
+      obs
+  in
+  Bolt_obs.Manifest.save out manifest;
+  Bolt_obs.History.append !history_file
+    (Bolt_obs.History.of_manifest
+       ~workload:(if quick then "bench-quick" else "bench-full")
+       ~git_rev:(Bolt_obs.History.detect_git_rev ())
+       manifest);
+  Printf.printf "\nwrote %s\nappended run history %s\nDone.\n" out !history_file

@@ -21,6 +21,7 @@ open Cmdliner
 module Obs = Bolt_obs.Obs
 module Json = Bolt_obs.Json
 module Merge = Bolt_fleet.Merge
+module Monitor = Bolt_fleet.Monitor
 module Quality = Bolt_fleet.Quality
 
 let parse_weight s =
@@ -47,7 +48,8 @@ let resolve_build_id = function
         (Some exe.Bolt_obj.Objfile.build_id, exe.Bolt_obj.Objfile.fingerprints))
       else (Some spec, [])
 
-let run shards out weights decay expect strict_shards report trace_out jobs =
+let run shards out weights decay expect strict_shards report health trace_out
+    history jobs =
   if shards = [] then begin
     Fmt.epr "bmerge: no input shards@.";
     3
@@ -73,21 +75,40 @@ let run shards out weights decay expect strict_shards report trace_out jobs =
             Fmt.epr "bmerge: cannot read build-id from %s@." (Option.get expect);
             3
         | expect_build_id, target_fps ->
-            let obs = Obs.create ~enabled:(trace_out <> None) ~name:"bmerge" () in
+            let obs =
+              Obs.create
+                ~enabled:(trace_out <> None || history <> None)
+                ~name:"bmerge" ()
+            in
             let opts =
               { Merge.weights; decay; expect_build_id; jobs = max 1 jobs }
             in
             (* staleness is assessed over the shards as collected; the
                merge then consumes their recovered form *)
             let q_shards = loaded in
-            let loaded, recovery =
-              Merge.recover_stale ~fingerprints:target_fps
+            let loaded, per_host_recovery =
+              Merge.recover_stale_each ~fingerprints:target_fps
                 ~build_id:(Option.value ~default:"" expect_build_id)
                 loaded
+            in
+            let recovery =
+              match List.map snd per_host_recovery with
+              | [] -> None
+              | st :: rest ->
+                  Some
+                    (List.fold_left Bolt_profile.Stale_match.add_stats st rest)
             in
             let merged = Merge.merge ~obs ~opts loaded in
             let q = Quality.assess ?expect_build_id ?recovery q_shards ~merged in
             Quality.to_obs obs q;
+            (* one-tick health view: per-host coverage/staleness/recovery
+               against the target revision (longitudinal when driven by
+               the fleet simulator's rollout, a snapshot here) *)
+            let monitor = Monitor.create () in
+            ignore
+              (Monitor.observe ~obs monitor
+                 ~expected_build_id:(Option.value ~default:"" expect_build_id)
+                 ~recovery:per_host_recovery q_shards ~merged);
             Obs.span obs "save" (fun () -> Bolt_profile.Fdata.save out merged);
             Fmt.pr "wrote %s: %d shards -> %d branch records, %d ranges, %d ip samples@."
               out (List.length loaded)
@@ -95,8 +116,10 @@ let run shards out weights decay expect strict_shards report trace_out jobs =
               (List.length merged.Bolt_profile.Fdata.ranges)
               (List.length merged.Bolt_profile.Fdata.samples);
             if report then Fmt.pr "%a" Quality.pp q;
-            (match trace_out with
-            | Some path ->
+            if health then Fmt.pr "%a" Monitor.pp monitor;
+            (match (trace_out, history) with
+            | None, None -> ()
+            | _ ->
                 let sections =
                   [
                     ( "run",
@@ -118,13 +141,31 @@ let run shards out weights decay expect strict_shards report trace_out jobs =
                           ("jobs", Json.Int (max 1 jobs));
                         ] );
                     Quality.manifest_section q;
+                    Monitor.manifest_section monitor;
                   ]
                 in
-                Bolt_obs.Manifest.save path
-                  (Bolt_obs.Manifest.make ~tool:"bmerge"
-                     ~argv:(Array.to_list Sys.argv) ~sections obs);
-                Fmt.pr "wrote manifest %s@." path
-            | None -> ());
+                let manifest =
+                  Bolt_obs.Manifest.make ~tool:"bmerge"
+                    ~argv:(Array.to_list Sys.argv) ~sections obs
+                in
+                (match trace_out with
+                | Some path ->
+                    Bolt_obs.Manifest.save path manifest;
+                    Fmt.pr "wrote manifest %s@." path
+                | None -> ());
+                match history with
+                | Some path ->
+                    let merged_build =
+                      match merged.Bolt_profile.Fdata.header with
+                      | Some h -> h.Bolt_profile.Fdata.hd_build_id
+                      | None -> ""
+                    in
+                    Bolt_obs.History.append path
+                      (Bolt_obs.History.of_manifest ~workload:"fleet-merge"
+                         ~git_rev:(Bolt_obs.History.detect_git_rev ())
+                         ~build_id:merged_build manifest);
+                    Fmt.pr "appended run history %s@." path
+                | None -> ());
             if skipped <> [] then 6 else 0)
 
 let shards = Arg.(value & pos_all file [] & info [] ~docv:"SHARD")
@@ -172,12 +213,31 @@ let strict_shards =
 let report =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the merge quality report.")
 
+let health =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Print the fleet health view: per-host coverage, shard age, \
+           rollout state (build-id vs --expect-build-id) and threshold \
+           alerts.")
+
 let trace_out =
   Arg.(
     value
     & opt (some string) None
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write a JSON run manifest (spans, quality metrics) to $(docv).")
+
+let history =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:
+          "Append a compact run record (quality metrics, fleet health, \
+           merged build-id) to the JSONL run-history store at $(docv); \
+           inspect the trajectory with bstat.")
 
 let jobs =
   Arg.(
@@ -191,6 +251,6 @@ let cmd =
     (Cmd.info "bmerge" ~doc:"merge per-host fdata shards into a fleet profile")
     Term.(
       const run $ shards $ out $ weights $ decay $ expect $ strict_shards
-      $ report $ trace_out $ jobs)
+      $ report $ health $ trace_out $ history $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,8 +39,10 @@ let record_counters obs (c : Machine.counters) =
   List.iter (fun (k, v) -> Obs.incr obs ~by:v k) pairs
 
 let run exe_path record event period lbr precise counters_flag heat_csv input_str
-    dump_counters_sym trace_out =
-  let obs = Obs.create ~enabled:(trace_out <> None) ~name:"bsim" () in
+    dump_counters_sym trace_out history =
+  let obs =
+    Obs.create ~enabled:(trace_out <> None || history <> None) ~name:"bsim" ()
+  in
   let exe = Obs.span obs "load-binary" (fun () -> Bolt_obj.Objfile.load exe_path) in
   let input =
     match input_str with
@@ -107,8 +109,9 @@ let run exe_path record event period lbr precise counters_flag heat_csv input_st
           | None -> Fmt.epr "no symbol %s@." sym)
       | _ -> Fmt.epr "bad --dump-counters spec@.")
   | None -> ());
-  (match trace_out with
-  | Some path ->
+  (match (trace_out, history) with
+  | None, None -> ()
+  | _ ->
       let sections =
         [
           ( "run",
@@ -133,11 +136,24 @@ let run exe_path record event period lbr precise counters_flag heat_csv input_st
             [ ("heatmap", Bolt_core.Heatmap.summary_json hm) ]
         | _ -> []
       in
-      Bolt_obs.Manifest.save path
-        (Bolt_obs.Manifest.make ~tool:"bsim" ~argv:(Array.to_list Sys.argv)
-           ~sections obs);
-      Fmt.epr "wrote manifest %s@." path
-  | None -> ());
+      let manifest =
+        Bolt_obs.Manifest.make ~tool:"bsim" ~argv:(Array.to_list Sys.argv)
+          ~sections obs
+      in
+      (match trace_out with
+      | Some path ->
+          Bolt_obs.Manifest.save path manifest;
+          Fmt.epr "wrote manifest %s@." path
+      | None -> ());
+      match history with
+      | Some path ->
+          Bolt_obs.History.append path
+            (Bolt_obs.History.of_manifest
+               ~workload:(Filename.basename exe_path)
+               ~git_rev:(Bolt_obs.History.detect_git_rev ())
+               ~build_id:exe.Bolt_obj.Objfile.build_id manifest);
+          Fmt.epr "appended run history %s@." path
+      | None -> ());
   if counters_flag then begin
     let c = o.Machine.counters in
     Fmt.epr "instructions      %d@." c.Machine.instructions;
@@ -173,11 +189,21 @@ let trace_out =
           "Write a JSON run manifest (spans, `sim.*` counter metrics, \
            heat-map summary) to $(docv).")
 
+let history =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:
+          "Append a compact run record (`sim.*` counters, wall times, \
+           build-id) to the JSONL run-history store at $(docv); inspect the \
+           trajectory with bstat.")
+
 let cmd =
   Cmd.v
     (Cmd.info "bsim" ~doc:"BISA simulator with sampling profiler")
     Term.(
       const run $ exe_path $ record $ event $ period $ lbr $ precise $ counters
-      $ heat_csv $ input $ dump_counters $ trace_out)
+      $ heat_csv $ input $ dump_counters $ trace_out $ history)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,281 @@
+(* bstat: longitudinal statistics over run manifests and the JSONL
+   run-history store.
+
+     bstat list  --history BENCH_history.jsonl
+     bstat diff  --history h.jsonl            # previous vs latest run
+     bstat diff  --history h.jsonl 1 4        # run #1 vs run #4
+     bstat diff  a.json b.json                # two manifest files
+     bstat check --history h.jsonl            # latest vs rolling baseline
+     bstat check --history h.jsonl --baseline 5 --threshold 'wall_s=+10' \
+                 --threshold 'fleet.recovery.rate=-5'
+
+   `check` compares the newest record against the mean of the previous K
+   runs (same tool+workload), using per-metric threshold rules, and
+   exits 7 when any metric regressed — the CI/bench gate.
+
+   Exit codes: 0 clean; 3 invalid input (no/unreadable history, schema
+   mismatch between records); 7 regression detected. *)
+
+open Cmdliner
+module Json = Bolt_obs.Json
+module History = Bolt_obs.History
+module Compare = Bolt_obs.Compare
+module Manifest = Bolt_obs.Manifest
+
+let exit_invalid = 3
+let exit_regression = 7
+
+(* ---- shared loading ---- *)
+
+let load_history path =
+  let records, warnings = History.load path in
+  List.iter (fun w -> Fmt.epr "bstat: %a@." History.pp_warning w) warnings;
+  records
+
+(* "latest" = run -1, "latest~N" = N runs before that (git-style). *)
+let parse_latest spec =
+  if spec = "latest" then Some (-1)
+  else
+    match String.index_opt spec '~' with
+    | Some 6 when String.sub spec 0 6 = "latest" -> (
+        match
+          int_of_string_opt (String.sub spec 7 (String.length spec - 7))
+        with
+        | Some k when k >= 0 -> Some (-1 - k)
+        | _ -> None)
+    | _ -> None
+
+(* A diff operand: an existing JSON file (manifest or history record),
+   "latest"/"latest~N", or a 1-based run number into --history
+   (negative counts from the end: -1 = latest). *)
+let resolve_operand ~history ~records spec : (Json.t * string, string) result =
+  if Sys.file_exists spec then
+    match Manifest.load spec with
+    | j -> Ok (j, spec)
+    | exception Json.Parse_error msg ->
+        Error (Printf.sprintf "%s: %s" spec msg)
+    | exception Sys_error msg -> Error msg
+  else
+    match
+      match parse_latest spec with
+      | Some n -> Some n
+      | None -> int_of_string_opt spec
+    with
+    | None ->
+        Error
+          (Printf.sprintf "%s: not a file, a run number or latest~N" spec)
+    | Some n -> (
+        let total = List.length records in
+        let idx = if n < 0 then total + n else n - 1 in
+        match List.nth_opt records idx with
+        | Some r -> Ok (r, Printf.sprintf "%s#%d" history (idx + 1))
+        | None ->
+            Error
+              (Printf.sprintf "run %d out of range (history has %d record%s)"
+                 n total (if total = 1 then "" else "s")))
+
+(* ---- list ---- *)
+
+let run_list history =
+  let records = load_history history in
+  if records = [] then begin
+    Fmt.pr "history %s: no records@." history;
+    0
+  end
+  else begin
+    Fmt.pr "history %s: %d record(s)@." history (List.length records);
+    Fmt.pr "  %4s  %-9s %-14s %-10s %-12s %10s@." "run" "tool" "workload"
+      "git-rev" "build-id" "wall(s)";
+    List.iteri
+      (fun i r ->
+        let short s n = if String.length s > n then String.sub s 0 n else s in
+        let dash s = if s = "" then "-" else s in
+        Fmt.pr "  %4d  %-9s %-14s %-10s %-12s %10.3f@." (i + 1)
+          (dash (History.tool_of r))
+          (short (dash (History.workload_of r)) 14)
+          (short (dash (History.git_rev_of r)) 10)
+          (short (dash (History.build_id_of r)) 12)
+          (History.wall_of r))
+      records;
+    0
+  end
+
+(* ---- diff ---- *)
+
+let run_diff history operands all =
+  let records = if Sys.file_exists history then load_history history else [] in
+  let specs =
+    match operands with
+    | [] -> [ "-2"; "-1" ]
+    | [ a ] -> [ a; "-1" ]
+    | l -> l
+  in
+  match specs with
+  | [ sa; sb ] -> (
+      match
+        ( resolve_operand ~history ~records sa,
+          resolve_operand ~history ~records sb )
+      with
+      | Error e, _ | _, Error e ->
+          Fmt.epr "bstat: %s@." e;
+          exit_invalid
+      | Ok (a, la), Ok (b, lb) -> (
+          match Compare.compatible a b with
+          | Error why ->
+              Fmt.epr "bstat: incompatible records:@.";
+              Fmt.epr "  %s: %s@." la (Compare.schema_of a);
+              Fmt.epr "  %s: %s@." lb (Compare.schema_of b);
+              Fmt.epr "  %s@." why;
+              exit_invalid
+          | Ok () ->
+              let rows = Compare.diff_rows a b in
+              let shown = if all then rows else Compare.changed rows in
+              Fmt.pr "diff %s -> %s (%d metric%s, %d changed)@." la lb
+                (List.length rows)
+                (if List.length rows = 1 then "" else "s")
+                (List.length (Compare.changed rows));
+              if shown = [] then Fmt.pr "  (no differences)@."
+              else Fmt.pr "%a" (Compare.pp_rows ~labels:(la, lb)) shown;
+              0))
+  | _ ->
+      Fmt.epr "bstat: diff takes at most two operands@.";
+      exit_invalid
+
+(* ---- check ---- *)
+
+let run_check history baseline thresholds no_defaults all_workloads =
+  let records = load_history history in
+  let rules =
+    (if no_defaults then [] else Compare.default_rules)
+    @ List.rev thresholds
+  in
+  match List.rev records with
+  | [] ->
+      Fmt.epr "bstat: %s: no history records to check@." history;
+      exit_invalid
+  | latest :: older ->
+      (* the rolling baseline: previous K compatible runs of the same
+         tool and workload (a fig5 bench record must not gate on a fleet
+         record's metrics) *)
+      let comparable r =
+        Compare.compatible r latest = Ok ()
+        && History.tool_of r = History.tool_of latest
+        && (all_workloads
+           || History.workload_of r = History.workload_of latest)
+      in
+      let window =
+        List.filteri (fun i _ -> i < baseline) (List.filter comparable older)
+      in
+      if window = [] then begin
+        Fmt.pr
+          "bstat: no comparable baseline runs in %s (need previous runs of \
+           tool=%s workload=%s); nothing to gate@."
+          history (History.tool_of latest)
+          (History.workload_of latest);
+        0
+      end
+      else begin
+        let verdicts = Compare.check ~rules ~baseline:window latest in
+        Fmt.pr "check: latest run vs %d-run rolling baseline (%d rule%s)@."
+          (List.length window) (List.length rules)
+          (if List.length rules = 1 then "" else "s");
+        if verdicts = [] then begin
+          Fmt.pr "  OK: no metric moved past its threshold@.";
+          0
+        end
+        else begin
+          List.iter (fun v -> Fmt.pr "  %a@." Compare.pp_verdict v) verdicts;
+          Fmt.pr "  %d regression(s) detected@." (List.length verdicts);
+          exit_regression
+        end
+      end
+
+(* ---- cmdliner plumbing ---- *)
+
+let history_arg =
+  Arg.(
+    value
+    & opt string "BENCH_history.jsonl"
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:"JSONL run-history file (written via the tools' --history flag).")
+
+let threshold_conv =
+  Arg.conv
+    ( (fun s ->
+        match Compare.parse_rule s with
+        | Ok r -> Ok r
+        | Error e -> Error (`Msg e)),
+      Compare.pp_rule )
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"list the runs recorded in a history file")
+    Term.(const run_list $ history_arg)
+
+let diff_cmd =
+  let operands =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"RUN"
+          ~doc:
+            "What to diff: a manifest/record file, a 1-based run number in \
+             --history (negative counts from the end), or latest / \
+             latest~N. Defaults to the previous and latest history runs.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Show unchanged metrics too, not just the deltas.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"diff two runs (manifest files or history records) as an aligned table")
+    Term.(const run_diff $ history_arg $ operands $ all)
+
+let check_cmd =
+  let baseline =
+    Arg.(
+      value & opt int 3
+      & info [ "baseline" ] ~docv:"K"
+          ~doc:"Rolling-baseline window: compare against the previous $(docv) \
+                comparable runs.")
+  in
+  let thresholds =
+    Arg.(
+      value
+      & opt_all threshold_conv []
+      & info [ "threshold" ] ~docv:"PATH=±PCT"
+          ~doc:
+            "Add a regression rule (repeatable): $(i,PATH)=+10 fires when \
+             the metric rises more than 10% over baseline, $(i,PATH)=-5 when \
+             it falls more than 5%. $(i,PATH) may contain '*' globs.")
+  in
+  let no_defaults =
+    Arg.(
+      value & flag
+      & info [ "no-default-thresholds" ]
+          ~doc:"Gate only on --threshold rules, dropping the built-in \
+                conservative set.")
+  in
+  let all_workloads =
+    Arg.(
+      value & flag
+      & info [ "all-workloads" ]
+          ~doc:"Build the baseline from any previous run of the same tool, \
+                ignoring the workload label.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "gate the latest history run against a rolling baseline (exit 7 on \
+          regression)")
+    Term.(
+      const run_check $ history_arg $ baseline $ thresholds $ no_defaults
+      $ all_workloads)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "bstat"
+       ~doc:"list, diff and regression-gate run manifests over time")
+    [ list_cmd; diff_cmd; check_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -19,11 +19,15 @@ let exit_quarantine = 5
 let run exe_path fdata out reorder_blocks reorder_functions split_functions
     split_all_cold split_eh icf icp inline_small plt sro frame_opts shrink sctc
     strip_nops stale_match dyno_stats report_bad_layout use_relocs strict
-    max_quarantine print_funcs trace_out time_opts jobs =
+    max_quarantine print_funcs trace_out time_opts history jobs =
   try
-  (* telemetry is free when neither --trace-out nor --time-opts asks for
-     it; enabled, it costs a handful of spans per run *)
-  let obs = Obs.create ~enabled:(trace_out <> None || time_opts) ~name:"obolt" () in
+  (* telemetry is free when none of --trace-out/--time-opts/--history
+     asks for it; enabled, it costs a handful of spans per run *)
+  let obs =
+    Obs.create
+      ~enabled:(trace_out <> None || time_opts || history <> None)
+      ~name:"obolt" ()
+  in
   let exe = Obs.span obs "load-binary" (fun () -> Bolt_obj.Objfile.load exe_path) in
   let prof, prof_warnings =
     Obs.span obs "load-profile" (fun () ->
@@ -82,17 +86,29 @@ let run exe_path fdata out reorder_blocks reorder_functions split_functions
   Fmt.pr "wrote %s@." out;
   Obs.finish obs;
   if time_opts then Fmt.pr "%a" Bolt_obs.Trace.pp_table obs.Obs.trace;
-  (match trace_out with
-  | Some path ->
-      let manifest =
-        Bolt_obs.Manifest.make ~tool:"obolt"
-          ~argv:(Array.to_list Sys.argv)
-          ~sections:(Bolt_core.Bolt.manifest_sections report)
-          obs
-      in
-      Bolt_obs.Manifest.save path manifest;
+  let manifest =
+    if trace_out <> None || history <> None then
+      Some
+        (Bolt_obs.Manifest.make ~tool:"obolt"
+           ~argv:(Array.to_list Sys.argv)
+           ~sections:(Bolt_core.Bolt.manifest_sections report)
+           obs)
+    else None
+  in
+  (match (trace_out, manifest) with
+  | Some path, Some m ->
+      Bolt_obs.Manifest.save path m;
       Fmt.pr "wrote manifest %s@." path
-  | None -> ());
+  | _ -> ());
+  (match (history, manifest) with
+  | Some path, Some m ->
+      Bolt_obs.History.append path
+        (Bolt_obs.History.of_manifest
+           ~workload:(Filename.basename exe_path)
+           ~git_rev:(Bolt_obs.History.detect_git_rev ())
+           ~build_id:exe'.Bolt_obj.Objfile.build_id m);
+      Fmt.pr "appended run history %s@." path
+  | _ -> ());
   if dyno_stats then Fmt.pr "%a@." Bolt_core.Bolt.pp_report report;
   if report_bad_layout then begin
     Fmt.pr "bad-layout findings (original layout):@.";
@@ -202,6 +218,16 @@ let time_opts =
           "Print a per-pass wall-clock timing table (llvm-bolt's -time-opts), \
            including a per-function p50/p99 column for parallel passes.")
 
+let history =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:
+          "Append a compact run record (meta, per-pass wall times, metrics, \
+           dyno-stats, build-id, git revision) to the JSONL run-history \
+           store at $(docv); inspect the trajectory with bstat.")
+
 let jobs =
   let jobs_conv =
     ( (fun s ->
@@ -227,6 +253,6 @@ let cmd =
       $ sro $ frame_opts $ shrink $ sctc $ strip_nops $ stale_match
       $ dyno_stats $ report_bad_layout
       $ use_relocs $ strict $ max_quarantine $ print_funcs $ trace_out $ time_opts
-      $ jobs)
+      $ history $ jobs)
 
 let () = exit (Cmd.eval' cmd)

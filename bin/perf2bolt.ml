@@ -13,8 +13,12 @@ open Cmdliner
 module Obs = Bolt_obs.Obs
 module Json = Bolt_obs.Json
 
-let run exe_path samples_path out host timestamp merge_into trace_out =
-  let obs = Obs.create ~enabled:(trace_out <> None) ~name:"perf2bolt" () in
+let run exe_path samples_path out host timestamp merge_into trace_out history =
+  let obs =
+    Obs.create
+      ~enabled:(trace_out <> None || history <> None)
+      ~name:"perf2bolt" ()
+  in
   let exe = Obs.span obs "load-binary" (fun () -> Bolt_obj.Objfile.load exe_path) in
   let raw =
     Obs.span obs "load-samples" (fun () ->
@@ -72,8 +76,9 @@ let run exe_path samples_path out host timestamp merge_into trace_out =
     (List.length fdata.Bolt_profile.Fdata.branches)
     (List.length fdata.Bolt_profile.Fdata.ranges)
     (List.length fdata.Bolt_profile.Fdata.samples);
-  (match trace_out with
-  | Some path ->
+  (match (trace_out, history) with
+  | None, None -> ()
+  | _ ->
       let sections =
         [
           ( "run",
@@ -86,11 +91,24 @@ let run exe_path samples_path out host timestamp merge_into trace_out =
               ] );
         ]
       in
-      Bolt_obs.Manifest.save path
-        (Bolt_obs.Manifest.make ~tool:"perf2bolt" ~argv:(Array.to_list Sys.argv)
-           ~sections obs);
-      Fmt.pr "wrote manifest %s@." path
-  | None -> ());
+      let manifest =
+        Bolt_obs.Manifest.make ~tool:"perf2bolt" ~argv:(Array.to_list Sys.argv)
+          ~sections obs
+      in
+      (match trace_out with
+      | Some path ->
+          Bolt_obs.Manifest.save path manifest;
+          Fmt.pr "wrote manifest %s@." path
+      | None -> ());
+      match history with
+      | Some path ->
+          Bolt_obs.History.append path
+            (Bolt_obs.History.of_manifest
+               ~workload:(Filename.basename exe_path)
+               ~git_rev:(Bolt_obs.History.detect_git_rev ())
+               ~build_id:exe.Bolt_obj.Objfile.build_id manifest);
+          Fmt.pr "appended run history %s@." path
+      | None -> ());
   0
 
 let exe_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"EXE")
@@ -129,11 +147,21 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write a JSON run manifest (spans, fdata record metrics) to $(docv).")
 
+let history =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:
+          "Append a compact run record (sample/record counts, build-id) to \
+           the JSONL run-history store at $(docv); inspect the trajectory \
+           with bstat.")
+
 let cmd =
   Cmd.v
     (Cmd.info "perf2bolt" ~doc:"convert raw samples to an fdata profile")
     Term.(
       const run $ exe_path $ samples $ out $ host $ timestamp $ merge_into
-      $ trace_out)
+      $ trace_out $ history)
 
 let () = exit (Cmd.eval' cmd)

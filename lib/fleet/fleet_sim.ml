@@ -165,3 +165,83 @@ let loaded_shards (r : result) : Merge.loaded list =
   List.map
     (fun ((h : host), prof) -> Merge.shard_of_profile ~name:h.h_name prof)
     r.fr_shards
+
+(* ---- rollout simulation ---- *)
+
+(* One aggregation round during a rollout: which revision each host runs
+   at this tick, and the shard it contributed. *)
+type tick = {
+  tk_index : int;
+  tk_hosts : host list; (* h_stale/h_timestamp reflect this tick's state *)
+  tk_shards : (host * Fdata.t) list;
+}
+
+(* Wall-clock seconds between aggregation rounds. *)
+let tick_interval = 3_600
+
+(* Simulate a deployment rolling forward: starting from [run]'s state
+   (the configured [fc_stale] hosts on yesterday's revision), one stale
+   host upgrades to the current build per tick, until the fleet
+   converges.  An upgraded host re-collects its shard against the new
+   binary with a fresh timestamp; hosts that have not changed keep
+   contributing their original shard.  This is the input the fleet
+   health monitor folds into per-host time series: tick 0 shows every
+   configured stale host, the last tick (given enough ticks) none. *)
+let rollout ?obs ?(ticks = 3) (c : config) : result * tick list =
+  let obs = match obs with Some o -> o | None -> Obs.null () in
+  let r = run ~obs c in
+  let restamp (p : Fdata.t) timestamp =
+    let h = Option.value ~default:Fdata.no_header p.Fdata.header in
+    { p with Fdata.header = Some { h with Fdata.hd_timestamp = timestamp } }
+  in
+  (* an upgraded host's fresh-revision shard, profiled once and restamped
+     per tick (its tape is a pure function of the host record) *)
+  let fresh_cache : (string, Fdata.t) Hashtbl.t = Hashtbl.create 8 in
+  let fresh_shard (h : host) ~timestamp =
+    let prof =
+      match Hashtbl.find_opt fresh_cache h.h_name with
+      | Some p -> p
+      | None ->
+          let tape = host_tape h ~n:c.fc_requests in
+          let p, _ =
+            P.profile_shard ~obs ~sampling:c.fc_sampling ~host:h.h_name
+              ~timestamp r.fr_build ~input:tape
+          in
+          Hashtbl.add fresh_cache h.h_name p;
+          p
+    in
+    restamp prof timestamp
+  in
+  let tick_of t =
+    Obs.span obs "fleet.rollout.tick" (fun () ->
+        let rows =
+          List.mapi
+            (fun i ((h : host), orig_shard) ->
+              (* stale hosts occupy indices [0, fc_stale); the rollout
+                 upgrades one per tick from the highest stale index down,
+                 so after t ticks indices [fc_stale - t, fc_stale) run
+                 the current build *)
+              let still_stale = h.h_stale && i < c.fc_stale - t in
+              if still_stale then ({ h with h_stale = true }, orig_shard)
+              else if h.h_stale then begin
+                (* upgraded during the rollout: new build, new shard *)
+                let timestamp = base_timestamp + (t * tick_interval) in
+                Obs.incr obs "fleet.rollout.upgrades";
+                ( { h with h_stale = false; h_timestamp = timestamp },
+                  fresh_shard h ~timestamp )
+              end
+              else (h, orig_shard))
+            r.fr_shards
+        in
+        {
+          tk_index = t;
+          tk_hosts = List.map fst rows;
+          tk_shards = rows;
+        })
+  in
+  (r, List.init ticks tick_of)
+
+let tick_loaded_shards (t : tick) : Merge.loaded list =
+  List.map
+    (fun ((h : host), prof) -> Merge.shard_of_profile ~name:h.h_name prof)
+    t.tk_shards

@@ -186,14 +186,15 @@ let merged_header opts shards =
    every shard whose build-id disagrees with [build_id] and that carries
    its own fingerprints is re-keyed through [Stale_match], so its events
    survive the merge instead of polluting it with dead names/offsets.
-   Returns the (possibly rewritten) shards plus the aggregate recovery
-   breakdown — [None] when nothing needed recovering. *)
-let recover_stale ~(fingerprints : Bolt_obj.Fingerprint.t) ~(build_id : string)
-    (shards : loaded list) :
-    loaded list * Bolt_profile.Stale_match.stats option =
-  if fingerprints = [] || build_id = "" then (shards, None)
+   Returns the (possibly rewritten) shards plus, per recovered shard,
+   the host label and its recovery breakdown — the per-host series the
+   fleet health monitor folds over ticks. *)
+let recover_stale_each ~(fingerprints : Bolt_obj.Fingerprint.t)
+    ~(build_id : string) (shards : loaded list) :
+    loaded list * (string * Bolt_profile.Stale_match.stats) list =
+  if fingerprints = [] || build_id = "" then (shards, [])
   else begin
-    let total = ref None in
+    let per_shard = ref [] in
     let shards' =
       List.map
         (fun sh ->
@@ -202,17 +203,24 @@ let recover_stale ~(fingerprints : Bolt_obj.Fingerprint.t) ~(build_id : string)
               sh.sh_prof
           with
           | Some (p, st) ->
-              total :=
-                Some
-                  (match !total with
-                  | None -> st
-                  | Some t -> Bolt_profile.Stale_match.add_stats t st);
+              per_shard := (host_of sh, st) :: !per_shard;
               { sh with sh_prof = p }
           | None -> sh)
         shards
     in
-    (shards', !total)
+    (shards', List.rev !per_shard)
   end
+
+(* The aggregate view of [recover_stale_each]: one summed breakdown,
+   [None] when nothing needed recovering. *)
+let recover_stale ~fingerprints ~build_id (shards : loaded list) :
+    loaded list * Bolt_profile.Stale_match.stats option =
+  let shards', per_shard = recover_stale_each ~fingerprints ~build_id shards in
+  ( shards',
+    match List.map snd per_shard with
+    | [] -> None
+    | st :: rest -> Some (List.fold_left Bolt_profile.Stale_match.add_stats st rest)
+  )
 
 let merge ?obs ?(opts = default_options) (shards : loaded list) : Fdata.t =
   let obs = match obs with Some o -> o | None -> Obs.null () in

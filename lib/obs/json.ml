@@ -41,7 +41,11 @@ let float_repr f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else
     let s = Printf.sprintf "%.12g" f in
-    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    (* %g can spell big integer-valued floats without a point or
+       exponent (e.g. 2^53); mark them so the parser keeps them Float *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
 
 let to_buffer ?(indent = false) b t =
   let pad n = if indent then Buffer.add_string b (String.make n ' ') in

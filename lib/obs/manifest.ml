@@ -17,6 +17,40 @@
    backward-compatible (new fields, never repurposed ones). *)
 
 let schema = "obolt-manifest/1"
+let version = 1
+
+(* The self-describing `meta` stanza: everything a longitudinal reader
+   (`bstat`, the history store) needs to decide whether two records are
+   comparable — tool, argv, schema version and the monotonic-clock epoch
+   the trace timeline is anchored to.  Duplicates the top-level
+   tool/argv/schema fields on purpose: history records keep only `meta`,
+   not the full manifest envelope. *)
+let meta_stanza ~tool ~argv (obs : Obs.t) : Json.t =
+  Json.Obj
+    [
+      ("tool", Json.String tool);
+      ("argv", Json.List (List.map (fun a -> Json.String a) argv));
+      ("schema", Json.String schema);
+      ("version", Json.Int version);
+      ("epoch_s", Json.Float (Trace.epoch obs.Obs.trace));
+      ("clock", Json.String "monotonic");
+    ]
+
+(* Read a record's schema version back: the meta stanza when present,
+   else the trailing "/N" of the schema string, else None (not a
+   manifest-family record at all). *)
+let version_of (j : Json.t) : int option =
+  match Json.member "meta" j with
+  | Some m when Json.get_int (Json.member "version" m) <> None ->
+      Json.get_int (Json.member "version" m)
+  | _ -> (
+      match Json.get_string (Json.member "schema" j) with
+      | Some s -> (
+          match String.rindex_opt s '/' with
+          | Some i ->
+              int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          | None -> None)
+      | None -> None)
 
 let make ~tool ?(argv = []) ?(sections = []) (obs : Obs.t) : Json.t =
   Obs.finish obs;
@@ -25,6 +59,7 @@ let make ~tool ?(argv = []) ?(sections = []) (obs : Obs.t) : Json.t =
        ("schema", Json.String schema);
        ("tool", Json.String tool);
        ("argv", Json.List (List.map (fun a -> Json.String a) argv));
+       ("meta", meta_stanza ~tool ~argv obs);
        ("trace", Trace.to_json obs.Obs.trace);
        ("metrics", Metrics.to_json obs.Obs.metrics);
        ("events", Trace.events_to_json obs.Obs.trace);

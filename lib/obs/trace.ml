@@ -112,6 +112,11 @@ let finish t =
 let root t = t.root
 let events t = List.rev t.events
 
+(* The raw clock reading the trace's relative timeline is anchored to.
+   Manifests publish it in the `meta` stanza so two runs' records can be
+   ordered even when neither carries a wall-clock timestamp. *)
+let epoch t = t.epoch
+
 (* Pre-order (depth, span) listing; the root is depth 0. *)
 let flatten t =
   let out = ref [] in

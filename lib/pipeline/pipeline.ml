@@ -23,6 +23,14 @@ type build = {
   cc : Bolt_minic.Driver.options;
 }
 
+(* The revision identity a deployment pipeline keys on: the binary's
+   build-id stamp plus its CFG fingerprint table.  This is what the fleet
+   merger's staleness checks ([Merge.recover_stale*]) and the health
+   monitor's rollout view expect for the target build. *)
+let build_id (b : build) : string = b.exe.Bolt_obj.Objfile.build_id
+let fingerprints (b : build) : Bolt_obj.Fingerprint.t =
+  b.exe.Bolt_obj.Objfile.fingerprints
+
 let compile ?obs ?(cc = Bolt_minic.Driver.default_options) sources : build =
   let obs = opt_obs obs in
   Obs.span obs "compile" (fun () ->

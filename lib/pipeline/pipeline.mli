@@ -24,6 +24,14 @@ type build = { exe : Bolt_obj.Objfile.t; cc : Bolt_minic.Driver.options }
 val compile :
   ?obs:Obs.t -> ?cc:Bolt_minic.Driver.options -> (string * string) list -> build
 
+(** The revision identity a deployment pipeline keys on: the build-id
+    stamp and CFG fingerprint table of the built binary. These are what
+    {!Bolt_fleet.Merge} staleness recovery and the fleet health monitor
+    expect for the target revision. *)
+val build_id : build -> string
+
+val fingerprints : build -> Bolt_obj.Fingerprint.t
+
 (** LBR sampling on cycles, the paper's [-e cycles:u -j any,u]. *)
 val default_sampling : Machine.sample_cfg
 

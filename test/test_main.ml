@@ -20,4 +20,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("fleet", Test_fleet.suite);
       ("stale", Test_stale.suite);
+      ("monitor", Test_monitor.suite);
     ]

@@ -175,6 +175,82 @@ let test_json_roundtrip () =
   Alcotest.check json "float stays float" (Json.Float 2.0) (Json.of_string "2.0");
   Alcotest.check json "int stays int" (Json.Int 2) (Json.of_string "2")
 
+let test_json_deep_nesting () =
+  (* history records nest tool sections arbitrarily; the parser must
+     survive structures far deeper than anything the tools emit *)
+  let depth = 300 in
+  let rec deep_list n = if n = 0 then Json.Int 7 else Json.List [ deep_list (n - 1) ] in
+  let rec deep_obj n =
+    if n = 0 then Json.Bool true else Json.Obj [ ("k", deep_obj (n - 1)) ]
+  in
+  let v = Json.Obj [ ("l", deep_list depth); ("o", deep_obj depth) ] in
+  Alcotest.check json "deep nesting round-trips" v (Json.of_string (Json.to_string v));
+  Alcotest.check json "deep nesting round-trips indented" v
+    (Json.of_string (Json.to_string ~indent:true v))
+
+let test_json_escape_roundtrip () =
+  (* every control character, the two mandatory escapes, and raw bytes
+     above 0x7f (UTF-8 passes through untouched) *)
+  let controls = String.init 0x20 Char.chr in
+  let cases =
+    [
+      controls;
+      "quote \" backslash \\ slash /";
+      "caf\xc3\xa9 \xe2\x82\xac";
+      (* raw UTF-8 bytes *)
+      "\x7f\x80\xff";
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.check json
+        (Printf.sprintf "escape round-trip %S" s)
+        (Json.String s)
+        (Json.of_string (Json.to_string (Json.String s))))
+    cases;
+  (* \u escapes we never emit still parse: ASCII, 2-byte and 3-byte *)
+  Alcotest.check json "\\u0041" (Json.String "A") (Json.of_string {|"A"|});
+  Alcotest.check json "\\u00e9" (Json.String "\xc3\xa9") (Json.of_string {|"é"|});
+  Alcotest.check json "\\u20ac" (Json.String "\xe2\x82\xac")
+    (Json.of_string {|"€"|})
+
+let test_json_nonfinite_policy () =
+  (* NaN and the infinities have no JSON spelling: they print as null so
+     a manifest with a degenerate rate never produces unparseable output *)
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf is null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string)
+    "-inf is null" "null"
+    (Json.to_string (Json.Float Float.neg_infinity));
+  Alcotest.(check string)
+    "nested nonfinite" {|[1.0,null,2.5]|}
+    (Json.to_string
+       (Json.List [ Json.Float 1.0; Json.Float Float.nan; Json.Float 2.5 ]))
+
+let test_json_int_float_boundaries () =
+  let rt v = Json.of_string (Json.to_string v) in
+  (* int-valued floats keep their decimal point up to the 1e15 printing
+     boundary; past it the %g spelling still round-trips as Float *)
+  Alcotest.check json "2^53 float" (Json.Float 9007199254740992.0)
+    (rt (Json.Float 9007199254740992.0));
+  Alcotest.check json "1e15 float" (Json.Float 1e15) (rt (Json.Float 1e15));
+  Alcotest.check json "1e15-1 float" (Json.Float (1e15 -. 1.0))
+    (rt (Json.Float (1e15 -. 1.0)));
+  Alcotest.check json "big int stays int" (Json.Int 1_000_000_000_000_000)
+    (rt (Json.Int 1_000_000_000_000_000));
+  Alcotest.check json "max_int" (Json.Int max_int) (rt (Json.Int max_int));
+  Alcotest.check json "min_int" (Json.Int min_int) (rt (Json.Int min_int));
+  Alcotest.check json "subnormal float" (Json.Float 5e-324) (rt (Json.Float 5e-324));
+  Alcotest.check json "tiny rate" (Json.Float 1.25e-9) (rt (Json.Float 1.25e-9));
+  (* the printed spelling always marks floats as floats *)
+  Alcotest.(check string) "int-valued float keeps point" "2.0"
+    (Json.to_string (Json.Float 2.0));
+  Alcotest.(check bool) "1e15 prints with exponent or point" true
+    (let s = Json.to_string (Json.Float 1e15) in
+     String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s)
+
 let test_manifest_roundtrip () =
   let clock, advance = fake_clock () in
   let obs = Obs.create ~clock ~name:"test-tool" () in
@@ -262,6 +338,10 @@ let suite =
     Alcotest.test_case "metrics merge semantics" `Quick test_metrics_merge;
     Alcotest.test_case "counter deltas" `Quick test_counter_delta;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json deep nesting" `Quick test_json_deep_nesting;
+    Alcotest.test_case "json escape round-trips" `Quick test_json_escape_roundtrip;
+    Alcotest.test_case "json nan/infinity policy" `Quick test_json_nonfinite_policy;
+    Alcotest.test_case "json int/float boundaries" `Quick test_json_int_float_boundaries;
     Alcotest.test_case "manifest round-trip" `Quick test_manifest_roundtrip;
     Alcotest.test_case "disabled obs is a no-op" `Quick test_disabled_obs;
     Alcotest.test_case "heatmap: empty histogram" `Quick test_heatmap_empty;
