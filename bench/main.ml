@@ -610,6 +610,163 @@ let run_fleet ~quick () =
          ("recovery", Json.Obj [ ("rate", tick0_recovery) ]);
        ])
 
+(* ---- iocore: the zero-copy data plane, legacy vs new, side by side ---- *)
+
+let run_iocore ~quick () =
+  section "iocore: zero-copy data plane (slice/cursor core vs legacy byte paths)";
+  let funcs = if quick then 10_000 else 100_000 in
+  let fdata_lines = if quick then 200_000 else 2_000_000 in
+  let m =
+    timed "iocore-gen" (fun () ->
+        Bolt_workloads.Gen.gen_mega ~funcs ~fdata_lines ())
+  in
+  let belf = m.Bolt_workloads.Gen.mg_belf in
+  let fdata = m.Bolt_workloads.Gen.mg_fdata in
+  let lines = float_of_int m.Bolt_workloads.Gen.mg_fdata_lines in
+  let mb = float_of_int (String.length belf) /. 1048576.0 in
+  (* best-of-N with a full major collection before each rep: the loads
+     allocate tens of MB of live data, and where the GC pacing lands
+     otherwise dominates run-to-run variance *)
+  let reps = if quick then 3 else 7 in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to reps do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      Sys.opaque_identity (ignore (f ()));
+      b := min !b (Unix.gettimeofday () -. t0)
+    done;
+    !b
+  in
+  (* BELF load: both decoders, equality is a hard requirement *)
+  let belf_identical =
+    Bolt_obj.Objfile.of_string belf = Bolt_obj.Objfile.of_string_legacy belf
+  in
+  let t_new = best (fun () -> Bolt_obj.Objfile.of_string belf) in
+  let t_leg = best (fun () -> Bolt_obj.Objfile.of_string_legacy belf) in
+  Printf.printf "BELF load     %6.1f MB: new %6.1f MB/s  legacy %6.1f MB/s  %4.2fx  %s\n%!"
+    mb (mb /. t_new) (mb /. t_leg) (t_leg /. t_new)
+    (if belf_identical then "identical" else "MISMATCH!");
+  (* fdata: the materializing parse and the streaming lexer vs the
+     split_on_char parser.  [scan] is what the fleet merger consumes. *)
+  let fdata_parity =
+    Bolt_profile.Fdata.parse fdata = Bolt_profile.Fdata.parse_legacy fdata
+  in
+  let t_scan = best (fun () -> Bolt_profile.Fdata.scan fdata) in
+  let t_parse = best (fun () -> Bolt_profile.Fdata.parse fdata) in
+  let t_pleg = best (fun () -> Bolt_profile.Fdata.parse_legacy fdata) in
+  Printf.printf
+    "fdata parse   %6.0fk lines: legacy %5.2f Ml/s  parse %5.2f Ml/s (%4.2fx)  stream %5.2f Ml/s (%4.2fx)  %s\n%!"
+    (lines /. 1000.0) (lines /. t_pleg /. 1e6) (lines /. t_parse /. 1e6)
+    (t_pleg /. t_parse) (lines /. t_scan /. 1e6) (t_pleg /. t_scan)
+    (if fdata_parity then "identical" else "MISMATCH!");
+  (* fdata emit: arena writer with hand-rolled decimal/hex vs Printf *)
+  let prof = fst (Bolt_profile.Fdata.parse fdata) in
+  let emit_identical =
+    Bolt_profile.Fdata.to_string prof = Bolt_profile.Fdata.to_string_legacy prof
+  in
+  let t_emit = best (fun () -> Bolt_profile.Fdata.to_string prof) in
+  let t_emit_leg = best (fun () -> Bolt_profile.Fdata.to_string_legacy prof) in
+  Printf.printf "fdata emit:   new %5.2fs  legacy %5.2fs  %4.2fx  %s\n%!" t_emit
+    t_emit_leg (t_emit_leg /. t_emit)
+    (if emit_identical then "identical" else "MISMATCH!");
+  (* fleet merge: record-list fold vs streaming scan, over distinct-seed
+     shards; outputs must normalize to the same bytes *)
+  let shard_lines = if quick then 50_000 else 200_000 in
+  let shards =
+    List.init 4 (fun i ->
+        let s =
+          Bolt_workloads.Gen.gen_mega ~seed:(100 + i) ~funcs:2_000
+            ~fdata_lines:shard_lines ()
+        in
+        (Printf.sprintf "shard%d" i, s.Bolt_workloads.Gen.mg_fdata))
+  in
+  let batch () =
+    Bolt_fleet.Merge.merge
+      (List.map
+         (fun (name, text) ->
+           Bolt_fleet.Merge.shard_of_profile ~name
+             (fst (Bolt_profile.Fdata.parse text)))
+         shards)
+  in
+  let stream () = Bolt_fleet.Merge.merge_stream shards in
+  let merge_identical =
+    Bolt_profile.Fdata.to_string (batch ())
+    = Bolt_profile.Fdata.to_string (stream ())
+  in
+  let t_batch = best batch in
+  let t_stream = best stream in
+  let merge_lines = float_of_int (4 * shard_lines) in
+  Printf.printf "fleet merge   %6.0fk lines: batch %5.2f Ml/s  stream %5.2f Ml/s  %4.2fx  %s\n%!"
+    (merge_lines /. 1000.0) (merge_lines /. t_batch /. 1e6)
+    (merge_lines /. t_stream /. 1e6) (t_batch /. t_stream)
+    (if merge_identical then "identical" else "MISMATCH!");
+  (* re-encode determinism: the arena emit path must produce the same
+     bytes at any -j *)
+  let w =
+    Bolt_workloads.Gen.gen
+      { Bolt_workloads.Workloads.multifeed2 with iterations = 2_000 }
+  in
+  let cc = Bolt_minic.Driver.default_options in
+  let b =
+    Bolt_minic.Driver.compile ~options:cc ~externals:w.Bolt_workloads.Gen.externals
+      ~extra_objs:w.Bolt_workloads.Gen.extra_objs w.Bolt_workloads.Gen.sources
+  in
+  let prof4, _ = P.profile { P.exe = b.exe; cc } ~input:w.Bolt_workloads.Gen.input in
+  let opt jobs =
+    let exe', _ =
+      Bolt_core.Bolt.optimize
+        ~opts:{ Bolt_core.Opts.default with jobs }
+        b.exe prof4
+    in
+    Bolt_obj.Objfile.to_string exe'
+  in
+  let reencode_identical = opt 1 = opt 4 in
+  Printf.printf "re-encode:    j=1 vs j=4 %s\n%!"
+    (if reencode_identical then "identical" else "MISMATCH!");
+  add_section "iocore"
+    (Json.Obj
+       [
+         ("funcs", Json.Int funcs);
+         ("fdata_lines", Json.Int m.Bolt_workloads.Gen.mg_fdata_lines);
+         ( "belf",
+           Json.Obj
+             [
+               ("mb", Json.Float mb);
+               ("new_mb_per_s", Json.Float (mb /. t_new));
+               ("legacy_mb_per_s", Json.Float (mb /. t_leg));
+               ("load_speedup", Json.Float (t_leg /. t_new));
+               ("identical", Json.Bool belf_identical);
+             ] );
+         ( "fdata",
+           Json.Obj
+             [
+               ("legacy_lines_per_s", Json.Float (lines /. t_pleg));
+               ("parse_lines_per_s", Json.Float (lines /. t_parse));
+               ("stream_lines_per_s", Json.Float (lines /. t_scan));
+               ("parse_speedup", Json.Float (t_pleg /. t_parse));
+               ("stream_speedup", Json.Float (t_pleg /. t_scan));
+               ("parity", Json.Bool fdata_parity);
+             ] );
+         ( "emit",
+           Json.Obj
+             [
+               ("new_s", Json.Float t_emit);
+               ("legacy_s", Json.Float t_emit_leg);
+               ("emit_speedup", Json.Float (t_emit_leg /. t_emit));
+               ("identical", Json.Bool emit_identical);
+             ] );
+         ( "merge",
+           Json.Obj
+             [
+               ("batch_lines_per_s", Json.Float (merge_lines /. t_batch));
+               ("stream_lines_per_s", Json.Float (merge_lines /. t_stream));
+               ("stream_speedup", Json.Float (t_batch /. t_stream));
+               ("identical", Json.Bool merge_identical);
+             ] );
+         ("reencode_j1_j4_identical", Json.Bool reencode_identical);
+       ])
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let run_micro () =
@@ -736,6 +893,7 @@ let () =
   if want "scaling" then run_scaling ~quick ();
   if want "layout" then run_layout ~quick ();
   if want "fleet" then run_fleet ~quick ();
+  if want "iocore" then run_iocore ~quick ();
   if List.mem "micro" args then run_micro ();
   let out = "BENCH_results.json" in
   let manifest =

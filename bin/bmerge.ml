@@ -49,11 +49,47 @@ let resolve_build_id = function
       else (Some spec, [])
 
 let run shards out weights decay expect strict_shards report health trace_out
-    history jobs =
+    history jobs stream =
   if shards = [] then begin
     Fmt.epr "bmerge: no input shards@.";
     3
   end
+  else if stream then
+    (* Streaming fast path: each shard is lexed straight into the global
+       accumulator (Merge.merge_stream over the iocore lexer) and record
+       lists never materialize.  The diagnostics that need per-shard
+       record sets — quality report, health view, stale recovery — are
+       incompatible by construction. *)
+    if report || health || expect <> None then begin
+      Fmt.epr
+        "bmerge: --stream merges without materializing per-shard records; \
+         it cannot be combined with --report, --health or \
+         --expect-build-id@.";
+      3
+    end
+    else begin
+      match
+        Merge.merge_paths
+          ~opts:{ Merge.weights; decay; expect_build_id = None; jobs = max 1 jobs }
+          shards
+      with
+      | exception Sys_error e ->
+          Fmt.epr "bmerge: %s@." e;
+          4
+      | exception Bolt_profile.Fdata.Bad_format e ->
+          Fmt.epr "bmerge: %s@." e;
+          4
+      | merged ->
+          Bolt_profile.Fdata.save out merged;
+          Fmt.pr
+            "wrote %s: %d shards -> %d branch records, %d ranges, %d ip \
+             samples (streaming)@."
+            out (List.length shards)
+            (List.length merged.Bolt_profile.Fdata.branches)
+            (List.length merged.Bolt_profile.Fdata.ranges)
+            (List.length merged.Bolt_profile.Fdata.samples);
+          0
+    end
   else
     match Merge.load_shards ~strict:strict_shards shards with
     | exception Sys_error e ->
@@ -246,11 +282,22 @@ let jobs =
         ~doc:"Worker domains for the parallel fold; output is byte-identical \
               for any value.")
 
+let stream =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Stream each shard straight into the accumulator without \
+           materializing its record lists (lowest memory, fastest for \
+           million-line shards). Output is byte-identical to the default \
+           path. Incompatible with --report, --health and \
+           --expect-build-id, which need per-shard records.")
+
 let cmd =
   Cmd.v
     (Cmd.info "bmerge" ~doc:"merge per-host fdata shards into a fleet profile")
     Term.(
       const run $ shards $ out $ weights $ decay $ expect $ strict_shards
-      $ report $ health $ trace_out $ history $ jobs)
+      $ report $ health $ trace_out $ history $ jobs $ stream)
 
 let () = exit (Cmd.eval' cmd)

@@ -307,10 +307,7 @@ let assemble_data ?(resolve = fun _ -> None) ~sec_name items =
       let off = Buffer.length buf in
       match it with
       | D_label (name, global) -> syms := (name, off, global) :: !syms
-      | D_quad (Insn.Imm v) ->
-          let w = Buf.writer () in
-          Buf.i64 w v;
-          Buffer.add_string buf (Buf.contents w)
+      | D_quad (Insn.Imm v) -> Buffer.add_int64_le buf (Int64.of_int v)
       | D_quad (Insn.Sym (s, a)) ->
           let s, a =
             match resolve s with Some (fn, off') -> (fn, off' + a) | None -> (s, a)

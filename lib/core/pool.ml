@@ -27,12 +27,23 @@ let create ?(jobs = 1) () = { jobs = max 1 jobs }
 
 let jobs t = t.jobs
 
-(* Number of worker domains a run over [n] items will actually use. *)
-let domains_for t n = if n <= 1 then 1 else min t.jobs n
+(* Number of worker domains a run over [n] items will actually use.
 
-let run t ~(worker : int -> 'a -> unit) (items : 'a array) : stats list =
+   [min_chunk] is the caller's statement of how many items justify one
+   domain: spawning a domain costs on the order of a millisecond, so a
+   pass whose per-item work is microseconds (the encode-dominated emit
+   loop) must not fan 40 functions out over 8 domains and lose to -j1.
+   The default of 1 keeps the historical behaviour (one domain per item
+   when items are scarce) for callers whose items are individually huge,
+   e.g. the fleet merger's shards. *)
+let domains_for ?(min_chunk = 1) t n =
+  if n <= 1 || n < 2 * min_chunk then 1
+  else min t.jobs (max 1 (n / min_chunk))
+
+let run ?(min_chunk = 1) t ~(worker : int -> 'a -> unit) (items : 'a array) :
+    stats list =
   let n = Array.length items in
-  let d = domains_for t n in
+  let d = domains_for ~min_chunk t n in
   if d = 1 then begin
     (* Inline fast path: no domains, no atomics, exceptions propagate
        as-is.  This is also the only path when the pool is sequential,
@@ -43,7 +54,10 @@ let run t ~(worker : int -> 'a -> unit) (items : 'a array) : stats list =
   end
   else begin
     let cursor = Atomic.make 0 in
-    let chunk = max 1 (n / (d * 8)) in
+    (* claim at least [min_chunk] items per trip to the atomic cursor:
+       the dynamic schedule still balances (8 trips per domain on even
+       work) without paying one fetch-and-add per cheap item *)
+    let chunk = max min_chunk (max 1 (n / (d * 8))) in
     let failures = Atomic.make ([] : (int * exn) list) in
     let record_failure i exn =
       let rec push () =

@@ -17,11 +17,20 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
-(* Worker domains a run over [n] items will actually use (<= jobs). *)
-val domains_for : t -> int -> int
+(* Worker domains a run over [n] items will actually use (<= jobs).
+   [min_chunk] (default 1) is the number of items that justify one
+   domain: below [2 * min_chunk] items the run stays inline, and no
+   domain is spawned for fewer than [min_chunk] items.  Callers with
+   cheap per-item work (per-function encode) should pass a real
+   granularity; callers with huge items (fleet shards) keep the
+   default. *)
+val domains_for : ?min_chunk:int -> t -> int -> int
 
 (* [run t ~worker items] fans [items] out over the pool.  [worker dom x]
    is called with the worker index [dom] in [0, domains_for t n).  Returns
    one [stats] per worker.  If any worker raised, the exception attached
-   to the smallest item index is re-raised after all workers joined. *)
-val run : t -> worker:(int -> 'a -> unit) -> 'a array -> stats list
+   to the smallest item index is re-raised after all workers joined.
+   [min_chunk] feeds [domains_for] and floors the chunk size items are
+   claimed in. *)
+val run :
+  ?min_chunk:int -> t -> worker:(int -> 'a -> unit) -> 'a array -> stats list

@@ -90,48 +90,75 @@ let run ctx : result =
     | None -> (List.map (fun f -> f.fb_name) live, [])
   in
 
-  (* ---- emit fragments ---- *)
+  (* ---- emit fragments ----
+
+     Re-encoding is per-function and by far the largest fraction of the
+     rewrite, so it fans out over the domain pool: each worker fills its
+     item's slot in [frags_arr] (per-item state only) and parks
+     diagnostics/quarantine verdicts on its per-domain shard, which fold
+     back in address order at the join — bytes and diagnostics are
+     identical at any -j.  [min_chunk] keeps small binaries inline: a
+     per-function encode is microseconds, a domain spawn a millisecond. *)
   let relmode = ctx.Context.relocations_mode in
   let frags_of = Hashtbl.create 256 in
   let reverted = Hashtbl.create 16 in
-  (* Verbatim emission of a non-simple function.  A function whose bytes
-     would not even decode cannot be re-emitted at all: in-place it stays
-     in its original slot; in relocations mode the whole text moves
-     around it, so the run must fall back to the identity rewrite. *)
-  let emit_verbatim (fb : Bfunc.t) =
-    if fb.raw_insns = [] then
-      if relmode then
+  let live_arr = Array.of_list live in
+  let n_live = Array.length live_arr in
+  let frags_arr = Array.make n_live ([] : Emit.fragment list) in
+  let reverted_arr = Array.make n_live false in
+  let pool = Pool.create ~jobs:opts.Opts.jobs () in
+  let emit_domains = Pool.domains_for ~min_chunk:32 pool n_live in
+  let shards = Array.init emit_domains (fun _ -> Context.new_shard ()) in
+  let worker dom i =
+    let fb = live_arr.(i) in
+    let sh = shards.(dom) in
+    (* Verbatim emission of a non-simple function.  A function whose
+       bytes would not even decode cannot be re-emitted at all: in-place
+       it stays in its original slot; in relocations mode the whole text
+       moves around it, so the run must fall back to the identity
+       rewrite. *)
+    let emit_verbatim () =
+      if fb.raw_insns = [] then
+        if relmode then
+          raise
+            (Frag_error (fb.fb_name, "undecodable function cannot be relocated"))
+        else begin
+          Context.sh_diag sh Diag.Warning ~stage:"rewrite" ~func:fb.fb_name
+            "undecodable function left in place";
+          reverted_arr.(i) <- true;
+          []
+        end
+      else if fb.table_unrecovered && relmode then
+        (* the body reads a jump table we could not reconstruct; its
+           cells still aim at the original body, so moving the code
+           would leave them stale.  In-place the function never moves
+           and stays safe. *)
         raise
           (Frag_error
-             (fb.fb_name, "undecodable function cannot be relocated"))
-      else begin
-        Diag.warnf ctx.Context.diag ~stage:"rewrite" ~func:fb.fb_name
-          "undecodable function left in place";
-        Hashtbl.replace reverted fb.fb_name ();
-        []
-      end
-    else if fb.table_unrecovered && relmode then
-      (* the body reads a jump table we could not reconstruct; its cells
-         still aim at the original body, so moving the code would leave
-         them stale.  In-place the function never moves and stays safe. *)
-      raise
-        (Frag_error
-           (fb.fb_name, "unrecoverable jump table: function cannot be relocated"))
-    else [ Emit.emit_raw fb ]
+             (fb.fb_name, "unrecoverable jump table: function cannot be relocated"))
+      else [ Emit.emit_raw fb ]
+    in
+    frags_arr.(i) <-
+      (if fb.simple then
+         try Emit.emit_simple fb
+         with exn when not (Quarantine.fatal exn) ->
+           (* emitter barrier: demote and emit the original bytes; the
+              verdict replays (and escalates under --strict) at the
+              join *)
+           Quarantine.demote_quiet ctx ~stage:"emit" fb;
+           sh.Context.sh_verdicts <-
+             (fb, Printexc.to_string exn) :: sh.Context.sh_verdicts;
+           emit_verbatim ()
+       else emit_verbatim ())
   in
-  List.iter
-    (fun fb ->
-      let frags =
-        if fb.simple then
-          try Emit.emit_simple fb
-          with exn when not (Quarantine.fatal exn) ->
-            (* emitter barrier: demote and emit the original bytes *)
-            Quarantine.demote ctx ~stage:"emit" fb (Printexc.to_string exn);
-            emit_verbatim fb
-        else emit_verbatim fb
-      in
-      Hashtbl.replace frags_of fb.fb_name frags)
-    live;
+  ignore
+    (Pool.run ~min_chunk:32 pool ~worker (Array.init n_live (fun i -> i)));
+  Quarantine.fold_shards ctx ~stage:"emit" (Array.to_list shards);
+  Array.iteri
+    (fun i fb ->
+      if reverted_arr.(i) then Hashtbl.replace reverted fb.fb_name ();
+      Hashtbl.replace frags_of fb.fb_name frags_arr.(i))
+    live_arr;
 
   (* ---- placement ---- *)
   let placements = ref [] in
@@ -283,15 +310,8 @@ let run ctx : result =
         in
         let fo = base_off + off in
         match kind with
-        | Abs64 ->
-            let w = Buf.writer () in
-            Buf.i64 w v;
-            Bytes.blit_string (Buf.contents w) 0 text fo 8
-        | Abs32 | Rel32 ->
-            Bytes.set text fo (Char.chr (v land 0xff));
-            Bytes.set text (fo + 1) (Char.chr ((v asr 8) land 0xff));
-            Bytes.set text (fo + 2) (Char.chr ((v asr 16) land 0xff));
-            Bytes.set text (fo + 3) (Char.chr ((v asr 24) land 0xff))
+        | Abs64 -> Bytes.set_int64_le text fo (Int64.of_int v)
+        | Abs32 | Rel32 -> Bytes.set_int32_le text fo (Int32.of_int v)
         | Rel8 ->
             if not (Bolt_isa.Codec.fits_i8 v) then
               raise
@@ -359,11 +379,9 @@ let run ctx : result =
         let data = Bytes.copy ro.sec_data in
         let patch_cell (jt : jt) k target_addr =
           let v = if jt.jt_pic then target_addr - jt.jt_addr else target_addr in
-          let w = Buf.writer () in
-          Buf.i64 w v;
-          Bytes.blit_string (Buf.contents w) 0 data
+          Bytes.set_int64_le data
             (jt.jt_addr - ro.sec_addr + (8 * k))
-            8
+            (Int64.of_int v)
         in
         (* a block label minted at CFG build time encodes its original
            offset; quarantined functions move as a verbatim unit, so that
@@ -420,10 +438,7 @@ let run ctx : result =
           (fun (r : reloc) ->
             if r.rel_section = ".got" && r.rel_kind = Abs64 && r.rel_addend = 0 then
               match resolve_sym r.rel_sym with
-              | Some a ->
-                  let w = Buf.writer () in
-                  Buf.i64 w a;
-                  Bytes.blit_string (Buf.contents w) 0 data r.rel_offset 8
+              | Some a -> Bytes.set_int64_le data r.rel_offset (Int64.of_int a)
               | None -> ())
           exe.relocs;
         Some { g with sec_data = data }

@@ -273,5 +273,145 @@ let merge ?obs ?(opts = default_options) (shards : loaded list) : Fdata.t =
         "fleet.merged_branch_records";
       merged)
 
+(* ---- streaming ingest ----
+
+   [merge] above materializes every shard's record lists before folding
+   them; ingesting million-line fleet shards that way spends most of its
+   time consing and collecting records that exist only to be summed.
+   [merge_stream] folds each record straight into one global accumulator
+   as the iocore lexer produces it, via [Fdata.scan]:
+
+   - pass 1 lexes every shard with no-op record callbacks, which is how
+     the headers, fingerprints and event totals are discovered — scales
+     depend on the newest timestamp {e across} shards, so no record can
+     be scaled until every header has been seen;
+   - pass 2 lexes again, scaling each record at stream time and bumping
+     it into the accumulator table.
+
+   Scaling stays per-record-then-add, exactly like the batch path —
+   [sat_scale (a + b) f] is not [sat_add (sat_scale a f) (sat_scale b f)]
+   — and the accumulator mirrors [Fdata.normalize]'s aggregation, so the
+   output is byte-identical to [merge] over the same shards (the iocore
+   parity suite holds this). *)
+
+let merge_stream ?obs ?(opts = default_options)
+    (shards : (string * string) list) : Fdata.t =
+  let obs = match obs with Some o -> o | None -> Obs.null () in
+  Obs.span obs "fleet.merge" (fun () ->
+      (* pass 1: headers, fingerprints, totals — no record lists *)
+      let metas =
+        List.map
+          (fun (name, text) ->
+            let prof, _ = Fdata.scan text in
+            { sh_name = name; sh_prof = prof })
+          shards
+      in
+      let newest = newest_timestamp metas in
+      let tbl = Hashtbl.create 4096 in
+      let bump k c m =
+        match Hashtbl.find_opt tbl k with
+        | Some (c0, m0) ->
+            Hashtbl.replace tbl k (Fdata.sat_add c0 c, Fdata.sat_add m0 m)
+        | None -> Hashtbl.add tbl k (c, m)
+      in
+      let lbr = ref true in
+      (* pass 2: scale at stream time, accumulate *)
+      List.iter2
+        (fun (_, text) meta ->
+          if not meta.sh_prof.Fdata.lbr then lbr := false;
+          let f = scale_of opts ~newest meta in
+          let sc c = if f = 1.0 then c else Fdata.sat_scale c f in
+          ignore
+            (Fdata.scan
+               ~branch:(fun (b : Fdata.branch) ->
+                 bump
+                   (`B
+                     ( b.Fdata.br_from_func,
+                       b.Fdata.br_from_off,
+                       b.Fdata.br_to_func,
+                       b.Fdata.br_to_off ))
+                   (sc b.Fdata.br_count) (sc b.Fdata.br_mispreds))
+               ~range:(fun (r : Fdata.range) ->
+                 bump
+                   (`F (r.Fdata.rg_func, r.Fdata.rg_start, r.Fdata.rg_end))
+                   (sc r.Fdata.rg_count) 0L)
+               ~sample:(fun (s : Fdata.sample) ->
+                 bump
+                   (`S (s.Fdata.sm_func, s.Fdata.sm_off))
+                   (sc s.Fdata.sm_count) 0L)
+               text))
+        shards metas;
+      (* materialize once, in canonical ([Fdata.normalize]) form *)
+      let branches = ref [] and ranges = ref [] and samples = ref [] in
+      Hashtbl.iter
+        (fun k (c, m) ->
+          match k with
+          | `B (ff, fo, tf, to_) ->
+              branches :=
+                {
+                  Fdata.br_from_func = ff;
+                  br_from_off = fo;
+                  br_to_func = tf;
+                  br_to_off = to_;
+                  br_count = c;
+                  br_mispreds = m;
+                }
+                :: !branches
+          | `F (f, s, e) ->
+              ranges :=
+                { Fdata.rg_func = f; rg_start = s; rg_end = e; rg_count = c }
+                :: !ranges
+          | `S (f, o) ->
+              samples :=
+                { Fdata.sm_func = f; sm_off = o; sm_count = c } :: !samples)
+        tbl;
+      let total =
+        List.fold_left
+          (fun a (b : Fdata.branch) -> Fdata.sat_add a b.Fdata.br_count)
+          0L !branches
+        |> fun acc ->
+        List.fold_left
+          (fun a (s : Fdata.sample) -> Fdata.sat_add a s.Fdata.sm_count)
+          acc !samples
+      in
+      let mheader = merged_header opts metas in
+      let fingerprints =
+        List.filter
+          (fun sh ->
+            (header sh).Fdata.hd_build_id = mheader.Fdata.hd_build_id
+            && sh.sh_prof.Fdata.fingerprints <> [])
+          metas
+        |> List.sort (fun a b -> compare a.sh_name b.sh_name)
+        |> function
+        | [] -> []
+        | sh :: _ -> sh.sh_prof.Fdata.fingerprints
+      in
+      let merged =
+        {
+          Fdata.lbr = !lbr;
+          header = Some mheader;
+          branches = List.sort compare !branches;
+          ranges = List.sort compare !ranges;
+          samples = List.sort compare !samples;
+          total_samples = total;
+          fingerprints = List.sort_uniq compare fingerprints;
+        }
+      in
+      Obs.incr obs ~by:(List.length metas) "fleet.shards";
+      Obs.incr obs
+        ~by:(List.length merged.Fdata.branches)
+        "fleet.merged_branch_records";
+      merged)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+(* File-path convenience entry, on the streaming path: each shard's text
+   is read once and lexed twice, never parsed into record lists. *)
 let merge_paths ?obs ?opts paths : Fdata.t =
-  merge ?obs ?opts (List.map load_shard paths)
+  merge_stream ?obs ?opts
+    (List.map (fun p -> (Filename.basename p, read_file p)) paths)

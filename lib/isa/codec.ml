@@ -25,18 +25,15 @@ let put_i8 b pos v =
   if not (fits_i8 v) then raise (Encoding_overflow "i8");
   put8 b pos v
 
+(* Multi-byte fields go through the stdlib's batched little-endian
+   accessors (single bounds check + word store), not a byte loop — the
+   encode path runs once per instruction per rewrite. *)
+
 let put_i32 b pos v =
   if not (fits_i32 v) then raise (Encoding_overflow "i32");
-  put8 b pos v;
-  put8 b (pos + 1) (v asr 8);
-  put8 b (pos + 2) (v asr 16);
-  put8 b (pos + 3) (v asr 24)
+  Bytes.set_int32_le b pos (Int32.of_int v)
 
-let put_i64 b pos v =
-  let v64 = Int64.of_int v in
-  for i = 0 to 7 do
-    put8 b (pos + i) (Int64.to_int (Int64.shift_right_logical v64 (8 * i)))
-  done
+let put_i64 b pos v = Bytes.set_int64_le b pos (Int64.of_int v)
 
 let get8 b pos = Char.code (Bytes.get b pos)
 
@@ -44,20 +41,9 @@ let get_i8 b pos =
   let v = get8 b pos in
   if v >= 128 then v - 256 else v
 
-let get_i32 b pos =
-  let lo = get8 b pos lor (get8 b (pos + 1) lsl 8) lor (get8 b (pos + 2) lsl 16) in
-  let hi = get8 b (pos + 3) in
-  let hi = if hi >= 128 then hi - 256 else hi in
-  (hi lsl 24) lor lo
+let get_i32 b pos = Int32.to_int (Bytes.get_int32_le b pos)
 
-let get_i64 b pos =
-  let v = ref 0L in
-  for i = 7 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get8 b (pos + i)))
-  done;
-  Int64.to_int !v
-
-let _ = get_i32 (* silence shadow warning pattern *)
+let get_i64 b pos = Int64.to_int (Bytes.get_int64_le b pos)
 
 (* Encode [i] into [b] at [pos]; returns the number of bytes written. *)
 let encode_into b pos i =

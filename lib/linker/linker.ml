@@ -371,10 +371,7 @@ let link ?(options = default_options) (objs : Objfile.t list) : Objfile.t * stat
   let kept_relocs = ref [] in
   let patch bytes off kind v =
     match kind with
-    | Abs64 ->
-        let w = Buf.writer () in
-        Buf.i64 w v;
-        Bytes.blit_string (Buf.contents w) 0 bytes off 8
+    | Abs64 -> Bytes.set_int64_le bytes off (Int64.of_int v)
     | Abs32 | Rel32 ->
         Bytes.set bytes off (Char.chr (v land 0xff));
         Bytes.set bytes (off + 1) (Char.chr ((v asr 8) land 0xff));

@@ -206,18 +206,14 @@ let run (t : Objfile.t) : issue list =
                          - (s.sec_addr + r.rel_offset + r.rel_end)
                    in
                    let stored =
-                     let b i = Char.code (Bytes.get s.sec_data (r.rel_offset + i)) in
                      match r.rel_kind with
                      | Rel8 ->
-                         let v = b 0 in
+                         let v = Char.code (Bytes.get s.sec_data r.rel_offset) in
                          if v >= 128 then v - 256 else v
                      | Abs32 | Rel32 ->
-                         let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
-                         if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+                         Int32.to_int (Bytes.get_int32_le s.sec_data r.rel_offset)
                      | Abs64 ->
-                         b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
-                         lor (b 4 lsl 32) lor (b 5 lsl 40) lor (b 6 lsl 48)
-                         lor (b 7 lsl 56)
+                         Int64.to_int (Bytes.get_int64_le s.sec_data r.rel_offset)
                    in
                    let matches =
                      match r.rel_kind with

@@ -223,6 +223,17 @@ let default_rules : rule list =
     { ru_path = "*recovery.rate"; ru_dir = Down_is_bad; ru_pct = 10.0 };
     { ru_path = "fleet.coverage_pct"; ru_dir = Down_is_bad; ru_pct = 20.0 };
     { ru_path = "*behaviour_ok"; ru_dir = Down_is_bad; ru_pct = 1.0 };
+    (* iocore data-plane budgets: throughput of the slice/cursor paths
+       may drift with machine noise but not collapse, the speedup ratios
+       over the legacy paths are the refactor's receipts, and a parity
+       flag dropping from 1 to 0 always fires. *)
+    { ru_path = "iocore.belf.new_mb_per_s"; ru_dir = Down_is_bad; ru_pct = 40.0 };
+    { ru_path = "iocore.belf.load_speedup"; ru_dir = Down_is_bad; ru_pct = 25.0 };
+    { ru_path = "iocore.fdata.stream_lines_per_s"; ru_dir = Down_is_bad; ru_pct = 40.0 };
+    { ru_path = "iocore.fdata.stream_speedup"; ru_dir = Down_is_bad; ru_pct = 25.0 };
+    { ru_path = "iocore.fdata.parse_speedup"; ru_dir = Down_is_bad; ru_pct = 25.0 };
+    { ru_path = "iocore.*identical"; ru_dir = Down_is_bad; ru_pct = 1.0 };
+    { ru_path = "iocore.*parity"; ru_dir = Down_is_bad; ru_pct = 1.0 };
   ]
 
 (* ---- the check itself ---- *)

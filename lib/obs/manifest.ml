@@ -66,11 +66,15 @@ let make ~tool ?(argv = []) ?(sections = []) (obs : Obs.t) : Json.t =
      ]
     @ sections)
 
+(* Temp + rename: a crash mid-write leaves the previous manifest intact,
+   and concurrent readers never observe a half-written file. *)
 let save path (manifest : Json.t) =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   output_string oc (Json.to_string ~indent:true manifest);
   output_char oc '\n';
-  close_out oc
+  close_out oc;
+  Sys.rename tmp path
 
 let load path : Json.t =
   let ic = open_in_bin path in

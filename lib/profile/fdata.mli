@@ -92,6 +92,14 @@ val func_events : t -> (string, int64) Hashtbl.t
 val normalize : t -> t
 
 val to_string : t -> string
+(** Canonical text dump, via the iocore arena writer (hand-rolled
+    decimal/hex emission — no Printf per record). *)
+
+val to_string_legacy : t -> string
+(** The pre-iocore Printf emitter, kept as the parity oracle and the
+    baseline the iocore bench measures.  Byte-identical to
+    {!to_string}. *)
+
 val save : string -> t -> unit
 
 (** Raised by strict-mode parsing on the first malformed record. *)
@@ -102,11 +110,45 @@ type warning = { w_line : int; w_text : string; w_reason : string }
 
 val pp_warning : Format.formatter -> warning -> unit
 
+val default_max_warnings : int
+(** Lenient parses keep at most this many per-line warnings (100) before
+    folding the remainder into a single "+K more malformed lines skipped"
+    summary warning ([w_line = 0], [w_text = ""]), so a corrupt
+    million-line fleet shard cannot flood stderr. *)
+
 (** [parse text] reads the text format.  Lenient by default: malformed
     records (wrong field counts, non-integer or negative fields, unknown
-    tags, inverted ranges) are skipped and reported as warnings.  With
-    [~strict:true] the first malformed record raises {!Bad_format}. *)
-val parse : ?strict:bool -> string -> t * warning list
+    tags, inverted ranges) are skipped and reported as warnings, capped
+    at [max_warnings] (default {!default_max_warnings}) plus the summary.
+    With [~strict:true] the first malformed record raises {!Bad_format}.
 
-val load_with_warnings : ?strict:bool -> string -> t * warning list
+    Implemented on the iocore allocation-free lexer: index-based field
+    scanning, integers parsed in place, strings materialized only for
+    fields a surviving record keeps.  Accept/reject behaviour and
+    warning texts match the legacy split-based parser exactly
+    ({!parse_legacy}, the property the iocore parity suite checks). *)
+val parse : ?strict:bool -> ?max_warnings:int -> string -> t * warning list
+
+(** The pre-iocore parser ([String.split_on_char] per line and field),
+    kept verbatim: the parity oracle and the bench baseline.  Warnings
+    are uncapped. *)
+val parse_legacy : ?strict:bool -> string -> t * warning list
+
+(** Streaming form of {!parse} for consumers that must not materialize
+    record lists (the fleet merger ingesting million-line shards):
+    [branch]/[range]/[sample] are invoked per record in file order, and
+    the returned profile carries only the small parts — [lbr], [header],
+    [fingerprints], [total_samples] — with empty record lists. *)
+val scan :
+  ?strict:bool ->
+  ?max_warnings:int ->
+  ?branch:(branch -> unit) ->
+  ?range:(range -> unit) ->
+  ?sample:(sample -> unit) ->
+  string ->
+  t * warning list
+
+val load_with_warnings :
+  ?strict:bool -> ?max_warnings:int -> string -> t * warning list
+
 val load : ?strict:bool -> string -> t

@@ -7,7 +7,7 @@ let magic = "BPRF"
 
 let save path (p : Machine.raw_profile) =
   let b = Bolt_obj.Buf.writer () in
-  Buffer.add_string b magic;
+  Bolt_obj.Buf.add_string b magic;
   Bolt_obj.Buf.u8 b (if p.rp_lbr then 1 else 0);
   Bolt_obj.Buf.i64 b p.rp_samples;
   Bolt_obj.Buf.u32 b (Hashtbl.length p.rp_branches);

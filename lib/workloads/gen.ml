@@ -555,3 +555,300 @@ let gen (p : params) : t =
     input = [||];
     params = p;
   }
+
+(* ---- iocore mega-workload --------------------------------------------
+
+   The data-plane bench needs inputs big enough that parser and writer
+   allocation dominates: >= 100k functions, >= 1M profile lines.
+   Compiling MiniC at that scale spends minutes inside the compiler, so
+   the mega generator skips it entirely: every function body is encoded
+   straight through the codec, laid out at its final address, and the
+   container is stamped the same way the linker stamps a real link.  The
+   loader cannot tell the result from a linked executable.
+
+   Call sites are confined to low-indexed functions: fingerprint call
+   resolution scans the (sorted) function table per call site, so a
+   dense call graph over 100k functions would make stamping quadratic
+   while adding nothing the I/O paths care about. *)
+
+type mega = {
+  mg_exe : Bolt_obj.Objfile.t;
+  mg_belf : string; (* serialized BELF container bytes *)
+  mg_fdata : string; (* synthetic profile text over the same functions *)
+  mg_fdata_lines : int;
+}
+
+let mega_fname i = Printf.sprintf "mf_%06d" i
+
+(* One function body: fully resolved insns (the intra-function branch
+   displacement is computed from known encoded sizes) plus an optional
+   call target to patch once addresses are assigned. *)
+let mega_body rng ~idx =
+  let open Bolt_isa in
+  let module I = Insn in
+  let ops = [| I.Add; I.Sub; I.Xor; I.Or; I.And |] in
+  let work =
+    List.init
+      (2 + Rng.int rng 5)
+      (fun _ -> I.Alu_ri (Rng.pick rng ops, Reg.r1, I.Imm (Rng.int rng 0x10000)))
+  in
+  (* biased forward branches over one instruction, like the MiniC bodies;
+     several per function so fingerprints carry a realistic block count *)
+  let branchy =
+    List.concat
+      (List.init
+         (1 + Rng.int rng 3)
+         (fun k ->
+           let skipped = I.Alu_ri (I.Xor, Reg.r1, I.Imm (0x5a5a + k)) in
+           [
+             I.Alu_ri (I.Cmp, Reg.r1, I.Imm k);
+             I.Jcc (Cond.Ne, I.Imm (I.size skipped), I.W8);
+             skipped;
+           ]))
+  in
+  let callee =
+    if idx >= 256 && idx < 4096 && Rng.bool rng 1 4 then Some (Rng.int rng 256)
+    else None
+  in
+  let call = match callee with Some _ -> [ I.Call (I.Imm 0) ] | None -> [] in
+  let insns =
+    [
+      I.Push Reg.r5;
+      I.Mov_ri (Reg.r1, I.Imm (Rng.int rng 0x7fff_ffff), I.I32);
+      I.Load (Reg.r2, Reg.r5, 8 * Rng.int rng 16);
+    ]
+    @ work @ branchy @ call
+    @ [
+        I.Store (Reg.r5, 8 * Rng.int rng 16, Reg.r2);
+        I.Alu_rr (I.Add, Reg.r1, Reg.r2);
+        I.Pop Reg.r5;
+        I.Ret;
+      ]
+  in
+  (Array.of_list insns, callee)
+
+let gen_mega ?(seed = 42) ~funcs ~fdata_lines () : mega =
+  let open Bolt_obj in
+  let open Bolt_obj.Types in
+  let rng = Rng.create (seed lxor 0x10c04e) in
+  let n = max 16 funcs in
+  let bodies = Array.init n (fun i -> mega_body rng ~idx:i) in
+  let sizes =
+    Array.map
+      (fun (insns, _) ->
+        Array.fold_left (fun a i -> a + Bolt_isa.Insn.size i) 0 insns)
+      bodies
+  in
+  let align16 a = (a + 15) land lnot 15 in
+  let addrs = Array.make n 0 in
+  let cur = ref Layout.text_base in
+  for i = 0 to n - 1 do
+    addrs.(i) <- !cur;
+    cur := align16 (!cur + sizes.(i))
+  done;
+  let text_size = !cur - Layout.text_base in
+  (* 1-byte nops in the alignment gaps keep the whole segment decodable *)
+  let text = Bytes.make text_size '\x02' in
+  for i = 0 to n - 1 do
+    let insns, callee = bodies.(i) in
+    let pos = ref (addrs.(i) - Layout.text_base) in
+    Array.iter
+      (fun insn ->
+        let insn =
+          match (insn, callee) with
+          | Bolt_isa.Insn.Call _, Some t ->
+              let end_addr = Layout.text_base + !pos + Bolt_isa.Insn.size insn in
+              Bolt_isa.Insn.Call (Bolt_isa.Insn.Imm (addrs.(t) - end_addr))
+          | _ -> insn
+        in
+        pos := !pos + Bolt_isa.Codec.encode_into text !pos insn)
+      insns
+  done;
+  let blob bytes_len =
+    let b = Bytes.create bytes_len in
+    for k = 0 to (bytes_len / 8) - 1 do
+      Bytes.set_int64_le b (8 * k) (Int64.of_int (Rng.next rng))
+    done;
+    b
+  in
+  let rodata = blob 4096 and data = blob 4096 in
+  let sections =
+    [
+      {
+        sec_name = ".text";
+        sec_kind = Text;
+        sec_addr = Layout.text_base;
+        sec_data = text;
+        sec_size = text_size;
+      };
+      {
+        sec_name = ".rodata";
+        sec_kind = Rodata;
+        sec_addr = Layout.rodata_base;
+        sec_data = rodata;
+        sec_size = Bytes.length rodata;
+      };
+      {
+        sec_name = ".data";
+        sec_kind = Data;
+        sec_addr = Layout.data_base;
+        sec_data = data;
+        sec_size = Bytes.length data;
+      };
+    ]
+  in
+  let fsyms =
+    List.init n (fun i ->
+        {
+          sym_name = mega_fname i;
+          sym_kind = Func;
+          sym_bind = (if i land 7 = 0 then Global else Local);
+          sym_section = ".text";
+          sym_value = addrs.(i);
+          sym_size = sizes.(i);
+        })
+  in
+  let osyms =
+    [
+      {
+        sym_name = "mega_table";
+        sym_kind = Object;
+        sym_bind = Global;
+        sym_section = ".rodata";
+        sym_value = Layout.rodata_base;
+        sym_size = Bytes.length rodata;
+      };
+      {
+        sym_name = "mega_state";
+        sym_kind = Object;
+        sym_bind = Global;
+        sym_section = ".data";
+        sym_value = Layout.data_base;
+        sym_size = Bytes.length data;
+      };
+    ]
+  in
+  (* metadata density mirrors a real -update-debug-sections binary: a
+     multi-op prologue/epilogue CFI program per function and a line-table
+     entry per instruction *)
+  let fdes =
+    List.init n (fun i ->
+        {
+          fde_func = mega_fname i;
+          fde_addr = addrs.(i);
+          fde_size = sizes.(i);
+          fde_cfi =
+            [
+              (0, Cfi_establish);
+              (2, Cfi_def_locals (16 * (1 + (i land 3))));
+              (2, Cfi_save (Bolt_isa.Reg.r5, 8));
+              (sizes.(i) - 3, Cfi_restore Bolt_isa.Reg.r5);
+              (sizes.(i) - 1, Cfi_teardown);
+            ];
+        })
+  in
+  (* per-instruction line tables, like -update-debug-sections input *)
+  let dbgs =
+    List.init n (fun i ->
+        let insns, _ = bodies.(i) in
+        let off = ref 0 in
+        let entries =
+          Array.to_list
+            (Array.mapi
+               (fun k insn ->
+                 let e = (!off, "mega.c", 100 + (i mod 900) + k) in
+                 off := !off + Bolt_isa.Insn.size insn;
+                 e)
+               insns)
+        in
+        { dbg_func = mega_fname i; dbg_addr = addrs.(i); dbg_entries = entries })
+  in
+  let lsdas =
+    List.filteri (fun i _ -> i land 15 = 0) (List.init n Fun.id)
+    |> List.map (fun i ->
+           {
+             lsda_func = mega_fname i;
+             lsda_fn_addr = addrs.(i);
+             lsda_entries =
+               [ { lsda_start = 0; lsda_len = 8; lsda_pad = 0; lsda_action = 1 } ];
+           })
+  in
+  let exe =
+    {
+      Objfile.kind = Objfile.Executable;
+      entry = addrs.(0);
+      build_id = "";
+      sections;
+      symbols = fsyms @ osyms;
+      relocs = [];
+      fdes;
+      lsdas;
+      dbgs;
+      fingerprints = [];
+    }
+    |> Objfile.stamp_fingerprints |> Objfile.stamp_build_id
+  in
+  let belf = Objfile.to_string exe in
+  (* profile text: headers, a bounded G/GB prefix (fingerprint parse
+     path), then a zipf-skewed stream of B/F/S records *)
+  let fb = Buffer.create (fdata_lines * 28) in
+  let nlines = ref 0 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string fb s;
+        Buffer.add_char fb '\n';
+        incr nlines)
+      fmt
+  in
+  line "mode lbr";
+  line "H host mega-host";
+  line "H build-id %s" exe.Objfile.build_id;
+  line "H timestamp %d" 1700000000;
+  line "H events %Ld" (Int64.of_int (fdata_lines * 40));
+  let g_budget = fdata_lines / 10 in
+  (try
+     List.iter
+       (fun (f : Fingerprint.func) ->
+         if !nlines >= g_budget then raise Exit;
+         line "G %s %d %s %s %s" f.fp_func f.fp_size
+           (Fingerprint.to_hex f.fp_opcode_hash)
+           (Fingerprint.to_hex f.fp_cfg_hash)
+           (if f.fp_calls = [] then "-" else String.concat "," f.fp_calls);
+         List.iter
+           (fun (blk : Fingerprint.block) ->
+             line "GB %s %d %d %s %s" f.fp_func blk.bk_off blk.bk_size
+               (Fingerprint.to_hex blk.bk_opcode_hash)
+               (Fingerprint.to_hex blk.bk_shape_hash))
+           f.fp_blocks)
+       exe.Objfile.fingerprints
+   with Exit -> ());
+  while !nlines < fdata_lines do
+    let fi = Rng.zipf rng n in
+    let name = mega_fname fi in
+    let off () = Rng.int rng (max 1 sizes.(fi)) in
+    let cnt () = Int64.of_int (1 + Rng.int rng 10000) in
+    let kind = Rng.int rng 100 in
+    if kind < 85 then begin
+      let c = cnt () in
+      let to_f, to_o =
+        if Rng.bool rng 1 8 then
+          let t = Rng.zipf rng n in
+          (mega_fname t, 0)
+        else (name, off ())
+      in
+      line "B %s %d %s %d %Ld %Ld" name (off ()) to_f to_o c
+        (Int64.div c 8L)
+    end
+    else if kind < 95 then begin
+      let s = off () in
+      line "F %s %d %d %Ld" name s (s + Rng.int rng 32) (cnt ())
+    end
+    else line "S %s %d %Ld" name (off ()) (cnt ())
+  done;
+  {
+    mg_exe = exe;
+    mg_belf = belf;
+    mg_fdata = Buffer.contents fb;
+    mg_fdata_lines = !nlines;
+  }

@@ -21,4 +21,5 @@ let () =
       ("fleet", Test_fleet.suite);
       ("stale", Test_stale.suite);
       ("monitor", Test_monitor.suite);
+      ("iocore", Test_iocore.suite);
     ]
