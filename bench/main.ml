@@ -767,6 +767,157 @@ let run_iocore ~quick () =
          ("reencode_j1_j4_identical", Json.Bool reencode_identical);
        ])
 
+(* ---- continuous-optimization service ---- *)
+
+(* Daemon-mode ingest at data-center scale: a synthetic tape of
+   thousands of hosts / up to millions of fdata lines is replayed
+   through the service loop (Fleet_sim.scale_tape -> Service.run), and
+   the section records what an operator would gate on:
+
+   - ingest throughput (tape lines per second through the full loop —
+     sketch ingest, per-step merge, quality assessment, triggering);
+   - the steady-state RSS proxy: sketch occupancy vs its byte budget
+     (within_budget must hold), plus the eviction count and the
+     merged-quality degradation the bound cost vs an unbounded merge;
+   - trigger latency in ticks;
+   - the sharded-by-function-key merge vs the single-accumulator
+     streaming merge, bytes asserted identical. *)
+let run_service ~quick () =
+  section "Service: daemon ingest at fleet scale (sketch bound, triggers, sharded merge)";
+  let module FS = Bolt_fleet.Fleet_sim in
+  let module M = Bolt_fleet.Merge in
+  let module S = Bolt_service.Service in
+  let module Sk = Bolt_service.Sketch in
+  let sc =
+    {
+      FS.default_scale with
+      FS.sc_hosts = (if quick then 400 else 2_000);
+      sc_funcs = (if quick then 1_500 else 5_000);
+      sc_lines = (if quick then 500 else 1_000);
+    }
+  in
+  let tape_raw = timed "service-tape" (fun () -> FS.scale_tape sc) in
+  let count_lines text =
+    let n = ref 0 in
+    String.iter (fun c -> if c = '\n' then incr n) text;
+    !n
+  in
+  let total_lines =
+    List.fold_left (fun a (_, _, x) -> a + count_lines x) 0 tape_raw
+  in
+  let texts = List.map (fun (_, h, x) -> (h, x)) tape_raw in
+  Printf.printf "  tape: %d hosts, %d lines (%d-function universe)\n%!"
+    sc.FS.sc_hosts total_lines sc.FS.sc_funcs;
+  (* sharded-by-function-key merge vs the single-accumulator stream *)
+  let t0 = Unix.gettimeofday () in
+  let stream_merged = M.merge_stream texts in
+  let t_stream = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let sharded_merged =
+    M.merge_stream_sharded ~opts:{ M.default_options with M.jobs = 4 } texts
+  in
+  let t_sharded = Unix.gettimeofday () -. t0 in
+  let sharded_identical =
+    Bolt_profile.Fdata.to_string sharded_merged
+    = Bolt_profile.Fdata.to_string stream_merged
+  in
+  let lps t = if t > 0.0 then float_of_int total_lines /. t else 0.0 in
+  Printf.printf
+    "  merge:   stream %8.0f lines/s   sharded(j4) %8.0f lines/s (%.2fx)  %s\n%!"
+    (lps t_stream) (lps t_sharded) (t_stream /. t_sharded)
+    (if sharded_identical then "identical" else "MISMATCH!");
+  (* the service loop itself, under a deliberately tight sketch budget
+     so the memory bound and its quality cost are exercised *)
+  let budget = (if quick then 1 else 4) * 1024 * 1024 in
+  let cfg =
+    {
+      S.default_config with
+      S.c_topk = 64;
+      c_budget = budget;
+      c_trigger =
+        {
+          S.default_trigger with
+          S.tr_min_hosts = sc.FS.sc_hosts / 2;
+          (* the tight budget caps per-host coverage well below the
+             production default; the bench wants the trigger path
+             exercised, not gated off *)
+          tr_min_coverage_pct = 0.25;
+          tr_max_staleness_pct = 60.0;
+        };
+    }
+  in
+  let tape =
+    List.map
+      (fun (t, h, x) -> { S.ev_time = t; ev_host = h; ev_text = x })
+      tape_raw
+  in
+  let svc =
+    S.create ~config:cfg ~expect_build_id:FS.scale_build_id
+      ~start_time:FS.base_timestamp ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let reports = S.run svc tape in
+  let t_ingest = Unix.gettimeofday () -. t0 in
+  let sk = S.sketch svc in
+  let within_budget = Sk.peak sk <= Sk.budget sk in
+  let latency =
+    match S.first_trigger_step svc with Some s -> s | None -> -1
+  in
+  Printf.printf
+    "  service: %d steps, %8.0f lines/s ingest, trigger latency %d tick(s)\n%!"
+    (List.length reports) (lps t_ingest) latency;
+  Printf.printf
+    "  sketch:  peak %d / budget %d bytes (%s), %d evictions\n%!" (Sk.peak sk)
+    budget
+    (if within_budget then "within budget" else "OVER BUDGET!")
+    (Sk.evictions sk);
+  (* what the memory bound cost: event mass and function coverage of the
+     sketch-bounded merge vs the unbounded merge of the same tape *)
+  let event_mass (p : Bolt_profile.Fdata.t) =
+    let m = ref 0L in
+    List.iter
+      (fun (b : Bolt_profile.Fdata.branch) ->
+        m := Bolt_profile.Fdata.sat_add !m b.Bolt_profile.Fdata.br_count)
+      p.Bolt_profile.Fdata.branches;
+    List.iter
+      (fun (s : Bolt_profile.Fdata.sample) ->
+        m := Bolt_profile.Fdata.sat_add !m s.Bolt_profile.Fdata.sm_count)
+      p.Bolt_profile.Fdata.samples;
+    Int64.to_float !m
+  in
+  let funcs_of p = Hashtbl.length (Bolt_profile.Fdata.func_events p) in
+  let events_retained_pct, funcs_retained_pct =
+    match S.last_merged svc with
+    | None -> (0.0, 0.0)
+    | Some bounded ->
+        let um = event_mass stream_merged and bm = event_mass bounded in
+        let uf = funcs_of stream_merged and bf = funcs_of bounded in
+        ( (if um > 0.0 then 100.0 *. bm /. um else 0.0),
+          if uf > 0 then 100.0 *. float_of_int bf /. float_of_int uf else 0.0 )
+  in
+  Printf.printf
+    "  quality degradation vs unbounded merge: %.1f%% events retained, %.1f%% functions\n%!"
+    events_retained_pct funcs_retained_pct;
+  add_section "service"
+    (Json.Obj
+       [
+         ("hosts", Json.Int sc.FS.sc_hosts);
+         ("lines", Json.Int total_lines);
+         ("steps", Json.Int (List.length reports));
+         ("ingest_lines_per_s", Json.Float (lps t_ingest));
+         ("stream_lines_per_s", Json.Float (lps t_stream));
+         ("sharded_lines_per_s", Json.Float (lps t_sharded));
+         ("sharded_speedup", Json.Float (t_stream /. t_sharded));
+         ("sharded_identical", Json.Bool sharded_identical);
+         ("sketch_budget_bytes", Json.Int budget);
+         ("sketch_peak_bytes", Json.Int (Sk.peak sk));
+         ("sketch_within_budget", Json.Bool within_budget);
+         ("sketch_evictions", Json.Int (Sk.evictions sk));
+         ("trigger_latency_ticks", Json.Int latency);
+         ("events_retained_pct", Json.Float events_retained_pct);
+         ("functions_retained_pct", Json.Float funcs_retained_pct);
+       ])
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let run_micro () =
@@ -894,6 +1045,7 @@ let () =
   if want "layout" then run_layout ~quick ();
   if want "fleet" then run_fleet ~quick ();
   if want "iocore" then run_iocore ~quick ();
+  if want "service" then run_service ~quick ();
   if List.mem "micro" args then run_micro ();
   let out = "BENCH_results.json" in
   let manifest =

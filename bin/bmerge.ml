@@ -105,6 +105,25 @@ let run shards out weights decay expect strict_shards report health trace_out
             (List.length skipped);
           3
         end
+        else if
+          (* --health/--report over zero records would feed Quality/Monitor
+             an all-empty fleet and report 0% everything as if it were
+             measured; refuse with a structured diag instead *)
+          (report || health)
+          && List.for_all
+               (fun (sh : Merge.loaded) ->
+                 sh.Merge.sh_prof.Bolt_profile.Fdata.branches = []
+                 && sh.Merge.sh_prof.Bolt_profile.Fdata.ranges = []
+                 && sh.Merge.sh_prof.Bolt_profile.Fdata.samples = [])
+               loaded
+        then begin
+          Fmt.epr
+            "bmerge: error: --%s over %d shard(s) carrying 0 records: \
+             nothing to assess (collect profiles before gating on them)@."
+            (if health then "health" else "report")
+            (List.length loaded);
+          3
+        end
         else
         match resolve_build_id expect with
         | exception _ ->

@@ -175,6 +175,17 @@ let run_check history baseline thresholds no_defaults all_workloads =
         0
       end
       else begin
+        (* a --threshold rule matching no metric of the latest record can
+           never fire — almost always a typo'd path; say so.  The default
+           rules intentionally span tools (fleet vs bench metrics), so
+           only user-supplied rules are checked. *)
+        List.iter
+          (fun r ->
+            Fmt.epr
+              "bstat: warning: unmatched rule %a (no metric path in the \
+               latest record matches)@."
+              Compare.pp_rule r)
+          (Compare.unmatched_rules ~rules:(List.rev thresholds) latest);
         let verdicts = Compare.check ~rules ~baseline:window latest in
         Fmt.pr "check: latest run vs %d-run rolling baseline (%d rule%s)@."
           (List.length window) (List.length rules)

@@ -245,3 +245,91 @@ let tick_loaded_shards (t : tick) : Merge.loaded list =
   List.map
     (fun ((h : host), prof) -> Merge.shard_of_profile ~name:h.h_name prof)
     t.tk_shards
+
+(* ---- mega-scale synthetic tape ----
+
+   [run]/[rollout] compile and execute a real service per host, which
+   tops out around tens of hosts.  The continuous-optimization service
+   and its bench need the data-center shape — thousands of hosts,
+   millions of fdata lines — where only the *profiles* have to be real.
+   [scale_tape] synthesizes that: one fdata shard per host over a shared
+   synthetic function universe, zipf-skewed with a per-host rotation of
+   the hot set (so no host covers the fleet), a configurable fraction of
+   hosts still reporting the previous revision with day-old timestamps,
+   and arrival times grouped into waves so the tape replays as a
+   sequence of service ticks.  Entirely deterministic from [sc_seed]. *)
+
+type scale = {
+  sc_hosts : int;
+  sc_funcs : int; (* size of the synthetic function universe *)
+  sc_lines : int; (* B/F/S record lines per host shard *)
+  sc_stale_every : int; (* every Nth host reports the old revision; 0 = none *)
+  sc_wave : int; (* hosts arriving per tick *)
+  sc_seed : int;
+}
+
+let default_scale =
+  {
+    sc_hosts = 1_000;
+    sc_funcs = 4_000;
+    sc_lines = 500;
+    sc_stale_every = 7;
+    sc_wave = 128;
+    sc_seed = 991;
+  }
+
+(* Synthetic revision stamps for the tape's current/previous builds. *)
+let scale_build_id = "feedc0de00000001"
+let scale_stale_build_id = "feedc0de00000000"
+let scale_fname i = Printf.sprintf "svc_%05d" i
+
+(* (arrival time, host, fdata text) triples, sorted by arrival. *)
+let scale_tape ?(start_time = base_timestamp) (s : scale) :
+    (int * string * string) list =
+  let module Rng = Bolt_workloads.Rng in
+  List.init s.sc_hosts (fun i ->
+      let rng = Rng.create ((s.sc_seed * 7_919) + i) in
+      let stale =
+        s.sc_stale_every > 0 && i mod s.sc_stale_every = s.sc_stale_every - 1
+      in
+      let host = Printf.sprintf "mh%05d.dc1" i in
+      let tick = i / max 1 s.sc_wave in
+      let time = start_time + (tick * tick_interval) in
+      let b = Buffer.create (s.sc_lines * 32) in
+      let line fmt =
+        Printf.ksprintf
+          (fun str ->
+            Buffer.add_string b str;
+            Buffer.add_char b '\n')
+          fmt
+      in
+      line "mode lbr";
+      line "H host %s" host;
+      line "H build-id %s" (if stale then scale_stale_build_id else scale_build_id);
+      line "H timestamp %d" (if stale then time - stale_age else time);
+      line "H events %d" (s.sc_lines * 25);
+      for _ = 1 to s.sc_lines do
+        (* rotate the zipf hot set per host: host i's hottest functions
+           start at index i, so fleet coverage needs many hosts *)
+        let fi = (Rng.zipf rng s.sc_funcs + i) mod s.sc_funcs in
+        let name = scale_fname fi in
+        let off () = Rng.int rng 256 in
+        let cnt () = Int64.of_int (1 + Rng.int rng 5_000) in
+        let kind = Rng.int rng 100 in
+        if kind < 80 then begin
+          let c = cnt () in
+          let to_f, to_o =
+            if Rng.bool rng 1 8 then
+              (scale_fname ((Rng.zipf rng s.sc_funcs + i) mod s.sc_funcs), 0)
+            else (name, off ())
+          in
+          line "B %s %d %s %d %Ld %Ld" name (off ()) to_f to_o c
+            (Int64.div c 8L)
+        end
+        else if kind < 92 then begin
+          let st = off () in
+          line "F %s %d %d %Ld" name st (st + Rng.int rng 32) (cnt ())
+        end
+        else line "S %s %d %Ld" name (off ()) (cnt ())
+      done;
+      (time, host, Buffer.contents b))

@@ -403,6 +403,172 @@ let merge_stream ?obs ?(opts = default_options)
         "fleet.merged_branch_records";
       merged)
 
+(* ---- sharded-by-function-key parallel streaming merge ----
+
+   [merge_stream] folds every record into ONE accumulator table, so one
+   domain owns the whole reduction no matter how many shards arrive.
+   [merge_stream_sharded] partitions the key space by function-name hash
+   across the pool's domains instead:
+
+   - stage A lexes shards in parallel; each worker buckets its scaled
+     records into per-(worker, partition) tables, where a record's
+     partition is [Hashtbl.hash] of its owning function name mod jobs
+     ([Hashtbl.hash] on strings is seed-free and deterministic, so the
+     partition of a key never varies across runs or domains);
+   - stage B folds each partition across all workers' tables — the key
+     sets are disjoint by construction, so the folds share nothing and
+     need no locks — and materializes its records.
+
+   Saturating addition of non-negative counts is commutative and
+   associative and the output is globally sorted, so the bytes are
+   identical to [merge_stream] for any shard order and any [jobs] (the
+   service suite holds this by property). *)
+
+let merge_stream_sharded ?obs ?(opts = default_options)
+    (shards : (string * string) list) : Fdata.t =
+  let jobs = max 1 opts.jobs in
+  if jobs = 1 || List.length shards <= 1 then merge_stream ?obs ~opts shards
+  else begin
+    let obs = match obs with Some o -> o | None -> Obs.null () in
+    Obs.span obs "fleet.merge" (fun () ->
+        (* pass 1: headers, fingerprints, totals — no record lists *)
+        let metas =
+          List.map
+            (fun (name, text) ->
+              let prof, _ = Fdata.scan text in
+              { sh_name = name; sh_prof = prof })
+            shards
+        in
+        let newest = newest_timestamp metas in
+        let nparts = jobs in
+        let part_of fn = Hashtbl.hash fn mod nparts in
+        let tables =
+          Array.init jobs (fun _ ->
+              Array.init nparts (fun _ -> Hashtbl.create 1024))
+        in
+        let bump tbl k c m =
+          match Hashtbl.find_opt tbl k with
+          | Some (c0, m0) ->
+              Hashtbl.replace tbl k (Fdata.sat_add c0 c, Fdata.sat_add m0 m)
+          | None -> Hashtbl.add tbl k (c, m)
+        in
+        (* stage A: parallel lex, bucketing scaled records by partition *)
+        let items =
+          Array.of_list
+            (List.map2 (fun (_, text) meta -> (text, meta)) shards metas)
+        in
+        let pool = Bolt_core.Pool.create ~jobs () in
+        let worker dom (text, meta) =
+          let row = tables.(dom) in
+          let f = scale_of opts ~newest meta in
+          let sc c = if f = 1.0 then c else Fdata.sat_scale c f in
+          ignore
+            (Fdata.scan
+               ~branch:(fun (b : Fdata.branch) ->
+                 bump
+                   row.(part_of b.Fdata.br_from_func)
+                   (`B
+                     ( b.Fdata.br_from_func,
+                       b.Fdata.br_from_off,
+                       b.Fdata.br_to_func,
+                       b.Fdata.br_to_off ))
+                   (sc b.Fdata.br_count) (sc b.Fdata.br_mispreds))
+               ~range:(fun (r : Fdata.range) ->
+                 bump
+                   row.(part_of r.Fdata.rg_func)
+                   (`F (r.Fdata.rg_func, r.Fdata.rg_start, r.Fdata.rg_end))
+                   (sc r.Fdata.rg_count) 0L)
+               ~sample:(fun (s : Fdata.sample) ->
+                 bump
+                   row.(part_of s.Fdata.sm_func)
+                   (`S (s.Fdata.sm_func, s.Fdata.sm_off))
+                   (sc s.Fdata.sm_count) 0L)
+               text)
+        in
+        ignore (Bolt_core.Pool.run pool ~worker items);
+        (* stage B: fold each partition across workers — disjoint keys,
+           so the per-partition accumulators never race *)
+        let parts =
+          Array.make nparts
+            (([] : Fdata.branch list), ([] : Fdata.range list),
+             ([] : Fdata.sample list))
+        in
+        let fold_worker _dom p =
+          let acc = Hashtbl.create 4096 in
+          for dom = 0 to jobs - 1 do
+            Hashtbl.iter (fun k (c, m) -> bump acc k c m) tables.(dom).(p)
+          done;
+          let branches = ref [] and ranges = ref [] and samples = ref [] in
+          Hashtbl.iter
+            (fun k (c, m) ->
+              match k with
+              | `B (ff, fo, tf, to_) ->
+                  branches :=
+                    {
+                      Fdata.br_from_func = ff;
+                      br_from_off = fo;
+                      br_to_func = tf;
+                      br_to_off = to_;
+                      br_count = c;
+                      br_mispreds = m;
+                    }
+                    :: !branches
+              | `F (f, s, e) ->
+                  ranges :=
+                    { Fdata.rg_func = f; rg_start = s; rg_end = e; rg_count = c }
+                    :: !ranges
+              | `S (f, o) ->
+                  samples :=
+                    { Fdata.sm_func = f; sm_off = o; sm_count = c } :: !samples)
+            acc;
+          parts.(p) <- (!branches, !ranges, !samples)
+        in
+        ignore
+          (Bolt_core.Pool.run pool ~worker:fold_worker
+             (Array.init nparts Fun.id));
+        let all = Array.to_list parts in
+        let branches = List.concat_map (fun (b, _, _) -> b) all in
+        let ranges = List.concat_map (fun (_, r, _) -> r) all in
+        let samples = List.concat_map (fun (_, _, s) -> s) all in
+        let total =
+          List.fold_left
+            (fun a (b : Fdata.branch) -> Fdata.sat_add a b.Fdata.br_count)
+            0L branches
+          |> fun acc ->
+          List.fold_left
+            (fun a (s : Fdata.sample) -> Fdata.sat_add a s.Fdata.sm_count)
+            acc samples
+        in
+        let mheader = merged_header opts metas in
+        let fingerprints =
+          List.filter
+            (fun sh ->
+              (header sh).Fdata.hd_build_id = mheader.Fdata.hd_build_id
+              && sh.sh_prof.Fdata.fingerprints <> [])
+            metas
+          |> List.sort (fun a b -> compare a.sh_name b.sh_name)
+          |> function
+          | [] -> []
+          | sh :: _ -> sh.sh_prof.Fdata.fingerprints
+        in
+        let merged =
+          {
+            Fdata.lbr = List.for_all (fun m -> m.sh_prof.Fdata.lbr) metas;
+            header = Some mheader;
+            branches = List.sort compare branches;
+            ranges = List.sort compare ranges;
+            samples = List.sort compare samples;
+            total_samples = total;
+            fingerprints = List.sort_uniq compare fingerprints;
+          }
+        in
+        Obs.incr obs ~by:(List.length metas) "fleet.shards";
+        Obs.incr obs
+          ~by:(List.length merged.Fdata.branches)
+          "fleet.merged_branch_records";
+        merged)
+  end
+
 let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
@@ -411,7 +577,10 @@ let read_file path =
   text
 
 (* File-path convenience entry, on the streaming path: each shard's text
-   is read once and lexed twice, never parsed into record lists. *)
+   is read once and lexed twice, never parsed into record lists.  With
+   [jobs > 1] the accumulator itself is sharded by function key. *)
 let merge_paths ?obs ?opts paths : Fdata.t =
-  merge_stream ?obs ?opts
-    (List.map (fun p -> (Filename.basename p, read_file p)) paths)
+  let shards = List.map (fun p -> (Filename.basename p, read_file p)) paths in
+  match opts with
+  | Some o when o.jobs > 1 -> merge_stream_sharded ?obs ~opts:o shards
+  | _ -> merge_stream ?obs ?opts shards

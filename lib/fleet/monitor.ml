@@ -69,9 +69,11 @@ let stale_hosts (tk : tick) =
   List.filter_map (fun h -> if h.hs_stale then Some h.hs_host else None) tk.tk_hosts
 
 (* Per-host coverage of the merged profile's function set — the same
-   notion [Quality.assess] averages, kept per host here. *)
-let host_coverage ~(merged : Fdata.t) (sh : Merge.loaded) =
-  let merged_funcs = Fdata.func_events merged in
+   notion [Quality.assess] averages, kept per host here.  The merged
+   function table is computed once per tick and shared across hosts: at
+   daemon scale (thousands of hosts) rebuilding it per host dominates
+   the whole observation. *)
+let coverage_of ~merged_funcs (sh : Merge.loaded) =
   let nfuncs = Hashtbl.length merged_funcs in
   if nfuncs = 0 then 0.0
   else begin
@@ -83,6 +85,9 @@ let host_coverage ~(merged : Fdata.t) (sh : Merge.loaded) =
     in
     100.0 *. float_of_int hit /. float_of_int nfuncs
   end
+
+let host_coverage ~(merged : Fdata.t) (sh : Merge.loaded) =
+  coverage_of ~merged_funcs:(Fdata.func_events merged) sh
 
 (* Fold one aggregation round into the monitor.  [shards] are the
    shards as collected (pre-recovery, so provenance is the hosts'
@@ -114,6 +119,7 @@ let observe ?obs t ~(expected_build_id : string)
         @ if host = "" then [] else [ ("host", Json.String host) ])
   in
   let th = t.thresholds in
+  let merged_funcs = Fdata.func_events merged in
   let hosts =
     List.map
       (fun sh ->
@@ -127,7 +133,7 @@ let observe ?obs t ~(expected_build_id : string)
           if header.Fdata.hd_timestamp = 0 then 0
           else newest - header.Fdata.hd_timestamp
         in
-        let coverage = host_coverage ~merged sh in
+        let coverage = coverage_of ~merged_funcs sh in
         let rate =
           match List.assoc_opt host recovery with
           | Some st -> Some (Stale_match.recovery_rate st)

@@ -234,7 +234,25 @@ let default_rules : rule list =
     { ru_path = "iocore.fdata.parse_speedup"; ru_dir = Down_is_bad; ru_pct = 25.0 };
     { ru_path = "iocore.*identical"; ru_dir = Down_is_bad; ru_pct = 1.0 };
     { ru_path = "iocore.*parity"; ru_dir = Down_is_bad; ru_pct = 1.0 };
+    (* continuous-optimization service budgets: ingest throughput may
+       not collapse, the sketch may not start thrashing (evictions are
+       deterministic for a fixed tape/config, so a jump is a real
+       retention regression), and the sharded-merge parity / memory
+       bound flags dropping from 1 to 0 always fire. *)
+    { ru_path = "service.ingest_lines_per_s"; ru_dir = Down_is_bad; ru_pct = 40.0 };
+    { ru_path = "service.sketch_evictions"; ru_dir = Up_is_bad; ru_pct = 50.0 };
+    { ru_path = "service.*identical"; ru_dir = Down_is_bad; ru_pct = 1.0 };
+    { ru_path = "service.*within_budget"; ru_dir = Down_is_bad; ru_pct = 1.0 };
   ]
+
+(* Rules whose glob matches no metric path of [record] — a budget rule
+   that can never fire, usually a typo'd path.  bstat warns on these so
+   a silently-dead gate is visible. *)
+let unmatched_rules ~(rules : rule list) (record : Json.t) : rule list =
+  let paths = List.map fst (flatten record) in
+  List.filter
+    (fun r -> not (List.exists (glob_match r.ru_path) paths))
+    rules
 
 (* ---- the check itself ---- *)
 

@@ -21,5 +21,6 @@ let () =
       ("fleet", Test_fleet.suite);
       ("stale", Test_stale.suite);
       ("monitor", Test_monitor.suite);
+      ("service", Test_service.suite);
       ("iocore", Test_iocore.suite);
     ]

@@ -444,6 +444,96 @@ let test_monitor_rollout () =
          e.Bolt_obs.Trace.ev_name = "fleet.monitor.stale_build")
        events)
 
+(* A --threshold rule whose path matches no metric of the gated record
+   can never fire; [Compare.unmatched_rules] is how bstat warns. *)
+let test_unmatched_rules () =
+  let record =
+    Json.Obj
+      [
+        ("wall_s", Json.Float 1.0);
+        ("spans", Json.Obj [ ("bolt", Json.Float 0.5) ]);
+      ]
+  in
+  let names rules =
+    List.map (fun r -> r.Compare.ru_path) (Compare.unmatched_rules ~rules record)
+  in
+  Alcotest.(check (list string))
+    "typo'd path reported" [ "walls_s" ]
+    (names [ rule "walls_s=+10"; rule "wall_s=+10" ]);
+  Alcotest.(check (list string))
+    "globs count as matched" []
+    (names [ rule "spans.*=+10" ]);
+  Alcotest.(check (list string))
+    "unmatched glob reported" [ "fleet.*" ]
+    (names [ rule "fleet.*=-5" ])
+
+(* Satellite property: on a 1000-host simulated tape, the monitor's
+   threshold alert set is identical for any host-arrival order and any
+   -j — the health view is a function of the fleet's state, never of
+   aggregation schedule. *)
+let test_alerts_order_invariant () =
+  let sc =
+    {
+      FS.default_scale with
+      FS.sc_hosts = 1_000;
+      sc_funcs = 200;
+      sc_lines = 20;
+    }
+  in
+  let shards =
+    List.map
+      (fun (_, host, text) ->
+        let prof, _ = Bolt_profile.Fdata.parse text in
+        Merge.shard_of_profile ~name:host prof)
+      (FS.scale_tape sc)
+  in
+  let observe order jobs =
+    let merged =
+      Merge.merge
+        ~opts:
+          {
+            Merge.default_options with
+            Merge.expect_build_id = Some FS.scale_build_id;
+            jobs;
+          }
+        order
+    in
+    let monitor = Monitor.create () in
+    ignore
+      (Monitor.observe monitor ~expected_build_id:FS.scale_build_id order
+         ~merged);
+    let alerts =
+      List.sort compare
+        (List.map
+           (fun (a : Monitor.alert) -> (a.Monitor.al_kind, a.Monitor.al_host))
+           (Monitor.alerts monitor))
+    in
+    (alerts, Bolt_profile.Fdata.to_string merged)
+  in
+  let perm =
+    (* deterministic shuffle: sort by a host-name hash *)
+    List.sort
+      (fun a b ->
+        compare (Hashtbl.hash (Merge.host_of a)) (Hashtbl.hash (Merge.host_of b)))
+      shards
+  in
+  let base_alerts, base_merged = observe shards 1 in
+  Alcotest.(check bool) "the tape raises alerts at all" true (base_alerts <> []);
+  List.iter
+    (fun (label, order, jobs) ->
+      let alerts, merged = observe order jobs in
+      Alcotest.(check int)
+        (label ^ ": same alert count")
+        (List.length base_alerts) (List.length alerts);
+      Alcotest.(check bool) (label ^ ": same alert set") true
+        (alerts = base_alerts);
+      Alcotest.(check string) (label ^ ": same merged bytes") base_merged merged)
+    [
+      ("reversed", List.rev shards, 1);
+      ("shuffled j=2", perm, 2);
+      ("reversed j=4", List.rev shards, 4);
+    ]
+
 let suite =
   [
     Alcotest.test_case "manifest meta stanza" `Quick test_meta_stanza;
@@ -466,4 +556,8 @@ let suite =
       test_history_concurrent_appends;
     Alcotest.test_case "monitor: rollout flags stale hosts until convergence"
       `Slow test_monitor_rollout;
+    Alcotest.test_case "gate: unmatched threshold rules reported" `Quick
+      test_unmatched_rules;
+    Alcotest.test_case "monitor: 1000-host alerts invariant to order and -j"
+      `Slow test_alerts_order_invariant;
   ]
